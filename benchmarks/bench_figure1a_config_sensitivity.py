@@ -1,0 +1,62 @@
+"""Figure 1(a) — prompt-sensitivity heatmaps, workflow configuration.
+
+5 prompt variants × 4 models × 3 systems (single run per cell, like the
+paper's heatmaps).  Asserts the paper's claims: no prompt variant is
+uniformly best across models, and the Henson/Wilkins maps show the least
+spread (all models uniformly struggle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiments import run_prompt_sensitivity
+from repro.data import FIGURE1A, MODELS, PROMPT_VARIANTS
+from repro.reporting import render_figure1
+
+
+def bench_figure1a_config_sensitivity(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: run_prompt_sensitivity("configuration", epochs=1),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "figure1a_config_sensitivity",
+        render_figure1(results, "Figure 1(a): BLEU by prompt type — configuration"),
+    )
+
+    # no variant is best for every model
+    for system in results:
+        best_variant_per_model = {
+            model: max(PROMPT_VARIANTS, key=lambda v: results[system][v][model])
+            for model in MODELS
+        }
+        if len(set(best_variant_per_model.values())) > 1:
+            break
+    else:
+        raise AssertionError("one prompt variant dominated every model and system")
+
+    # Henson & Wilkins heatmaps show less spread than ADIOS2 (paper §4.4)
+    def spread(system: str) -> float:
+        values = [
+            results[system][v][m] for v in PROMPT_VARIANTS for m in MODELS
+        ]
+        return float(np.std(values))
+
+    assert spread("henson") < spread("adios2")
+    assert spread("wilkins") < spread("adios2")
+
+    # per-cell fidelity vs the published heatmap
+    for system, rows in FIGURE1A.items():
+        for variant, values in rows.items():
+            if variant == "original":
+                # the original row is calibrated against Tables 1-3; the
+                # paper's own heatmap original-row values differ from its
+                # tables (single-run heatmaps vs 5-trial tables)
+                continue
+            for idx, model in enumerate(MODELS):
+                measured = results[system][variant][model]
+                assert abs(measured - values[idx]) < 12.0, (
+                    system, variant, model, measured, values[idx],
+                )

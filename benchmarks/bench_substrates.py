@@ -1,0 +1,143 @@
+"""Microbenchmarks for the substrates the evaluation runs on.
+
+These are conventional pytest-benchmark timings (multiple rounds) for
+the load-bearing infrastructure: BLEU/ChrF scoring, the simulated-MPI
+collectives, the Henson cooperative scheduler, the ADIOS2 SST streaming
+path, and a full 3-node Wilkins workflow execution.  They guard against
+performance regressions in the harness itself (a full Table 1-3 sweep
+runs ~44 cells × 5 trials of everything below).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assets import annotated_producer
+from repro.metrics import bleu, chrf
+from repro.mpi import SUM, mpiexec
+
+
+def bench_metric_bleu(benchmark):
+    hyp = annotated_producer("henson")
+    ref = annotated_producer("adios2")
+    score = benchmark(lambda: bleu(hyp, ref))
+    assert 0.0 <= score <= 100.0
+
+
+def bench_metric_chrf(benchmark):
+    hyp = annotated_producer("henson")
+    ref = annotated_producer("adios2")
+    score = benchmark(lambda: chrf(hyp, ref))
+    assert 0.0 <= score <= 100.0
+
+
+def bench_mpi_allreduce(benchmark):
+    def allreduce_program():
+        def prog(comm):
+            return comm.allreduce(np.ones(1024), SUM)
+
+        return mpiexec(prog, 4)
+
+    result = benchmark.pedantic(allreduce_program, rounds=5, iterations=1)
+    assert float(result[0][0]) == 4.0
+
+
+def bench_henson_scheduler(benchmark):
+    from repro.workflows.henson import HensonRuntime, Puppet
+    from repro.workflows.henson import api as henson
+
+    def run_workflow():
+        def producer():
+            for t in range(20):
+                henson.henson_save_int("t", t)
+                henson.henson_yield()
+
+        def consumer():
+            seen = []
+            while henson.henson_active():
+                seen.append(henson.henson_load_int("t"))
+                henson.henson_yield()
+            return seen
+
+        runtime = HensonRuntime(
+            [Puppet("producer", producer, driver=True), Puppet("consumer", consumer)]
+        )
+        return runtime.run()
+
+    results = benchmark.pedantic(run_workflow, rounds=5, iterations=1)
+    assert results["consumer"] == list(range(20))
+
+
+def bench_adios2_sst_stream(benchmark):
+    import threading
+
+    from repro.store import SimFilesystem
+    from repro.workflows.adios2 import Adios, Mode, StepStatus
+
+    def run_stream():
+        fs = SimFilesystem()
+        ad = Adios(fs=fs)
+        wio = ad.declare_io("W")
+        wio.set_engine("SST")
+        rio = ad.declare_io("R")
+        rio.set_engine("SST")
+        payload = np.arange(4096, dtype=np.float64)
+        totals = []
+
+        def writer():
+            var = wio.define_variable("x", dtype="float64")
+            engine = wio.open("stream.bp", Mode.WRITE)
+            for _ in range(10):
+                engine.begin_step()
+                engine.put(var, payload)
+                engine.end_step()
+            engine.close()
+
+        def reader():
+            engine = rio.open("stream.bp", Mode.READ)
+            while engine.begin_step() is StepStatus.OK:
+                totals.append(float(np.sum(engine.get("x"))))
+                engine.end_step()
+            engine.close()
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start(); tr.start(); tw.join(); tr.join()
+        return totals
+
+    totals = benchmark.pedantic(run_stream, rounds=5, iterations=1)
+    assert len(totals) == 10
+
+
+def bench_wilkins_3node_workflow(benchmark):
+    from repro.core.assets import reference_config
+    from repro.workflows.wilkins import WilkinsRuntime, parse_wilkins_yaml
+
+    config = parse_wilkins_yaml(reference_config("wilkins"))
+
+    def producer(comm, ctx):
+        rng = np.random.default_rng(comm.rank)
+        for step in range(3):
+            local = rng.random(64)
+            gathered = comm.gather(local, root=0)
+            if comm.rank == 0:
+                ctx.write("grid", np.concatenate(gathered), step=step)
+                ctx.write("particles", np.arange(step + 1.0), step=step)
+        return "done"
+
+    def consumer1(comm, ctx):
+        return [float(np.sum(data)) for _step, data in ctx.steps("grid")]
+
+    def consumer2(comm, ctx):
+        return [len(data) for _step, data in ctx.steps("particles")]
+
+    def run_workflow():
+        runtime = WilkinsRuntime(
+            config,
+            {"producer": producer, "consumer1": consumer1, "consumer2": consumer2},
+        )
+        return runtime.run()
+
+    results = benchmark.pedantic(run_workflow, rounds=5, iterations=1)
+    assert results["consumer2"] == [1, 2, 3]
+    assert len(results["consumer1"]) == 3

@@ -1,0 +1,80 @@
+"""Table 6 — o3 Wilkins configuration case study (zero-shot vs few-shot).
+
+Deterministic checks matching the paper's qualitative analysis:
+
+1. the Wilkins validator on the *published* zero-shot listing flags the
+   invented schema (``workflow``/``command``/``processes``/``inputs``/
+   ``outputs``/``dependencies``/...);
+2. simulated zero-shot o3 hallucinates fields from the same family while
+   few-shot o3 produces a clean, parseable Wilkins config (Table 6 left
+   is identical to the ground truth);
+3. zero-shot o3's chatter contains the fabricated ``wilkins.io``
+   citation the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.data.case_studies import TABLE6_FLAGGED_FIELDS, TABLE6_ZEROSHOT
+from repro.core.assets import fewshot_example_config
+from repro.data.prompts import FEWSHOT_SUFFIX, get_template
+from repro.llm import GenerateConfig, get_model
+from repro.utils.text import strip_markdown_chatter
+from repro.workflows.wilkins import parse_wilkins_yaml, validate_config
+
+_BASE_PROMPT = get_template("configuration", "original").body.format(system="Wilkins")
+
+
+def bench_table6_case_study(benchmark, report):
+    model = get_model("sim/o3")
+
+    def run_case_study():
+        zero = model.generate(_BASE_PROMPT, GenerateConfig(seed=0))
+        few_prompt = _BASE_PROMPT + FEWSHOT_SUFFIX.format(
+            system="Wilkins", example=fewshot_example_config("wilkins")
+        )
+        few = model.generate(few_prompt, GenerateConfig(seed=0))
+        return zero.completion, few.completion
+
+    zero_completion, few_completion = benchmark.pedantic(
+        run_case_study, rounds=1, iterations=1
+    )
+
+    # 1. published zero-shot listing: all invented fields flagged
+    published_flags = {
+        d.symbol for d in validate_config(TABLE6_ZEROSHOT).hallucinations()
+    }
+    for field in TABLE6_FLAGGED_FIELDS:
+        assert field in published_flags, f"{field!r} should be flagged"
+
+    # 2. simulated zero-shot hallucinates; few-shot is clean and parseable
+    zero_artifact = strip_markdown_chatter(zero_completion)
+    zero_flags = {
+        d.symbol for d in validate_config(zero_artifact).hallucinations()
+    }
+    assert zero_flags & set(TABLE6_FLAGGED_FIELDS), zero_flags
+
+    few_artifact = strip_markdown_chatter(few_completion)
+    few_report = validate_config(few_artifact)
+    assert not few_report.hallucinations(), [
+        d.symbol for d in few_report.hallucinations()
+    ]
+    config = parse_wilkins_yaml(few_artifact)
+    assert [t.func for t in config.tasks] == ["producer", "consumer1", "consumer2"]
+    assert config.task("producer").nprocs == 3
+
+    # 3. fabricated citation in zero-shot chatter (paper §4.1 footnote)
+    assert "wilkins.io" in zero_completion
+
+    lines = [
+        "Table 6 case study: o3 Wilkins configuration",
+        "",
+        f"published zero-shot flags: {sorted(published_flags)}",
+        f"simulated zero-shot flags: {sorted(zero_flags)}",
+        "",
+        "--- simulated zero-shot (with chatter) ---",
+        zero_completion,
+        "",
+        "--- simulated few-shot artifact ---",
+        few_artifact,
+    ]
+    report("table6_case_study", "\n".join(lines))

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every bench writes its rendered table/heatmap to ``benchmarks/output/``
+so the reproduction artifacts survive the run regardless of pytest's
+capture settings, and prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def report(report_dir):
+    """Callable: report(name, text) — persist and print one artifact."""
+
+    def _report(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

@@ -1,0 +1,80 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Tables 1/2/3/5 with paper-vs-measured deltas and the three
+Figure 1 heatmap groups.  ``--fast`` uses 2 trials per cell instead of
+the paper's 5 (roughly 4x faster, same shapes).
+
+Usage:  python examples/reproduce_tables.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.experiments import (
+    run_annotation,
+    run_configuration,
+    run_fewshot,
+    run_prompt_sensitivity,
+    run_translation,
+)
+from repro.data import TABLE1, TABLE2, TABLE3
+from repro.reporting import (
+    compare_with_paper,
+    render_fewshot_table,
+    render_figure1,
+    render_grid_table,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="2 trials per cell")
+    args = parser.parse_args()
+    epochs = 2 if args.fast else 5
+
+    started = time.perf_counter()
+
+    grid1 = run_configuration(epochs=epochs)
+    print(render_grid_table(grid1, "Table 1: workflow configuration"))
+    print()
+
+    grid2 = run_annotation(epochs=epochs)
+    print(render_grid_table(grid2, "Table 2: task code annotation"))
+    print()
+
+    grid3 = run_translation(epochs=epochs)
+    print(render_grid_table(grid3, "Table 3: task code translation"))
+    print()
+
+    comparison = run_fewshot(epochs=epochs)
+    print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
+    print()
+
+    for experiment, title in (
+        ("configuration", "Figure 1(a): configuration"),
+        ("annotation", "Figure 1(b): annotation"),
+        ("translation", "Figure 1(c): translation"),
+    ):
+        results = run_prompt_sensitivity(experiment, epochs=1)
+        print(render_figure1(results, title))
+        print()
+
+    print("=== paper vs measured (BLEU deltas, original prompts) ===")
+    for (system, model), paper in sorted(TABLE1.items()):
+        print(compare_with_paper(grid1.cell(system, model), paper,
+                                 f"T1 {system}/{model}"))
+    for (system, model), paper in sorted(TABLE2.items()):
+        print(compare_with_paper(grid2.cell(system, model), paper,
+                                 f"T2 {system}/{model}"))
+    for (direction, model), paper in sorted(TABLE3.items()):
+        print(compare_with_paper(grid3.cell(direction, model), paper,
+                                 f"T3 {direction[0]}->{direction[1]}/{model}"))
+
+    print(f"\ntotal time: {time.perf_counter() - started:.1f}s "
+          f"({epochs} trial(s) per table cell)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Run the paper's 3-node workflow for real on the Wilkins substrate.
+
+The exact YAML the evaluation uses as ground truth (one producer on 3
+processes generating ``grid`` and ``particles``, two single-process
+consumers) drives an actual in-situ execution: the producer's ranks
+cooperate through the simulated MPI, datasets flow through a shared HDF5
+namespace with memory (LowFive-style) transport, and the consumers stream
+steps concurrently with the producer.
+
+Usage:  python examples/wilkins_insitu_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assets import reference_config
+from repro.workflows.wilkins import WilkinsRuntime, parse_wilkins_yaml
+
+STEPS = 4
+POINTS_PER_RANK = 16
+
+
+def producer(comm, ctx):
+    """Simulation: every rank computes a block; rank 0 publishes."""
+    rng = np.random.default_rng(100 + comm.rank)
+    for step in range(STEPS):
+        block = rng.random(POINTS_PER_RANK)
+        local_sum = float(block.sum())
+        total = comm.reduce(local_sum, root=0)
+        blocks = comm.gather(block, root=0)
+        if comm.rank == 0:
+            grid = np.concatenate(blocks)
+            particles = rng.random(4 * (step + 1))
+            ctx.write("grid", grid, step=step)
+            ctx.write("particles", particles, step=step)
+            print(f"[producer t={step}] published grid({grid.size}) "
+                  f"particles({particles.size}) total_sum={total:.3f}")
+    return "produced"
+
+
+def consumer_grid(comm, ctx):
+    """Analysis: consumes grid steps as they appear (memory transport)."""
+    sums = []
+    for step, grid in ctx.steps("grid"):
+        sums.append(float(grid.sum()))
+        print(f"[consumer1 t={step}] grid sum = {sums[-1]:.3f}")
+    return sums
+
+
+def consumer_particles(comm, ctx):
+    """Visualization stand-in: counts particles per step."""
+    counts = []
+    for step, particles in ctx.steps("particles"):
+        counts.append(len(particles))
+        print(f"[consumer2 t={step}] {counts[-1]} particles")
+    return counts
+
+
+def main() -> None:
+    yaml_text = reference_config("wilkins")
+    print("=== Wilkins workflow configuration (paper ground truth) ===")
+    print(yaml_text)
+    print()
+
+    config = parse_wilkins_yaml(yaml_text)
+    runtime = WilkinsRuntime(
+        config,
+        {
+            "producer": producer,
+            "consumer1": consumer_grid,
+            "consumer2": consumer_particles,
+        },
+    )
+    results = runtime.run()
+
+    print("\n=== results ===")
+    print(f"producer: {results['producer']}")
+    print(f"consumer1 grid sums:      {['%.3f' % s for s in results['consumer1']]}")
+    print(f"consumer2 particle counts: {results['consumer2']}")
+    assert len(results["consumer1"]) == STEPS
+    assert results["consumer2"] == [4 * (s + 1) for s in range(STEPS)]
+    print("workflow completed: all steps streamed through memory transport")
+
+
+if __name__ == "__main__":
+    main()

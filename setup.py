@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works on offline hosts whose setuptools lacks the
+``wheel`` package needed for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro — reproduction of "Do Large Language Models Speak Scientific Workflows?"
+
+Public surface (stable):
+
+* :mod:`repro.metrics` — BLEU / ChrF / aggregation.
+* :mod:`repro.llm` — model registry (``get_model``), chat types, the
+  offline :class:`~repro.llm.simulated.SimulatedModel` provider.
+* :mod:`repro.core` — the evaluation harness (tasks, solvers, scorers,
+  ``evaluate``) and the paper's experiment builders.
+* :mod:`repro.workflows` — executable mini-implementations of ADIOS2,
+  Henson, Parsl, PyCOMPSs and Wilkins, each with an API-surface validator.
+* :mod:`repro.mpi`, :mod:`repro.store` — the simulated MPI and storage
+  substrates the workflow runtimes execute on.
+* :mod:`repro.reporting` — table and heatmap renderers for every table
+  and figure in the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""The evaluation harness — the paper's primary contribution, reproduced.
+
+An Inspect-AI-style pipeline:
+
+* :class:`~repro.core.samples.Sample` — one prompt/target pair with
+  metadata identifying the experiment cell;
+* :class:`~repro.core.task.Task` — dataset + solver chain + scorer;
+* :func:`~repro.core.task.evaluate` — runs a task against a model for
+  ``epochs`` repetitions with a :class:`~repro.llm.types.GenerateConfig`
+  (temperature 0.2 / top_p 0.95 in the paper, except o3) and aggregates
+  mean ± standard error;
+* experiment builders under :mod:`repro.core.experiments` for workflow
+  configuration, task-code annotation, task-code translation, prompt
+  sensitivity, and few-shot prompting;
+* :class:`~repro.core.repair.RepairLoop` — the iterative error-correction
+  extension the paper's conclusion proposes.
+"""
+
+from repro.core.samples import Sample
+from repro.core.scorers import CodeSimilarityScorer, Score
+from repro.core.solvers import SolverChain, few_shot_solver, prompt_solver
+from repro.core.task import EvalResult, Task, evaluate
+
+__all__ = [
+    "Sample",
+    "Task",
+    "evaluate",
+    "EvalResult",
+    "Score",
+    "CodeSimilarityScorer",
+    "SolverChain",
+    "prompt_solver",
+    "few_shot_solver",
+]

@@ -1,0 +1,174 @@
+"""Reference workflow configuration files (evaluation ground truth).
+
+The 3-node workflow is the one in the paper's sample prompt: one producer
+generating ``grid`` and ``particles`` datasets on 3 processes, consumer1
+reading ``grid`` and consumer2 reading ``particles``, one process each.
+The Wilkins reference is verbatim the paper's Table 6 (left).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.utils.text import dedent_strip
+
+# ---------------------------------------------------------------------------
+# Wilkins (YAML) — Table 6 left, verbatim layout
+# ---------------------------------------------------------------------------
+
+WILKINS_3NODE_YAML = dedent_strip(
+    """
+    tasks:
+    - func: producer
+      nprocs: 3
+      outports:
+      - filename: outfile.h5
+        dsets:
+        - name: /group1/grid
+          file: 0
+          memory: 1
+        - name: /group1/particles
+          file: 0
+          memory: 1
+    - func: consumer1
+      nprocs: 1
+      inports:
+      - filename: outfile.h5
+        dsets:
+        - name: /group1/grid
+          file: 0
+          memory: 1
+    - func: consumer2
+      nprocs: 1
+      inports:
+      - filename: outfile.h5
+        dsets:
+        - name: /group1/particles
+          file: 0
+          memory: 1
+    """
+)
+
+WILKINS_2NODE_YAML = dedent_strip(
+    """
+    tasks:
+    - func: producer
+      nprocs: 2
+      outports:
+      - filename: outfile.h5
+        dsets:
+        - name: /group1/grid
+          file: 0
+          memory: 1
+    - func: consumer
+      nprocs: 1
+      inports:
+      - filename: outfile.h5
+        dsets:
+        - name: /group1/grid
+          file: 0
+          memory: 1
+    """
+)
+
+# ---------------------------------------------------------------------------
+# ADIOS2 (XML runtime configuration)
+# ---------------------------------------------------------------------------
+
+ADIOS2_3NODE_XML = dedent_strip(
+    """
+    <?xml version="1.0"?>
+    <adios-config>
+        <io name="SimulationOutput">
+            <engine type="SST">
+                <parameter key="RendezvousReaderCount" value="2"/>
+                <parameter key="QueueLimit" value="1"/>
+            </engine>
+            <variable name="grid"/>
+            <variable name="particles"/>
+        </io>
+        <io name="GridInput">
+            <engine type="SST">
+                <parameter key="SpeculativePreloadMode" value="OFF"/>
+            </engine>
+            <variable name="grid"/>
+        </io>
+        <io name="ParticlesInput">
+            <engine type="SST">
+                <parameter key="SpeculativePreloadMode" value="OFF"/>
+            </engine>
+            <variable name="particles"/>
+        </io>
+    </adios-config>
+    """
+)
+
+ADIOS2_2NODE_XML = dedent_strip(
+    """
+    <?xml version="1.0"?>
+    <adios-config>
+        <io name="SimulationOutput">
+            <engine type="SST">
+                <parameter key="RendezvousReaderCount" value="1"/>
+            </engine>
+            <variable name="grid"/>
+        </io>
+        <io name="AnalysisInput">
+            <engine type="SST"/>
+        </io>
+    </adios-config>
+    """
+)
+
+# ---------------------------------------------------------------------------
+# Henson (hwl workflow script)
+# ---------------------------------------------------------------------------
+
+HENSON_3NODE_HWL = dedent_strip(
+    """
+    # 3-node workflow: producer feeding two consumers
+    producer = ./producer grid particles on 3 procs
+    consumer1 = ./consumer1 grid on 1 procs
+    consumer2 = ./consumer2 particles on 1 procs
+    """
+)
+
+HENSON_2NODE_HWL = dedent_strip(
+    """
+    # 2-node workflow
+    producer = ./producer grid on 2 procs
+    consumer = ./consumer grid on 1 procs
+    """
+)
+
+_REFERENCE = {
+    "wilkins": WILKINS_3NODE_YAML,
+    "adios2": ADIOS2_3NODE_XML,
+    "henson": HENSON_3NODE_HWL,
+}
+
+_FEWSHOT = {
+    "wilkins": WILKINS_2NODE_YAML,
+    "adios2": ADIOS2_2NODE_XML,
+    "henson": HENSON_2NODE_HWL,
+}
+
+
+def reference_config(system: str) -> str:
+    """The 3-node ground-truth config for ``system`` (adios2/henson/wilkins)."""
+    try:
+        return _REFERENCE[system.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"no reference configuration for system {system!r} "
+            f"(configuration experiment covers {sorted(_REFERENCE)})"
+        ) from None
+
+
+def fewshot_example_config(system: str) -> str:
+    """The simple 2-node example provided for few-shot prompting."""
+    try:
+        return _FEWSHOT[system.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"no few-shot example for system {system!r}"
+        ) from None

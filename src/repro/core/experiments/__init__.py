@@ -1,0 +1,27 @@
+"""Experiment builders: one module per experiment in the paper's §4.
+
+Each module exposes task builders (``*_task``) returning harness
+:class:`~repro.core.task.Task` objects and a ``run_*`` helper that sweeps
+models × systems and returns an :class:`~repro.core.experiments.base.ExperimentGrid`
+ready for the reporting layer.
+"""
+
+from repro.core.experiments.annotation import annotation_task, run_annotation
+from repro.core.experiments.base import CellResult, ExperimentGrid
+from repro.core.experiments.configuration import configuration_task, run_configuration
+from repro.core.experiments.fewshot import run_fewshot
+from repro.core.experiments.prompt_sensitivity import run_prompt_sensitivity
+from repro.core.experiments.translation import run_translation, translation_task
+
+__all__ = [
+    "CellResult",
+    "ExperimentGrid",
+    "configuration_task",
+    "run_configuration",
+    "annotation_task",
+    "run_annotation",
+    "translation_task",
+    "run_translation",
+    "run_prompt_sensitivity",
+    "run_fewshot",
+]

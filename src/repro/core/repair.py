@@ -1,0 +1,127 @@
+"""Iterative error correction (the paper's §5 future-work direction).
+
+The paper closes by proposing "iterative error correction mechanisms as
+successfully applied in other LLM applications".  :class:`RepairLoop`
+implements that mechanism for workflow configurations:
+
+1. generate a configuration from the user request;
+2. validate it against the target system's surface
+   (:mod:`repro.workflows` validators, the hallucination detectors);
+3. if invalid, build a *repair prompt*: the original request plus the
+   validator diagnostics plus a known-good example configuration, and
+   regenerate;
+4. stop when the artifact validates or the iteration budget is spent.
+
+Step 3 is exactly the knowledge injection the paper shows to work in
+§4.5 — feeding the model an example suppresses invented schema fields —
+so the loop converges for the simulated models the same way it would for
+real ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assets import fewshot_example_config
+from repro.data.prompts import FEWSHOT_SUFFIX
+from repro.errors import HarnessError
+from repro.llm.api import Model, get_model
+from repro.llm.types import GenerateConfig
+from repro.utils.text import strip_markdown_chatter
+from repro.workflows import ValidationReport, get_system
+
+
+@dataclass
+class RepairAttempt:
+    """One iteration: the artifact produced and its validation outcome."""
+
+    iteration: int
+    prompt: str
+    artifact: str
+    report: ValidationReport
+
+
+@dataclass
+class RepairOutcome:
+    """Full loop history plus the final artifact."""
+
+    system: str
+    attempts: list[RepairAttempt] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].report.ok
+
+    @property
+    def iterations(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def final_artifact(self) -> str:
+        if not self.attempts:
+            raise HarnessError("repair loop never ran")
+        return self.attempts[-1].artifact
+
+
+class RepairLoop:
+    """Generate → validate → feed diagnostics back → regenerate."""
+
+    def __init__(
+        self,
+        model: Model | str,
+        system: str,
+        *,
+        max_iterations: int = 3,
+        config: GenerateConfig | None = None,
+    ) -> None:
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.system = get_system(system)
+        if self.system.validate_config is None:
+            raise HarnessError(
+                f"{self.system.display_name} has no configuration validator"
+            )
+        if max_iterations <= 0:
+            raise HarnessError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+        self.config = config or GenerateConfig()
+
+    def run(self, request: str) -> RepairOutcome:
+        """Run the loop on a natural-language configuration request."""
+        outcome = RepairOutcome(system=self.system.name)
+        prompt = request
+        for iteration in range(self.max_iterations):
+            gen_config = GenerateConfig(
+                temperature=self.config.temperature,
+                top_p=self.config.top_p,
+                max_tokens=self.config.max_tokens,
+                seed=self.config.seed + iteration,
+            )
+            output = self.model.generate(prompt, gen_config)
+            artifact = strip_markdown_chatter(output.completion)
+            report = self.system.validate_config(artifact)
+            outcome.attempts.append(
+                RepairAttempt(
+                    iteration=iteration,
+                    prompt=prompt,
+                    artifact=artifact,
+                    report=report,
+                )
+            )
+            if report.ok:
+                break
+            prompt = self._repair_prompt(request, report)
+        return outcome
+
+    def _repair_prompt(self, request: str, report: ValidationReport) -> str:
+        diagnostics = "\n".join(f"- {d.render()}" for d in report.errors())
+        example = fewshot_example_config(self.system.name)
+        return (
+            f"{request}\n\n"
+            f"Your previous configuration was rejected by the "
+            f"{self.system.display_name} validator with these errors:\n"
+            f"{diagnostics}\n"
+            f"Please fix the configuration."
+            + FEWSHOT_SUFFIX.format(
+                system=self.system.display_name, example=example
+            )
+        )

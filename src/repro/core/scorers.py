@@ -1,0 +1,52 @@
+"""Scorers: response post-processing + similarity metrics.
+
+:class:`CodeSimilarityScorer` reproduces the paper's evaluation: extract
+the code artifact from the model's markdown response, compare against the
+reference with BLEU and ChrF (sacrebleu-equivalent implementations),
+report both on the 0..100 scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MetricError
+from repro.metrics import bleu, chrf
+from repro.utils.text import strip_markdown_chatter
+
+_METRIC_FNS: dict[str, Callable[[str, str], float]] = {
+    "bleu": bleu,
+    "chrf": chrf,
+}
+
+
+@dataclass(frozen=True)
+class Score:
+    """Metric values for one completion."""
+
+    values: dict[str, float]
+    answer: str  # the extracted artifact that was scored
+
+    def __getitem__(self, metric: str) -> float:
+        return self.values[metric]
+
+
+@dataclass
+class CodeSimilarityScorer:
+    """BLEU + ChrF over the extracted code artifact."""
+
+    metrics: tuple[str, ...] = ("bleu", "chrf")
+    extractor: Callable[[str], str] = field(default=strip_markdown_chatter)
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.metrics if m not in _METRIC_FNS]
+        if unknown:
+            raise MetricError(
+                f"unknown metric(s) {unknown}; available: {sorted(_METRIC_FNS)}"
+            )
+
+    def __call__(self, completion: str, target: str) -> Score:
+        answer = self.extractor(completion)
+        values = {name: float(_METRIC_FNS[name](answer, target)) for name in self.metrics}
+        return Score(values=values, answer=answer)

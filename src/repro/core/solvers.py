@@ -1,0 +1,116 @@
+"""Solvers: prompt construction stages.
+
+A solver is a callable ``(Sample) -> Sample`` that rewrites the sample's
+input text; a :class:`SolverChain` composes them.  The two solvers the
+paper's experiments need are:
+
+* :func:`prompt_solver` — render one of the five prompt-variant templates
+  with the sample's system/code parameters;
+* :func:`few_shot_solver` — append an example artifact (§4.5's few-shot
+  prompting), after the base prompt has been rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.data.prompts import DETAILED_HINTS, FEWSHOT_SUFFIX, get_template
+from repro.errors import HarnessError
+from repro.core.samples import Sample
+
+Solver = Callable[[Sample], Sample]
+
+
+@dataclass
+class SolverChain:
+    """Apply solvers left to right."""
+
+    solvers: Sequence[Solver]
+
+    def __call__(self, sample: Sample) -> Sample:
+        for solver in self.solvers:
+            sample = solver(sample)
+        return sample
+
+
+def prompt_solver(variant: str = "original") -> Solver:
+    """Render the experiment's prompt template for ``variant``.
+
+    Reads from sample metadata: ``experiment``, plus ``system`` &
+    ``system_display`` (configuration/annotation) or ``source``/``target``
+    displays (translation), and ``code`` for the code-carrying prompts.
+    """
+
+    def solve(sample: Sample) -> Sample:
+        meta = sample.metadata
+        experiment = meta.get("experiment")
+        if not experiment:
+            raise HarnessError(f"sample {sample.id}: metadata lacks 'experiment'")
+        template = get_template(experiment, variant)
+        if experiment == "translation":
+            text = template.body.format(
+                source=meta["source_display"],
+                target=meta["target_display"],
+                code=meta["code"],
+                api_hints=DETAILED_HINTS.get(meta["target"], ""),
+            )
+        elif experiment == "annotation":
+            text = template.body.format(
+                system=meta["system_display"],
+                code=meta["code"],
+                api_hints=DETAILED_HINTS.get(meta["system"], ""),
+            )
+        else:  # configuration
+            hints = DETAILED_HINTS.get(meta["system"], "")
+            text = template.body.format(
+                system=meta["system_display"],
+                field_hints=f" ({hints})" if hints else "",
+            )
+        out = sample.with_input(text)
+        out.metadata["variant"] = variant
+        return out
+
+    return solve
+
+
+def few_shot_solver(example: str, system_display: str) -> Solver:
+    """Append a 2-node example configuration to the prompt (§4.5)."""
+
+    def solve(sample: Sample) -> Sample:
+        suffix = FEWSHOT_SUFFIX.format(system=system_display, example=example)
+        out = sample.with_input(sample.input + suffix)
+        out.metadata["fewshot"] = True
+        return out
+
+    return solve
+
+
+def doc_context_solver(system: str, system_display: str) -> Solver:
+    """Prepend a documentation excerpt naming the system's real fields.
+
+    A RAG-lite middle ground between zero-shot and few-shot prompting: the
+    model sees the valid vocabulary but no worked example (an extension
+    beyond the paper; see DESIGN.md §5).
+    """
+    from repro.workflows import get_system
+
+    descriptor = get_system(system)
+    registry = descriptor.config_fields or descriptor.api
+    fields = ", ".join(registry.names())
+
+    def solve(sample: Sample) -> Sample:
+        doc = (
+            f"Documentation excerpt for the {system_display} workflow system: "
+            f"valid configuration vocabulary is {fields}.\n\n"
+        )
+        out = sample.with_input(doc + sample.input)
+        out.metadata["doccontext"] = True
+        return out
+
+    return solve
+
+
+def identity_solver() -> Solver:
+    """No-op solver (useful in tests)."""
+    return lambda sample: sample

@@ -1,0 +1,46 @@
+"""Pure data: every number published in the paper's evaluation section.
+
+Used in two places:
+
+* the simulated-LLM profiles (:mod:`repro.llm.profiles`) calibrate their
+  corruption intensity against these targets (see DESIGN.md §2 for the
+  honesty note about what that does and does not establish);
+* the reporting layer prints paper-vs-measured comparisons in
+  EXPERIMENTS.md and the benchmark logs.
+"""
+
+from repro.data.paper_numbers import (
+    CONFIG_SYSTEMS,
+    ANNOTATION_SYSTEMS,
+    TRANSLATION_DIRECTIONS,
+    FEWSHOT_SYSTEM_OFFSETS,
+    FIGURE1A,
+    FIGURE1B,
+    FIGURE1C,
+    MODELS,
+    MODEL_LABELS,
+    PROMPT_VARIANTS,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE5,
+    Cell4,
+)
+
+__all__ = [
+    "MODELS",
+    "MODEL_LABELS",
+    "PROMPT_VARIANTS",
+    "CONFIG_SYSTEMS",
+    "ANNOTATION_SYSTEMS",
+    "TRANSLATION_DIRECTIONS",
+    "FEWSHOT_SYSTEM_OFFSETS",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE5",
+    "FIGURE1A",
+    "FIGURE1B",
+    "FIGURE1C",
+    "Cell4",
+]

@@ -1,0 +1,221 @@
+"""Published evaluation numbers from Yildiz & Peterka, SC-W'25.
+
+Transcribed from Tables 1, 2, 3, 5 and the Figure 1 heatmaps of
+arXiv:2412.10606v3.  Cell values are ``(bleu, bleu_se, chrf, chrf_se)``
+(means and standard errors over 5 trials, scores in 0..100).  Figure 1
+holds single BLEU values per (system, prompt variant, model) cell.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Cell4(NamedTuple):
+    """mean/stderr pairs for BLEU and ChrF."""
+
+    bleu: float
+    bleu_se: float
+    chrf: float
+    chrf_se: float
+
+
+MODELS = ("o3", "gemini-2.5-pro", "claude-sonnet-4", "llama-3.3-70b")
+
+MODEL_LABELS = {
+    "o3": "o3",
+    "gemini-2.5-pro": "Gemini-2.5-Pro",
+    "claude-sonnet-4": "Claude-Sonnet-4",
+    "llama-3.3-70b": "LLaMA-3.3-70B",
+}
+
+PROMPT_VARIANTS = ("original", "detailed", "different-style", "paraphrased", "reordered")
+
+CONFIG_SYSTEMS = ("adios2", "henson", "wilkins")
+ANNOTATION_SYSTEMS = ("adios2", "henson", "pycompss", "parsl")
+TRANSLATION_DIRECTIONS = (
+    ("henson", "adios2"),
+    ("adios2", "henson"),
+    ("parsl", "pycompss"),
+    ("pycompss", "parsl"),
+)
+
+# ---------------------------------------------------------------------------
+# Table 1: workflow configuration
+# ---------------------------------------------------------------------------
+TABLE1: dict[tuple[str, str], Cell4] = {
+    ("adios2", "o3"): Cell4(59.1, 2.3, 60.5, 1.7),
+    ("adios2", "gemini-2.5-pro"): Cell4(73.0, 1.8, 72.1, 1.3),
+    ("adios2", "claude-sonnet-4"): Cell4(72.1, 0.0, 69.3, 0.0),
+    ("adios2", "llama-3.3-70b"): Cell4(35.9, 0.7, 48.6, 1.0),
+    ("henson", "o3"): Cell4(20.2, 2.3, 22.4, 1.9),
+    ("henson", "gemini-2.5-pro"): Cell4(26.9, 1.9, 28.2, 0.8),
+    ("henson", "claude-sonnet-4"): Cell4(25.0, 0.0, 25.5, 0.0),
+    ("henson", "llama-3.3-70b"): Cell4(27.7, 1.0, 26.2, 0.8),
+    ("wilkins", "o3"): Cell4(30.0, 1.5, 29.1, 1.0),
+    ("wilkins", "gemini-2.5-pro"): Cell4(31.6, 3.4, 33.2, 1.1),
+    ("wilkins", "claude-sonnet-4"): Cell4(36.8, 0.8, 34.8, 0.8),
+    ("wilkins", "llama-3.3-70b"): Cell4(39.0, 0.0, 34.7, 0.3),
+}
+
+# ---------------------------------------------------------------------------
+# Table 2: task code annotation
+# ---------------------------------------------------------------------------
+TABLE2: dict[tuple[str, str], Cell4] = {
+    ("adios2", "o3"): Cell4(60.3, 2.1, 59.0, 1.7),
+    ("adios2", "gemini-2.5-pro"): Cell4(51.9, 0.7, 54.7, 1.5),
+    ("adios2", "claude-sonnet-4"): Cell4(37.7, 0.3, 34.1, 0.1),
+    ("adios2", "llama-3.3-70b"): Cell4(53.4, 3.0, 55.9, 2.0),
+    ("henson", "o3"): Cell4(38.1, 5.0, 36.1, 4.2),
+    ("henson", "gemini-2.5-pro"): Cell4(42.7, 9.4, 47.1, 8.7),
+    ("henson", "claude-sonnet-4"): Cell4(39.7, 0.0, 49.7, 0.9),
+    ("henson", "llama-3.3-70b"): Cell4(16.3, 1.6, 19.6, 1.5),
+    ("pycompss", "o3"): Cell4(72.4, 1.8, 78.3, 2.1),
+    ("pycompss", "gemini-2.5-pro"): Cell4(89.3, 3.1, 88.6, 2.9),
+    ("pycompss", "claude-sonnet-4"): Cell4(49.7, 0.0, 62.5, 0.0),
+    ("pycompss", "llama-3.3-70b"): Cell4(9.9, 4.0, 23.3, 1.3),
+    ("parsl", "o3"): Cell4(39.3, 6.0, 57.1, 2.4),
+    ("parsl", "gemini-2.5-pro"): Cell4(35.6, 6.3, 55.2, 4.2),
+    ("parsl", "claude-sonnet-4"): Cell4(35.8, 0.0, 49.7, 0.0),
+    ("parsl", "llama-3.3-70b"): Cell4(41.2, 1.2, 57.2, 0.1),
+}
+
+# ---------------------------------------------------------------------------
+# Table 3: task code translation (keys are (source, target))
+# ---------------------------------------------------------------------------
+TABLE3: dict[tuple[tuple[str, str], str], Cell4] = {
+    (("henson", "adios2"), "o3"): Cell4(56.2, 2.1, 54.8, 1.4),
+    (("henson", "adios2"), "gemini-2.5-pro"): Cell4(52.2, 1.9, 49.3, 1.7),
+    (("henson", "adios2"), "claude-sonnet-4"): Cell4(34.6, 1.2, 33.1, 1.2),
+    (("henson", "adios2"), "llama-3.3-70b"): Cell4(42.8, 0.5, 45.9, 0.7),
+    (("adios2", "henson"), "o3"): Cell4(24.9, 2.0, 39.6, 1.8),
+    (("adios2", "henson"), "gemini-2.5-pro"): Cell4(35.4, 1.6, 50.2, 1.6),
+    (("adios2", "henson"), "claude-sonnet-4"): Cell4(32.5, 0.0, 40.6, 0.1),
+    (("adios2", "henson"), "llama-3.3-70b"): Cell4(19.3, 0.2, 30.2, 0.3),
+    (("parsl", "pycompss"), "o3"): Cell4(48.4, 1.7, 70.6, 2.1),
+    (("parsl", "pycompss"), "gemini-2.5-pro"): Cell4(78.4, 7.5, 82.3, 5.4),
+    (("parsl", "pycompss"), "claude-sonnet-4"): Cell4(49.7, 0.0, 62.5, 0.0),
+    (("parsl", "pycompss"), "llama-3.3-70b"): Cell4(29.4, 0.6, 42.1, 1.5),
+    (("pycompss", "parsl"), "o3"): Cell4(23.6, 2.6, 48.5, 2.5),
+    (("pycompss", "parsl"), "gemini-2.5-pro"): Cell4(39.7, 3.3, 60.2, 1.7),
+    (("pycompss", "parsl"), "claude-sonnet-4"): Cell4(23.7, 0.0, 57.1, 0.0),
+    (("pycompss", "parsl"), "llama-3.3-70b"): Cell4(23.3, 0.2, 44.4, 0.1),
+}
+
+# ---------------------------------------------------------------------------
+# Table 5: few-shot vs zero-shot for configuration (averaged over systems)
+# ---------------------------------------------------------------------------
+TABLE5: dict[str, dict[str, Cell4]] = {
+    "o3": {
+        "zero-shot": Cell4(36.5, 4.5, 37.3, 4.5),
+        "few-shot": Cell4(89.3, 2.7, 89.7, 2.6),
+    },
+    "gemini-2.5-pro": {
+        "zero-shot": Cell4(43.8, 5.7, 44.5, 5.3),
+        "few-shot": Cell4(86.7, 2.3, 87.6, 2.1),
+    },
+    "claude-sonnet-4": {
+        "zero-shot": Cell4(44.6, 5.3, 43.2, 5.0),
+        "few-shot": Cell4(91.5, 3.0, 95.9, 2.4),
+    },
+    "llama-3.3-70b": {
+        "zero-shot": Cell4(34.2, 1.3, 36.5, 2.5),
+        "few-shot": Cell4(84.1, 2.1, 85.0, 2.4),
+    },
+}
+
+# The paper reports few-shot only averaged over the three config systems.
+# Per-system calibration targets are derived as average + offset, offsets
+# chosen to preserve the paper's per-system difficulty ordering and to sum
+# to zero (documented substitution; see DESIGN.md).
+FEWSHOT_SYSTEM_OFFSETS = {"adios2": 4.0, "henson": -3.0, "wilkins": -1.0}
+
+# ---------------------------------------------------------------------------
+# Figure 1: prompt-sensitivity BLEU heatmaps.
+# FIGURE1x[system][variant] = (o3, gemini, claude, llama), model order as MODELS.
+# ---------------------------------------------------------------------------
+FIGURE1A: dict[str, dict[str, tuple[float, float, float, float]]] = {
+    "adios2": {
+        "original": (61.8, 76.0, 72.1, 34.8),
+        "detailed": (66.2, 74.8, 64.4, 26.4),
+        "different-style": (54.5, 66.0, 52.5, 13.0),
+        "paraphrased": (58.1, 71.8, 60.8, 32.3),
+        "reordered": (51.7, 72.0, 73.6, 9.4),
+    },
+    "henson": {
+        "original": (25.3, 20.6, 25.0, 27.1),
+        "detailed": (28.3, 28.3, 30.8, 34.5),
+        "different-style": (21.4, 26.4, 29.2, 17.7),
+        "paraphrased": (27.6, 17.5, 22.7, 23.4),
+        "reordered": (21.6, 24.1, 21.3, 17.5),
+    },
+    "wilkins": {
+        "original": (31.7, 33.3, 37.6, 39.0),
+        "detailed": (41.2, 47.2, 43.0, 53.4),
+        "different-style": (30.7, 20.6, 36.8, 38.9),
+        "paraphrased": (28.2, 22.5, 38.5, 36.3),
+        "reordered": (30.9, 37.5, 36.8, 39.7),
+    },
+}
+
+FIGURE1B: dict[str, dict[str, tuple[float, float, float, float]]] = {
+    "adios2": {
+        "original": (59.5, 54.1, 37.8, 47.0),
+        "detailed": (55.5, 53.3, 36.4, 38.8),
+        "different-style": (61.7, 51.9, 36.7, 51.7),
+        "paraphrased": (51.2, 56.3, 38.2, 50.2),
+        "reordered": (57.0, 53.4, 38.8, 48.3),
+    },
+    "henson": {
+        "original": (25.6, 39.4, 39.2, 18.0),
+        "detailed": (43.1, 41.0, 22.2, 46.2),
+        "different-style": (42.5, 47.6, 35.9, 19.8),
+        "paraphrased": (34.3, 48.8, 39.6, 9.2),
+        "reordered": (38.6, 38.5, 39.1, 15.2),
+    },
+    "pycompss": {
+        "original": (69.9, 80.1, 49.7, 13.8),
+        "detailed": (87.4, 96.3, 100.0, 38.9),
+        "different-style": (54.1, 76.6, 49.7, 48.9),
+        "paraphrased": (65.6, 86.1, 49.7, 16.5),
+        "reordered": (51.8, 84.5, 49.7, 45.9),
+    },
+    "parsl": {
+        "original": (47.2, 37.4, 35.8, 43.0),
+        "detailed": (47.9, 41.9, 65.1, 34.1),
+        "different-style": (20.5, 21.5, 71.7, 33.4),
+        "paraphrased": (51.7, 28.0, 15.2, 39.9),
+        "reordered": (36.0, 42.2, 10.1, 36.3),
+    },
+}
+
+FIGURE1C: dict[tuple[str, str], dict[str, tuple[float, float, float, float]]] = {
+    ("henson", "adios2"): {
+        "original": (55.1, 51.1, 34.4, 41.9),
+        "detailed": (52.5, 47.9, 29.6, 41.4),
+        "different-style": (57.2, 48.0, 29.3, 46.5),
+        "paraphrased": (52.7, 48.5, 29.6, 43.6),
+        "reordered": (58.1, 44.6, 29.6, 39.3),
+    },
+    ("adios2", "henson"): {
+        "original": (22.4, 41.5, 33.2, 19.2),
+        "detailed": (34.1, 33.9, 34.5, 31.7),
+        "different-style": (26.6, 33.4, 34.0, 19.5),
+        "paraphrased": (26.2, 31.5, 33.9, 20.4),
+        "reordered": (25.8, 34.8, 34.3, 18.6),
+    },
+    ("parsl", "pycompss"): {
+        "original": (40.1, 83.0, 49.7, 34.3),
+        "detailed": (61.6, 100.0, 97.5, 66.4),
+        "different-style": (50.5, 87.7, 82.7, 38.2),
+        "paraphrased": (67.7, 90.8, 49.7, 43.5),
+        "reordered": (49.8, 75.3, 49.7, 54.0),
+    },
+    ("pycompss", "parsl"): {
+        "original": (22.1, 41.6, 23.7, 23.2),
+        "detailed": (25.7, 34.5, 32.4, 26.4),
+        "different-style": (16.6, 20.9, 23.2, 26.0),
+        "paraphrased": (20.2, 35.7, 23.7, 26.8),
+        "reordered": (19.1, 35.3, 23.5, 23.8),
+    },
+}

@@ -1,0 +1,207 @@
+"""User-prompt templates for the three experiments and five variants.
+
+The *annotation* variants are verbatim from the paper (§4.4); the
+configuration and translation variants follow the same style taxonomy
+(original / detailed / different-style / paraphrased / reordered).  Each
+template carries a distinctive ``marker`` substring that the simulated
+models use to recognize which phrasing they were given (a real model
+reacts to wording; the simulator must too, and it may only use the prompt
+text itself).
+
+Templates take ``system`` (display name) for configuration/annotation and
+``source``/``target`` for translation; ``{code}`` is replaced with the
+task code for annotation/translation prompts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HarnessError
+
+WORKFLOW_DESCRIPTION = (
+    "a 3-node workflow consisting of one producer and two consumer tasks, "
+    "where producer generates grid and particles datasets, consumer1 reads "
+    "grid and consumer2 reads particles datasets. Producer requires 3 "
+    "processes, and each consumer runs on a single process"
+)
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """One prompt phrasing: experiment, variant, body, detection marker."""
+
+    experiment: str
+    variant: str
+    body: str
+    marker: str
+
+
+CONFIGURATION_TEMPLATES = {
+    "original": PromptTemplate(
+        "configuration",
+        "original",
+        "I would like to have " + WORKFLOW_DESCRIPTION + ". "
+        "Please provide the workflow configuration file for the {system} "
+        "workflow system.",
+        "I would like to have a 3-node workflow",
+    ),
+    "detailed": PromptTemplate(
+        "configuration",
+        "detailed",
+        "Write the workflow configuration file for the {system} workflow "
+        "system describing " + WORKFLOW_DESCRIPTION + ". "
+        "Use the correct configuration fields of {system}{field_hints} and "
+        "output only the configuration file.",
+        "Use the correct configuration fields",
+    ),
+    "different-style": PromptTemplate(
+        "configuration",
+        "different-style",
+        "Developer, please write the {system} workflow configuration file "
+        "for the following setup: " + WORKFLOW_DESCRIPTION + ". Ensure the "
+        "data and process requirements of every task are captured.",
+        "Developer, please write the",
+    ),
+    "paraphrased": PromptTemplate(
+        "configuration",
+        "paraphrased",
+        "I have a workflow made of three tasks: " + WORKFLOW_DESCRIPTION + ". "
+        "Could you please write the configuration file that the {system} "
+        "workflow system expects for it?",
+        "Could you please write the configuration file",
+    ),
+    "reordered": PromptTemplate(
+        "configuration",
+        "reordered",
+        "Please provide the workflow configuration file for the {system} "
+        "workflow system for the following workflow: " + WORKFLOW_DESCRIPTION + ".",
+        "for the following workflow:",
+    ),
+}
+
+# Annotation variants are quoted from the paper (§4.4), parameterized on the
+# system name.
+ANNOTATION_TEMPLATES = {
+    "original": PromptTemplate(
+        "annotation",
+        "original",
+        "You are assisting in the development of a simple producer-consumer "
+        "workflow using the {system} system. The producer task code is "
+        "provided below. Annotate this task code in order to use it with "
+        "the {system} system.\n\n{code}",
+        "You are assisting in the development",
+    ),
+    "different-style": PromptTemplate(
+        "annotation",
+        "different-style",
+        "Developer, please take the following producer task code and "
+        "annotate it for compatibility with the {system} system in a "
+        "producer-consumer workflow. Ensure all necessary {system} "
+        "functions for data handling are included.\n\n{code}",
+        "Developer, please take the following",
+    ),
+    "paraphrased": PromptTemplate(
+        "annotation",
+        "paraphrased",
+        "I have some code for a producer task that I want to integrate into "
+        "a producer-consumer workflow using {system}. Could you please go "
+        "through the code provided below and add the necessary {system} "
+        "annotations?\n\n{code}",
+        "Could you please go through the code provided below",
+    ),
+    "reordered": PromptTemplate(
+        "annotation",
+        "reordered",
+        "Below is the producer task code for a simple producer-consumer "
+        "workflow. Using the {system} system, please annotate this code to "
+        "enable its use within the workflow.\n\n{code}",
+        "Below is the producer task code",
+    ),
+    "detailed": PromptTemplate(
+        "annotation",
+        "detailed",
+        "Annotate the producer task code below with {system} calls "
+        "({api_hints}) to enable it to run as part of a {system} "
+        "workflow.\n\n{code}",
+        "Annotate the producer task code below with",
+    ),
+}
+
+TRANSLATION_TEMPLATES = {
+    "original": PromptTemplate(
+        "translation",
+        "original",
+        "Task codes are provided below for the {source} workflow system for "
+        "a 2-node workflow. Your task is to translate these codes to use "
+        "the {target} system.\n\n{code}",
+        "Task codes are provided below for the",
+    ),
+    "detailed": PromptTemplate(
+        "translation",
+        "detailed",
+        "Translate the {source} task code below into code for the {target} "
+        "workflow system. Make sure to use the correct {target} API calls "
+        "({api_hints}) and preserve the simulation logic.\n\n{code}",
+        "Make sure to use the correct",
+    ),
+    "different-style": PromptTemplate(
+        "translation",
+        "different-style",
+        "Developer, please convert the following {source} task code so that "
+        "it runs under the {target} workflow system, keeping the data "
+        "exchange semantics equivalent.\n\n{code}",
+        "Developer, please convert",
+    ),
+    "paraphrased": PromptTemplate(
+        "translation",
+        "paraphrased",
+        "I wrote this task code for the {source} workflow system. Could you "
+        "please rewrite it to work with the {target} system instead?\n\n{code}",
+        "Could you please rewrite it",
+    ),
+    "reordered": PromptTemplate(
+        "translation",
+        "reordered",
+        "Translate the task codes below to use the {target} system. They "
+        "are currently written for the {source} workflow system.\n\n{code}",
+        "Translate the task codes below",
+    ),
+}
+
+FEWSHOT_SUFFIX = (
+    "\n\nHere is an example configuration file for a simple 2-node workflow "
+    "for the {system} workflow system:\n\n```\n{example}\n```"
+)
+
+# API/field hints interpolated into the "detailed" variants, per system.
+DETAILED_HINTS = {
+    "adios2": "like DefineVariable, Put, BeginStep, EndStep",
+    "henson": "like henson_save_array, henson_save_int, henson_yield",
+    "parsl": "like @python_app, File, inputs, outputs",
+    "pycompss": "like @task, FILE_OUT, compss_wait_on, compss_wait_on_file",
+    "wilkins": "like tasks, func, nprocs, inports, outports, dsets",
+}
+
+TEMPLATES_BY_EXPERIMENT = {
+    "configuration": CONFIGURATION_TEMPLATES,
+    "annotation": ANNOTATION_TEMPLATES,
+    "translation": TRANSLATION_TEMPLATES,
+}
+
+
+def get_template(experiment: str, variant: str) -> PromptTemplate:
+    """Look up a template; raises :class:`HarnessError` for unknown keys."""
+    try:
+        by_variant = TEMPLATES_BY_EXPERIMENT[experiment]
+    except KeyError:
+        raise HarnessError(
+            f"unknown experiment {experiment!r} "
+            f"(have {sorted(TEMPLATES_BY_EXPERIMENT)})"
+        ) from None
+    try:
+        return by_variant[variant]
+    except KeyError:
+        raise HarnessError(
+            f"unknown prompt variant {variant!r} (have {sorted(by_variant)})"
+        ) from None

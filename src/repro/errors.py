@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch a single base class at harness boundaries while tests can assert on
+precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A workflow configuration file is malformed or semantically invalid."""
+
+
+class ValidationError(ReproError):
+    """An artifact failed validation against a workflow-system surface."""
+
+
+class WorkflowError(ReproError):
+    """A workflow runtime failed during graph construction or execution."""
+
+
+class CommunicatorError(ReproError):
+    """Illegal use of the simulated MPI communicator."""
+
+
+class StoreError(ReproError):
+    """Illegal operation on the simulated filesystem / HDF5 / BP store."""
+
+
+class ModelError(ReproError):
+    """A model provider failed to produce a response."""
+
+
+class UnknownModelError(ModelError):
+    """The requested model name is not registered."""
+
+
+class GenerationError(ModelError):
+    """The simulated generator could not satisfy the request."""
+
+
+class CalibrationError(ModelError):
+    """Bisection calibration failed to bracket the requested target score."""
+
+
+class HarnessError(ReproError):
+    """Misuse of the evaluation harness (task/solver/scorer plumbing)."""
+
+
+class MetricError(ReproError):
+    """Invalid input to a similarity metric."""

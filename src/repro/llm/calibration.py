@@ -1,0 +1,104 @@
+"""Calibration: choose the corruption depth that hits a target score.
+
+Given an ordered operator sequence, the quality curve ``BLEU(k)`` for
+``k = 0..N`` is computed once (the artifacts are small, so this is a few
+milliseconds) and the k with minimum ``|BLEU(k) − target|`` is selected.
+A straight scan is used instead of bisection because the curve is only
+*approximately* monotone — individual operators vary in impact.
+
+Results are cached per (reference, ops identity, target) by the caller;
+this module stays pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+from repro.llm.corruption import CorruptionOp, apply_ops
+from repro.metrics import bleu
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Chosen corruption depth and the achieved score."""
+
+    k: int
+    achieved_bleu: float
+    target_bleu: float
+    curve: tuple[float, ...]
+
+    @property
+    def error(self) -> float:
+        return abs(self.achieved_bleu - self.target_bleu)
+
+
+def quality_curve(reference: str, ops: list[CorruptionOp]) -> list[float]:
+    """``BLEU(apply_ops(reference, ops, k), reference)`` for k = 0..len(ops)."""
+    return [bleu(apply_ops(reference, ops, k), reference) for k in range(len(ops) + 1)]
+
+
+def local_recalibrate(
+    reference: str,
+    ops: list[CorruptionOp],
+    target_bleu: float,
+    *,
+    center: int,
+    window: int = 8,
+) -> int:
+    """Re-pick the best depth in a window around ``center``.
+
+    Used per trial after the within-band operator shuffle: the prefix at
+    the calibrated depth contains the same *number* of operators but a
+    different mix, so the achieved score drifts; a cheap local search
+    around the calibrated depth re-centres each trial on the target
+    before jitter is applied.
+    """
+    lo = max(0, center - window)
+    hi = min(len(ops), center + window)
+    best_k, best_err = center, float("inf")
+    for k in range(lo, hi + 1):
+        err = abs(bleu(apply_ops(reference, ops, k), reference) - target_bleu)
+        if err < best_err:
+            best_k, best_err = k, err
+    if best_err > 6.0:
+        # the shuffle moved the target region outside the window (small op
+        # sets shift a lot); fall back to a full scan of this epoch's curve
+        for k, score in enumerate(quality_curve(reference, ops)):
+            err = abs(score - target_bleu)
+            if err < best_err:
+                best_k, best_err = k, err
+    return best_k
+
+
+def calibrate(
+    reference: str,
+    ops: list[CorruptionOp],
+    target_bleu: float,
+    *,
+    tolerance: float = 8.0,
+) -> CalibrationResult:
+    """Pick the operator-prefix length whose BLEU is closest to the target.
+
+    Raises :class:`CalibrationError` when the closest achievable score is
+    farther than ``tolerance`` points from the target — that signals the
+    operator pool lacks dynamic range for this cell (e.g. a missing
+    ``worst_case`` artifact for a very low target).
+    """
+    if not 0.0 <= target_bleu <= 100.0:
+        raise CalibrationError(f"target BLEU out of range: {target_bleu}")
+    curve = quality_curve(reference, ops)
+    best_k = min(range(len(curve)), key=lambda k: abs(curve[k] - target_bleu))
+    result = CalibrationResult(
+        k=best_k,
+        achieved_bleu=curve[best_k],
+        target_bleu=target_bleu,
+        curve=tuple(curve),
+    )
+    if result.error > tolerance:
+        raise CalibrationError(
+            f"cannot reach BLEU {target_bleu:.1f}: closest achievable is "
+            f"{result.achieved_bleu:.1f} at k={best_k} "
+            f"(curve range {min(curve):.1f}..{max(curve):.1f})"
+        )
+    return result

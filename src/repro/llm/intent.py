@@ -1,0 +1,139 @@
+"""Prompt analysis: recover the experiment cell from raw prompt text.
+
+A real model conditions on nothing but the prompt; the simulator obeys
+the same constraint.  :func:`analyze_prompt` classifies the experiment
+(configuration / annotation / translation), the workflow system(s), the
+prompt-variant phrasing (via the template markers), and whether a
+few-shot example is attached — using only the text it is given.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.data.prompts import TEMPLATES_BY_EXPERIMENT
+from repro.errors import GenerationError
+
+_SYSTEM_PATTERNS: dict[str, re.Pattern[str]] = {
+    "adios2": re.compile(r"\badios2?\b", re.IGNORECASE),
+    "henson": re.compile(r"\bhenson\b", re.IGNORECASE),
+    "parsl": re.compile(r"\bparsl\b", re.IGNORECASE),
+    "pycompss": re.compile(r"\bpycompss\b", re.IGNORECASE),
+    "wilkins": re.compile(r"\bwilkins\b", re.IGNORECASE),
+}
+
+_TRANSLATE_WORDS = re.compile(
+    r"\b(translate|convert|rewrite it to work|runs under the)\b", re.IGNORECASE
+)
+_ANNOTATE_WORDS = re.compile(r"\bannotat(e|ions|ed)\b", re.IGNORECASE)
+_CONFIG_WORDS = re.compile(r"\bconfiguration file\b", re.IGNORECASE)
+_FEWSHOT_MARK = re.compile(r"example configuration file", re.IGNORECASE)
+_DOCCONTEXT_MARK = re.compile(r"documentation excerpt for", re.IGNORECASE)
+
+# patterns whose first group captures the translation *target* system
+_TARGET_PATTERNS = [
+    re.compile(r"to use(?: it with)? the ([A-Za-z0-9]+) system", re.IGNORECASE),
+    re.compile(r"into code for the ([A-Za-z0-9]+) workflow system", re.IGNORECASE),
+    re.compile(r"runs under the ([A-Za-z0-9]+) workflow system", re.IGNORECASE),
+    re.compile(r"work with the ([A-Za-z0-9]+) system", re.IGNORECASE),
+]
+
+
+@dataclass(frozen=True)
+class Intent:
+    """The recovered experiment cell."""
+
+    experiment: str  # configuration | annotation | translation
+    system: str | None = None  # for configuration/annotation
+    source: str | None = None  # for translation
+    target: str | None = None  # for translation
+    variant: str = "original"
+    fewshot: bool = False
+    doccontext: bool = False  # RAG-lite: documentation snippet in prompt
+
+    @property
+    def cell_system(self):
+        """System key used for score lookup (pair for translation)."""
+        if self.experiment == "translation":
+            return (self.source, self.target)
+        return self.system
+
+
+def _mentioned_systems(text: str) -> list[str]:
+    found: list[tuple[int, str]] = []
+    for name, pattern in _SYSTEM_PATTERNS.items():
+        m = pattern.search(text)
+        if m:
+            found.append((m.start(), name))
+    return [name for _pos, name in sorted(found)]
+
+
+def _canonical_system(raw: str) -> str | None:
+    raw = raw.lower()
+    for name, pattern in _SYSTEM_PATTERNS.items():
+        if pattern.fullmatch(raw) or pattern.search(raw):
+            return name
+    return None
+
+
+def _detect_variant(text: str, experiment: str) -> str:
+    for variant, template in TEMPLATES_BY_EXPERIMENT[experiment].items():
+        if template.marker in text:
+            return variant
+    return "original"
+
+
+def analyze_prompt(text: str) -> Intent:
+    """Classify a prompt; raises :class:`GenerationError` when it cannot.
+
+    Classification precedence mirrors prompt structure: translation words
+    are checked first (translation prompts embed annotated code and may
+    mention "annotated"), then annotation, then configuration.
+    """
+    systems = _mentioned_systems(text)
+    if not systems:
+        raise GenerationError(
+            "prompt mentions no known workflow system "
+            "(ADIOS2/Henson/Parsl/PyCOMPSs/Wilkins)"
+        )
+
+    if _TRANSLATE_WORDS.search(text):
+        target = None
+        for pattern in _TARGET_PATTERNS:
+            m = pattern.search(text)
+            if m:
+                target = _canonical_system(m.group(1))
+                if target:
+                    break
+        if target is None:
+            # fall back: the target is the system mentioned closest to the
+            # word "translate"/"convert"
+            target = systems[-1]
+        sources = [s for s in systems if s != target]
+        if not sources:
+            raise GenerationError(
+                f"translation prompt mentions only the target system {target!r}"
+            )
+        variant = _detect_variant(text, "translation")
+        return Intent(
+            "translation", source=sources[0], target=target, variant=variant
+        )
+
+    if _ANNOTATE_WORDS.search(text):
+        variant = _detect_variant(text, "annotation")
+        return Intent("annotation", system=systems[0], variant=variant)
+
+    if _CONFIG_WORDS.search(text):
+        variant = _detect_variant(text, "configuration")
+        fewshot = bool(_FEWSHOT_MARK.search(text))
+        doccontext = bool(_DOCCONTEXT_MARK.search(text))
+        return Intent(
+            "configuration", system=systems[0], variant=variant,
+            fewshot=fewshot, doccontext=doccontext,
+        )
+
+    raise GenerationError(
+        "prompt does not look like a configuration, annotation, or "
+        "translation request"
+    )

@@ -1,0 +1,104 @@
+"""Per-model, per-system knowledge profiles.
+
+A :class:`SystemKnowledge` captures *how a specific model fails* on a
+specific (experiment, system) cell — the behavioural fingerprints the
+paper documents:
+
+* ``confusions``: real API/field name → the nonexistent name the model
+  substitutes (``henson_save_int`` → ``henson_put`` for o3,
+  ``inports`` → ``inputs`` for zero-shot o3 on Wilkins, ...);
+* ``drops``: required calls the model omits (``compss_wait_on_file`` for
+  LLaMA);
+* ``inserts``: redundant lines the model adds unprompted (Parsl executor
+  configuration);
+* ``renames``: benign identifier drift that hurts BLEU mildly;
+* ``worst_case``: the completely-confused artifact the model produces at
+  the bottom of its competence (task code instead of a config file, an
+  ADIOS2-shaped Henson API, ...).
+
+:class:`ModelProfile` aggregates the knowledge cells with the model's
+response style and calibration targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import GenerationError
+
+# cell key: (experiment, system) with system either a name or a (src, dst)
+# pair for translation
+CellKey = tuple
+
+
+@dataclass(frozen=True)
+class SystemKnowledge:
+    """Failure fingerprint of one model on one experiment cell."""
+
+    confusions: Mapping[str, str] = field(default_factory=dict)
+    drops: tuple[str, ...] = ()
+    inserts: tuple[tuple[str, str], ...] = ()  # (anchor-substring, new line)
+    renames: Mapping[str, str] = field(default_factory=dict)
+    worst_case: str | None = None
+
+
+@dataclass
+class ModelProfile:
+    """Everything that makes one simulated model behave like itself."""
+
+    name: str  # registry key suffix, e.g. "o3"
+    vendor: str
+    display_name: str
+    chatter_prefixes: tuple[str, ...]
+    chatter_suffixes: tuple[str, ...] = ()
+    ignore_sampling_params: bool = False  # o3: no temperature/top_p knobs
+    epoch_jitter: float = 1.0  # 0 => fully deterministic across trials
+    knowledge: dict[CellKey, SystemKnowledge] = field(default_factory=dict)
+    # calibration targets: (experiment, system-key, variant[, shot]) -> BLEU
+    targets: dict[tuple, float] = field(default_factory=dict)
+    # (experiment, system-key) -> paper ChrF − paper BLEU; steers which
+    # corruption families dominate (see corruption.build_ops)
+    biases: dict[tuple, float] = field(default_factory=dict)
+
+    def knowledge_for(self, experiment: str, system_key) -> SystemKnowledge:
+        """Cell knowledge with fallback to (experiment, None) then empty."""
+        for key in ((experiment, system_key), (experiment, None)):
+            if key in self.knowledge:
+                return self.knowledge[key]
+        return SystemKnowledge()
+
+    def target_for(
+        self, experiment: str, system_key, variant: str, fewshot: bool = False
+    ) -> float:
+        """Calibration BLEU target for an experiment cell."""
+        if fewshot:
+            key = (experiment + "-fewshot", system_key)
+            if key in self.targets:
+                return self.targets[key]
+        key = (experiment, system_key, variant)
+        if key in self.targets:
+            return self.targets[key]
+        # unknown variant falls back to the original phrasing
+        key = (experiment, system_key, "original")
+        if key in self.targets:
+            return self.targets[key]
+        raise GenerationError(
+            f"model {self.name!r} has no calibration target for "
+            f"{(experiment, system_key, variant, fewshot)!r}"
+        )
+
+    def bias_for(self, experiment: str, system_key) -> float:
+        """ChrF-vs-BLEU bias for a cell (0 when unknown)."""
+        return self.biases.get((experiment, system_key), 0.0)
+
+    def fence_language(self, experiment: str, system_key) -> str:
+        """Markdown fence tag the model uses for this artifact kind."""
+        if experiment == "configuration":
+            if system_key == "adios2":
+                return "xml"
+            if system_key == "wilkins":
+                return "yaml"
+            return "text"
+        target = system_key[1] if isinstance(system_key, tuple) else system_key
+        return "python" if target in ("parsl", "pycompss") else "c"

@@ -1,0 +1,41 @@
+"""Claude-Sonnet-4 (Anthropic) simulated profile.
+
+Paper-reported fingerprints encoded here:
+
+* trial-to-trial determinism — many Claude cells in Tables 1–3 report a
+  standard error of exactly 0.0, so ``epoch_jitter=0`` (the same prompt
+  yields the same artifact in every trial);
+* on Parsl, a tendency to configure executors that were never requested
+  (shared generic knowledge, amplified by an extra insert here).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.llm.knowledge import ModelProfile, SystemKnowledge
+
+
+@lru_cache(maxsize=1)
+def claude_profile() -> ModelProfile:
+    from repro.llm.profiles import build_profile
+
+    overrides = {
+        ("annotation", "parsl"): SystemKnowledge(
+            inserts=(
+                ("parsl.load()",
+                 "parsl.load(Config(executors=[HighThroughputExecutor()]))"),
+            ),
+        ),
+    }
+    return build_profile(
+        "claude-sonnet-4",
+        vendor="anthropic",
+        display_name="Claude-Sonnet-4",
+        chatter_prefixes=(
+            "Here is the artifact:",
+            "I've prepared the requested code below.",
+        ),
+        epoch_jitter=0.0,
+        overrides=overrides,
+    )

@@ -1,0 +1,48 @@
+"""Gemini-2.5-Pro (Google) simulated profile.
+
+Paper-reported fingerprints encoded here:
+
+* annotation on Henson invents ``henson_declare_variable`` (§4.2);
+* ADIOS2→Henson translation uses the correct exchange calls
+  (``henson_save_*``/``henson_yield``) but hallucinates data handles
+  (``henson_data_init``/``henson_data_init_scalar``) and lifecycle calls
+  (``henson_init``/``henson_rank``/``henson_size``/``henson_finalize``) —
+  the Table 4 (right) listing anchors that cell's worst case.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.case_studies import TABLE4_GEMINI
+from repro.llm.knowledge import ModelProfile, SystemKnowledge
+
+
+@lru_cache(maxsize=1)
+def gemini_profile() -> ModelProfile:
+    from repro.llm.profiles import build_profile
+
+    overrides = {
+        ("annotation", "henson"): SystemKnowledge(
+            confusions={"henson_save_array": "henson_declare_variable"},
+        ),
+        ("translation", ("adios2", "henson")): SystemKnowledge(
+            inserts=(
+                ("henson_save_array", "henson_data_t array_hd;"),
+                ("henson_save_int", "henson_data_t t_hd;"),
+            ),
+            confusions={"henson_save_array": "henson_data_init"},
+            worst_case=TABLE4_GEMINI,
+        ),
+    }
+    return build_profile(
+        "gemini-2.5-pro",
+        vendor="google",
+        display_name="Gemini-2.5-Pro",
+        chatter_prefixes=(
+            "Of course. Here is the artifact you asked for.",
+            "Certainly! Below is the implementation with explanations inline.",
+        ),
+        epoch_jitter=2.0,
+        overrides=overrides,
+    )

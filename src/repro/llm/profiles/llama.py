@@ -1,0 +1,53 @@
+"""LLaMA-3.3-70B-Instruct (Meta) simulated profile.
+
+Paper-reported fingerprints encoded here:
+
+* on PyCOMPSs the responses lack required synchronization calls —
+  ``compss_wait_on_file`` above all (§4.2), collapsing its annotation
+  score (9.9 BLEU);
+* ADIOS2→Henson translation re-skins the ADIOS2 API with ``henson_``
+  prefixes (``henson_begin_step``/``henson_put_var``/... — Table 4 left,
+  which anchors that cell's worst case through the shared data module);
+* weaker instruction following overall, modelled by richer generic
+  confusion usage and moderate per-trial jitter.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.llm.knowledge import ModelProfile, SystemKnowledge
+
+
+@lru_cache(maxsize=1)
+def llama_profile() -> ModelProfile:
+    from repro.llm.profiles import build_profile
+
+    overrides = {
+        ("annotation", "pycompss"): SystemKnowledge(
+            drops=("compss_wait_on_file", "from pycompss.api.api import"),
+            confusions={"compss_wait_on": "compss_barrier_group"},
+        ),
+        ("translation", ("adios2", "henson")): SystemKnowledge(
+            confusions={
+                "henson_save_array": "henson_put_var",
+                "henson_save_int": "henson_put_var",
+                "henson_yield": "henson_end_step",
+                "henson_active": "henson_begin_step",
+            },
+        ),
+        ("translation", ("parsl", "pycompss")): SystemKnowledge(
+            drops=("compss_wait_on_file",),
+        ),
+    }
+    return build_profile(
+        "llama-3.3-70b",
+        vendor="meta",
+        display_name="LLaMA-3.3-70B",
+        chatter_prefixes=(
+            "Sure, here is the code.",
+            "Here's the requested file.",
+        ),
+        epoch_jitter=0.8,
+        overrides=overrides,
+    )

@@ -1,0 +1,58 @@
+"""o3 (OpenAI) simulated profile.
+
+Paper-reported fingerprints encoded here:
+
+* the API exposes no temperature/top_p (``ignore_sampling_params``);
+* annotation on Henson invents ``henson_put`` (§4.2);
+* zero-shot Wilkins configuration hallucinates the
+  ``inputs``/``outputs``/``command``/``dependencies`` schema of Table 6
+  (worst-case anchor, plus field confusions) and fabricates a citation to
+  a "Wilkins Workflow System Documentation" at ``https://www.wilkins.io``
+  (§4.1) — reproduced in the chatter.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.llm.knowledge import ModelProfile, SystemKnowledge
+
+
+@lru_cache(maxsize=1)
+def o3_profile() -> ModelProfile:
+    from repro.llm.profiles import build_profile
+
+    overrides = {
+        ("annotation", "henson"): SystemKnowledge(
+            confusions={"henson_save_int": "henson_put"},
+        ),
+        ("configuration", "wilkins"): SystemKnowledge(
+            confusions={
+                "inports": "inputs",
+                "outports": "outputs",
+                "func": "command",
+                "nprocs": "processes",
+            },
+            inserts=(("tasks:", "# see Wilkins Workflow System Documentation"),),
+        ),
+        ("translation", ("adios2", "henson")): SystemKnowledge(
+            confusions={"henson_save_array": "henson_put_array"},
+        ),
+    }
+    return build_profile(
+        "o3",
+        vendor="openai",
+        display_name="o3",
+        chatter_prefixes=(
+            "Here is the requested artifact.",
+            "Below is the solution, following the request step by step.",
+        ),
+        chatter_suffixes=(
+            "Reference: Wilkins Workflow System Documentation, "
+            "https://www.wilkins.io",
+            "",
+        ),
+        ignore_sampling_params=True,
+        epoch_jitter=1.5,
+        overrides=overrides,
+    )

@@ -1,0 +1,88 @@
+"""Decoding mathematics: temperature scaling and nucleus (top-p) sampling.
+
+The simulator uses real decoding machinery wherever it makes stochastic
+choices (which corruption candidates fire, how much per-epoch jitter to
+apply): candidate weights are treated as logits, scaled by temperature,
+truncated to the top-p nucleus, and sampled.  ``temperature=0`` collapses
+to argmax, making generations fully deterministic — the property tests
+rely on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax."""
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def apply_temperature(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Scale logits by 1/temperature; temperature=0 is handled by callers."""
+    if temperature < 0:
+        raise ValueError(f"temperature must be >= 0, got {temperature}")
+    if temperature == 0:
+        return np.asarray(logits, dtype=float)
+    return np.asarray(logits, dtype=float) / temperature
+
+
+def top_p_filter(probs: np.ndarray, top_p: float) -> np.ndarray:
+    """Zero out probabilities outside the smallest nucleus of mass >= top_p."""
+    if not 0 < top_p <= 1:
+        raise ValueError(f"top_p must be in (0, 1], got {top_p}")
+    probs = np.asarray(probs, dtype=float)
+    order = np.argsort(probs)[::-1]
+    cumulative = np.cumsum(probs[order])
+    keep_count = int(np.searchsorted(cumulative, top_p) + 1)
+    keep = order[:keep_count]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
+    total = filtered.sum()
+    if total <= 0:  # pragma: no cover - defensive; nucleus always keeps one
+        filtered[order[0]] = 1.0
+        total = 1.0
+    return filtered / total
+
+
+def sample(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    temperature: float = 1.0,
+    top_p: float = 1.0,
+) -> int:
+    """Sample an index from logits under temperature + nucleus truncation."""
+    logits = np.asarray(logits, dtype=float)
+    if logits.size == 0:
+        raise ValueError("cannot sample from empty logits")
+    if temperature == 0:
+        return int(np.argmax(logits))
+    probs = softmax(apply_temperature(logits, temperature))
+    probs = top_p_filter(probs, top_p)
+    return int(rng.choice(len(probs), p=probs))
+
+
+def sample_jitter(
+    rng: np.random.Generator,
+    *,
+    scale: float,
+    temperature: float,
+    top_p: float,
+) -> int:
+    """Sample a small signed integer jitter for per-epoch variation.
+
+    The jitter distribution widens with both the model's intrinsic epoch
+    variability (``scale``) and the decoding temperature; ``scale=0`` or
+    ``temperature=0`` yields exactly 0 (deterministic models/decoding).
+    """
+    if scale <= 0 or temperature == 0:
+        return 0
+    spread = max(1, int(round(3 * scale)))
+    offsets = np.arange(-spread, spread + 1)
+    # triangular preference for small jitter, flattened by temperature
+    logits = -np.abs(offsets) / max(scale, 1e-6)
+    return int(offsets[sample(logits, rng, temperature=temperature, top_p=top_p)])

@@ -1,0 +1,199 @@
+"""The offline model provider.
+
+Generation pipeline (the same code path a real provider would sit behind):
+
+1. concatenate the user messages and recover the experiment cell from the
+   prompt text alone (:func:`repro.llm.intent.analyze_prompt`);
+2. fetch the ground-truth artifact for that cell and build the
+   cell-specific corruption-operator sequence from the model's knowledge
+   profile;
+3. calibrate the corruption depth ``k*`` against the profile's target
+   score (cached per cell — this is the model's "competence");
+4. per trial: derive an RNG from (model, cell, seed), sample jitter and a
+   within-band operator shuffle using real temperature/top_p decoding
+   math (deterministic when temperature is 0 or the model's jitter scale
+   is 0, as with Claude), and apply ``k* + jitter`` operators;
+5. wrap the artifact in model-styled chatter + a markdown fence, account
+   tokens, and return a :class:`~repro.llm.types.ModelOutput`.
+
+Few-shot prompts raise the effective competence target (step 3 uses the
+few-shot calibration table) and suppress the worst-case/hallucination
+operators — providing an example config demonstrably prevents inventing
+fields, which is the paper's §4.5 finding.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.core.assets import annotated_producer, reference_config
+from repro.errors import GenerationError
+from repro.llm import tokenizer
+from repro.llm.calibration import CalibrationResult, calibrate, local_recalibrate
+from repro.llm.corruption import (
+    CorruptionOp,
+    apply_ops,
+    build_ops,
+    shuffle_within_bands,
+)
+from repro.llm.intent import Intent, analyze_prompt
+from repro.llm.knowledge import ModelProfile
+from repro.llm.sampling import sample_jitter
+from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput, ModelUsage
+from repro.utils.rng import rng_for
+
+
+class SimulatedModel:
+    """A behavioural simulator behind the ModelAPI protocol."""
+
+    def __init__(self, profile: ModelProfile) -> None:
+        self.profile = profile
+        self.name = f"sim/{profile.name}"
+        self._lock = threading.Lock()
+        self._cell_cache: dict[tuple, tuple[list[CorruptionOp], CalibrationResult]] = {}
+
+    # -- ModelAPI ------------------------------------------------------------
+
+    def generate(
+        self, messages: Sequence[ChatMessage], config: GenerateConfig
+    ) -> ModelOutput:
+        prompt = "\n\n".join(m.content for m in messages if m.role != "assistant")
+        if not prompt.strip():
+            raise GenerationError(f"{self.name}: empty prompt")
+        intent = analyze_prompt(prompt)
+        payload = self._generate_payload(intent, config)
+        completion = self._decorate(payload, intent, config)
+        usage = ModelUsage(
+            input_tokens=tokenizer.count_tokens(prompt),
+            output_tokens=tokenizer.count_tokens(completion),
+        )
+        return ModelOutput(
+            model=self.name,
+            completion=completion,
+            usage=usage,
+            stop_reason="stop",
+            params_applied=not self.profile.ignore_sampling_params,
+            metadata={"intent": intent},
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def reference_for(self, intent: Intent) -> str:
+        """Ground-truth artifact for an experiment cell."""
+        if intent.experiment == "configuration":
+            return reference_config(intent.system)
+        if intent.experiment == "annotation":
+            return annotated_producer(intent.system)
+        if intent.experiment == "translation":
+            return annotated_producer(intent.target)
+        raise GenerationError(f"unknown experiment {intent.experiment!r}")
+
+    def _cell(self, intent: Intent) -> tuple[list[CorruptionOp], CalibrationResult]:
+        key = (
+            intent.experiment,
+            intent.cell_system,
+            intent.variant,
+            intent.fewshot,
+            intent.doccontext,
+        )
+        with self._lock:
+            if key in self._cell_cache:
+                return self._cell_cache[key]
+        reference = self.reference_for(intent)
+        knowledge = self.profile.knowledge_for(intent.experiment, intent.cell_system)
+        if intent.fewshot:
+            # an in-context example demonstrably suppresses schema invention:
+            # strip hallucination/confusion/worst-case operators
+            from repro.llm.knowledge import SystemKnowledge
+
+            knowledge = SystemKnowledge(renames=knowledge.renames)
+        elif intent.doccontext:
+            # documentation snippets (RAG-lite) name the real fields, which
+            # suppresses the worst case but not structural sloppiness
+            from repro.llm.knowledge import SystemKnowledge
+
+            knowledge = SystemKnowledge(
+                renames=knowledge.renames,
+                inserts=knowledge.inserts,
+                drops=knowledge.drops,
+            )
+        ops = build_ops(
+            reference,
+            knowledge,
+            chrf_bias=self.profile.bias_for(intent.experiment, intent.cell_system),
+            seed_labels=(self.name, key),
+        )
+        target = self.profile.target_for(
+            intent.experiment, intent.cell_system, intent.variant, intent.fewshot
+        )
+        if intent.doccontext and not intent.fewshot:
+            # halfway between zero-shot and few-shot competence
+            few = self.profile.target_for(
+                intent.experiment, intent.cell_system, intent.variant, True
+            )
+            target = (target + few) / 2.0
+        result = calibrate(reference, ops, target)
+        with self._lock:
+            self._cell_cache[key] = (ops, result)
+        return ops, result
+
+    def _generate_payload(self, intent: Intent, config: GenerateConfig) -> str:
+        ops, calib = self._cell(intent)
+        reference = self.reference_for(intent)
+        temperature, top_p = self._effective_sampling(config)
+        rng = rng_for(self.name, intent.experiment, intent.cell_system,
+                      intent.variant, intent.fewshot, intent.doccontext,
+                      config.seed)
+        if self.profile.epoch_jitter <= 0 or temperature == 0:
+            # deterministic decoding: identical artifact every trial
+            return apply_ops(reference, ops, calib.k)
+        # trial-to-trial variation: perturb the competence target by a few
+        # points (sampled with real temperature/top_p decoding math), then
+        # re-pick the depth on this trial's shuffled operator order
+        epoch_ops = shuffle_within_bands(ops, rng)
+        jitter_points = sample_jitter(
+            rng,
+            scale=self.profile.epoch_jitter,
+            temperature=temperature,
+            top_p=top_p,
+        )
+        target = min(100.0, max(0.0, calib.target_bleu + jitter_points))
+        k = local_recalibrate(reference, epoch_ops, target, center=calib.k)
+        return apply_ops(reference, epoch_ops, k)
+
+    def _effective_sampling(self, config: GenerateConfig) -> tuple[float, float]:
+        if self.profile.ignore_sampling_params:
+            # o3-style endpoints decode with their own fixed settings
+            return 1.0, 1.0
+        return config.temperature, config.top_p
+
+    def _decorate(self, payload: str, intent: Intent, config: GenerateConfig) -> str:
+        rng = rng_for(self.name, "chatter", intent.experiment, intent.cell_system,
+                      intent.variant, config.seed)
+        prefix = self.profile.chatter_prefixes[
+            int(rng.integers(0, len(self.profile.chatter_prefixes)))
+        ]
+        fence = self.profile.fence_language(intent.experiment, intent.cell_system)
+        parts = [prefix, f"```{fence}\n{payload}\n```"]
+        # the fabricated-citation suffix shows up exactly where the paper
+        # saw it: zero-shot Wilkins configuration requests
+        if (
+            self.profile.chatter_suffixes
+            and intent.experiment == "configuration"
+            and intent.system == "wilkins"
+            and not intent.fewshot
+        ):
+            suffix = next((s for s in self.profile.chatter_suffixes if s), "")
+            if suffix:
+                parts.append(suffix)
+        return "\n\n".join(p for p in parts if p)
+
+    # -- introspection (used by benches and tests) ---------------------------------
+
+    def calibration_for(self, intent: Intent) -> CalibrationResult:
+        """Expose the calibrated depth/score for a cell (diagnostics)."""
+        return self._cell(intent)[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedModel({self.name!r})"

@@ -1,0 +1,335 @@
+"""Worst-case artifacts and generic failure knowledge per experiment cell.
+
+The paper reports two universal failure modes: models emitting *task code
+instead of configuration files*, and models transplanting one system's
+API shape onto another.  This module provides those completely-confused
+artifacts (the bottom anchor of each corruption curve) plus the generic
+portion of the failure knowledge every model shares; model profiles merge
+their personal fingerprints on top.
+"""
+
+from __future__ import annotations
+
+from repro.data.case_studies import TABLE4_LLAMA, TABLE6_ZEROSHOT
+from repro.llm.knowledge import SystemKnowledge
+from repro.utils.text import dedent_strip
+
+# ---------------------------------------------------------------------------
+# configuration-experiment worst cases: task code / wrong format instead of
+# the requested configuration file
+# ---------------------------------------------------------------------------
+
+_CONFIG_WORST_ADIOS2 = dedent_strip(
+    """
+    // ADIOS2 "configuration" answered as task code (wrong artifact kind)
+    #include <adios2_c.h>
+    int main(int argc, char** argv)
+    {
+        adios2_adios* adios = adios2_init(MPI_COMM_WORLD);
+        adios2_io* io = adios2_declare_io(adios, "SimulationOutput");
+        adios2_engine* engine = adios2_open(io, "output.bp", adios2_mode_write);
+        adios2_close(engine);
+        adios2_finalize(adios);
+        return 0;
+    }
+    """
+)
+
+_CONFIG_WORST_HENSON = dedent_strip(
+    """
+    # Henson "configuration" answered in an invented YAML schema
+    workflow:
+      name: producer_consumer
+      nodes:
+        - id: producer
+          executable: ./producer
+          ranks: 3
+          outputs: [grid, particles]
+        - id: consumer1
+          executable: ./consumer1
+          ranks: 1
+          inputs: [grid]
+        - id: consumer2
+          executable: ./consumer2
+          ranks: 1
+          inputs: [particles]
+      engine: henson
+    """
+)
+
+# ---------------------------------------------------------------------------
+# annotation-experiment worst cases: wrong or missing workflow API
+# ---------------------------------------------------------------------------
+
+_ANNOT_WORST_ADIOS2 = dedent_strip(
+    """
+    #include <stdio.h>
+    #include <stdlib.h>
+    #include <mpi.h>
+    #include <adios.h>
+
+    int main(int argc, char** argv)
+    {
+        MPI_Init(&argc, &argv);
+        adios_init("config.xml", MPI_COMM_WORLD);
+        int64_t handle;
+        adios_open(&handle, "writer", "output.bp", "w", MPI_COMM_WORLD);
+        float array[50];
+        adios_write(handle, "array", array);
+        adios_close(handle);
+        adios_finalize(0);
+        MPI_Finalize();
+        return 0;
+    }
+    """
+)
+
+_ANNOT_WORST_HENSON = dedent_strip(
+    """
+    #include <stdio.h>
+    #include <stdlib.h>
+    #include <mpi.h>
+    #include "henson.h"
+
+    int main(int argc, char** argv)
+    {
+        henson_context_t* ctx = henson_create_context(MPI_COMM_WORLD);
+        for (int t = 0; t < 3; ++t) {
+            float* array = make_array(50);
+            henson_declare_variable(ctx, "array");
+            henson_put(ctx, "array", array);
+            henson_advance(ctx);
+        }
+        henson_destroy_context(ctx);
+        return 0;
+    }
+    """
+)
+
+_ANNOT_WORST_PYCOMPSS = dedent_strip(
+    """
+    import numpy as np
+    from pycompss import parallel_task
+
+
+    @parallel_task(workers=4)
+    def simulate(n, t):
+        rng = np.random.default_rng(t)
+        return rng.random(n).sum()
+
+
+    def main():
+        totals = [simulate(50, t) for t in range(3)]
+        print(sum(totals))
+    """
+)
+
+_ANNOT_WORST_PARSL = dedent_strip(
+    """
+    import numpy as np
+    from parsl import App, DataFlowKernel
+
+    dfk = DataFlowKernel()
+
+
+    @App("python", dfk)
+    def simulate(n, t):
+        rng = np.random.default_rng(t)
+        return rng.random(n).sum()
+
+
+    def main():
+        totals = [simulate(50, t) for t in range(3)]
+        print(sum([t.result() for t in totals]))
+    """
+)
+
+# ---------------------------------------------------------------------------
+# translation worst cases: source-system API shape transplanted onto the
+# target system (Table 4 left is the canonical example)
+# ---------------------------------------------------------------------------
+
+_TRANS_WORST_TO_ADIOS2 = dedent_strip(
+    """
+    #include <stdio.h>
+    #include <stdlib.h>
+    #include <mpi.h>
+    #include <adios2_c.h>
+
+    int main(int argc, char** argv)
+    {
+        int rank;
+        MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+        int t = 0;
+        while (adios2_active())
+        {
+            float* array = make_array(50);
+            adios2_save_array("array", array, 50);
+            adios2_save_int("t", t);
+            adios2_yield();
+            t++;
+        }
+        return 0;
+    }
+    """
+)
+
+_TRANS_WORST_TO_PYCOMPSS = dedent_strip(
+    """
+    import numpy as np
+    from pycompss import pycompss_app
+    from pycompss.files import File
+
+
+    @pycompss_app
+    def simulate_step(n, t, outputs=()):
+        rng = np.random.default_rng(t)
+        array = rng.random(n).astype("float32")
+        np.save(outputs[0].filepath, array)
+        return float(array.sum())
+
+
+    def main():
+        futures = [simulate_step(50, t, outputs=[File(f"a_{t}.npy")]) for t in range(3)]
+        print(sum(f.result() for f in futures))
+    """
+)
+
+_TRANS_WORST_TO_PARSL = dedent_strip(
+    """
+    import numpy as np
+    from parsl.api.task import task
+    from parsl.api.parameter import FILE_OUT
+    from parsl.api.api import parsl_wait_on
+
+
+    @task(fname=FILE_OUT, returns=float)
+    def simulate_step(n, t, fname):
+        rng = np.random.default_rng(t)
+        array = rng.random(n).astype("float32")
+        np.save(fname, array)
+        return float(array.sum())
+
+
+    def main():
+        sums = [simulate_step(50, t, f"a_{t}.npy") for t in range(3)]
+        print(sum(parsl_wait_on(sums)))
+    """
+)
+
+_WORST_CASES: dict[tuple, str] = {
+    ("configuration", "adios2"): _CONFIG_WORST_ADIOS2,
+    ("configuration", "henson"): _CONFIG_WORST_HENSON,
+    ("configuration", "wilkins"): TABLE6_ZEROSHOT,
+    ("annotation", "adios2"): _ANNOT_WORST_ADIOS2,
+    ("annotation", "henson"): _ANNOT_WORST_HENSON,
+    ("annotation", "pycompss"): _ANNOT_WORST_PYCOMPSS,
+    ("annotation", "parsl"): _ANNOT_WORST_PARSL,
+    ("translation", ("henson", "adios2")): _TRANS_WORST_TO_ADIOS2,
+    ("translation", ("adios2", "henson")): TABLE4_LLAMA,
+    ("translation", ("parsl", "pycompss")): _TRANS_WORST_TO_PYCOMPSS,
+    ("translation", ("pycompss", "parsl")): _TRANS_WORST_TO_PARSL,
+}
+
+
+def worst_case(experiment: str, system_key) -> str:
+    """The confused artifact anchoring the bottom of this cell's curve."""
+    return _WORST_CASES[(experiment, system_key)]
+
+
+# ---------------------------------------------------------------------------
+# generic failure knowledge shared by all models (model profiles merge
+# their personal fingerprints on top of these)
+# ---------------------------------------------------------------------------
+
+_GENERIC: dict[tuple, SystemKnowledge] = {
+    ("configuration", "adios2"): SystemKnowledge(
+        renames={"SimulationOutput": "SimOutput", "GridInput": "Consumer1Input",
+                 "ParticlesInput": "Consumer2Input"},
+        inserts=(
+            ("QueueLimit", '<parameter key="DataTransport" value="RDMA"/>'),
+            ("adios-config", '<!-- generated configuration -->'),
+        ),
+        drops=('<parameter key="QueueLimit" value="1"/>',),
+    ),
+    ("configuration", "henson"): SystemKnowledge(
+        confusions={"procs": "processes"},
+        renames={"producer": "simulation", "consumer1": "analysis1",
+                 "consumer2": "analysis2"},
+        inserts=(("", "world = producer consumer1 consumer2"),),
+        drops=("# 3-node workflow",),
+    ),
+    ("configuration", "wilkins"): SystemKnowledge(
+        confusions={"inports": "inputs", "outports": "outputs",
+                    "func": "command", "nprocs": "processes"},
+        renames={"outfile.h5": "workflow_data.h5"},
+        inserts=(("tasks:", "# Wilkins workflow configuration"),),
+    ),
+    ("annotation", "adios2"): SystemKnowledge(
+        confusions={"adios2_put": "adios2_write", "adios2_begin_step": "adios2_start_step",
+                    "adios2_declare_io": "adios2_create_io"},
+        renames={"SimulationOutput": "writer", "var_array": "varArray", "var_t": "varT"},
+        drops=('adios2_put(engine, var_t, &t, adios2_mode_sync);',),
+        inserts=(("adios2_open", 'adios2_set_engine(io, "BPFile");'),),
+    ),
+    ("annotation", "henson"): SystemKnowledge(
+        confusions={"henson_save_int": "henson_put",
+                    "henson_save_array": "henson_declare_variable"},
+        drops=("henson_yield();",),
+        renames={"array": "data"},
+    ),
+    ("annotation", "pycompss"): SystemKnowledge(
+        confusions={"compss_wait_on_file": "compss_wait_file"},
+        drops=("compss_wait_on_file",),
+        renames={"simulate_step": "produce_step", "fname": "filename"},
+    ),
+    ("annotation", "parsl"): SystemKnowledge(
+        inserts=(
+            ("import parsl", "from parsl.executors import HighThroughputExecutor"),
+            ("parsl.load()",
+             "config = Config(executors=[HighThroughputExecutor(label='htex')])"),
+        ),
+        confusions={"python_app": "parsl_app"},
+        renames={"simulate_step": "produce_step"},
+    ),
+    ("translation", ("henson", "adios2")): SystemKnowledge(
+        confusions={"adios2_put": "adios2_write", "adios2_end_step": "adios2_commit_step"},
+        renames={"SimulationOutput": "writer", "var_array": "varArray", "var_t": "varT"},
+        drops=("adios2_finalize(adios);",),
+    ),
+    ("translation", ("adios2", "henson")): SystemKnowledge(
+        confusions={"henson_save_array": "henson_save", "henson_save_int": "henson_put_int"},
+        drops=("henson_yield();",),
+        renames={"array": "data"},
+    ),
+    ("translation", ("parsl", "pycompss")): SystemKnowledge(
+        confusions={"compss_wait_on_file": "compss_wait_file"},
+        drops=("compss_wait_on_file",),
+        renames={"simulate_step": "produce_step", "fname": "filename"},
+    ),
+    ("translation", ("pycompss", "parsl")): SystemKnowledge(
+        inserts=(
+            ("import parsl", "from parsl.executors import ThreadPoolExecutor"),
+            ("parsl.load()",
+             "config = Config(executors=[ThreadPoolExecutor(max_threads=8)])"),
+        ),
+        confusions={"python_app": "parsl_app"},
+        renames={"simulate_step": "produce_step"},
+    ),
+}
+
+
+def generic_knowledge(experiment: str, system_key) -> SystemKnowledge:
+    """Shared failure fingerprint for one cell (empty if none defined)."""
+    return _GENERIC.get((experiment, system_key), SystemKnowledge())
+
+
+def merge_knowledge(base: SystemKnowledge, extra: SystemKnowledge) -> SystemKnowledge:
+    """Overlay ``extra`` (model-specific) on ``base`` (generic)."""
+    return SystemKnowledge(
+        confusions={**dict(base.confusions), **dict(extra.confusions)},
+        drops=tuple(dict.fromkeys([*base.drops, *extra.drops])),
+        inserts=tuple(dict.fromkeys([*base.inserts, *extra.inserts])),
+        renames={**dict(base.renames), **dict(extra.renames)},
+        worst_case=extra.worst_case or base.worst_case,
+    )

@@ -1,0 +1,68 @@
+"""Aggregation statistics: mean and standard error of the mean.
+
+The paper reports every score as ``mean ± standard error`` over 5 trials;
+this module provides exactly that aggregation plus helpers for combining
+aggregates across workflow systems (the "Overall" rows/columns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stderr(values: Sequence[float]) -> float:
+    """Standard error of the mean (sample std with ddof=1, over sqrt(n)).
+
+    A single observation has zero spread information; we report 0.0 for it,
+    matching how the paper renders deterministic cells (e.g. ``25.0±0.0``).
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("stderr of empty sequence")
+    if n == 1:
+        return 0.0
+    mu = mean(values)
+    var = sum((v - mu) ** 2 for v in values) / (n - 1)
+    se = math.sqrt(var) / math.sqrt(n)
+    # identical observations differ only by float round-off; report exact 0
+    return 0.0 if se < 1e-9 else se
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean ± standard error over a set of observations."""
+
+    mean: float
+    stderr: float
+    n: int
+
+    def render(self, precision: int = 1) -> str:
+        return f"{self.mean:.{precision}f}±{self.stderr:.{precision}f}"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Aggregate raw observations into :class:`Aggregate`."""
+    return Aggregate(mean=mean(values), stderr=stderr(values), n=len(values))
+
+
+def pool(aggregates: Iterable[Aggregate]) -> Aggregate:
+    """Combine per-condition aggregates into an "Overall" aggregate.
+
+    Follows the paper's convention: the overall mean is the unweighted mean
+    of condition means, and the overall uncertainty is the standard error of
+    those condition means (spread *across conditions*, which is why overall
+    stderr in the paper's tables can exceed the per-condition stderr).
+    """
+    means = [a.mean for a in aggregates]
+    if not means:
+        raise ValueError("pool of empty aggregate sequence")
+    return Aggregate(mean=mean(means), stderr=stderr(means), n=len(means))

@@ -1,0 +1,76 @@
+"""Tokenization for similarity metrics.
+
+:func:`tokenize_13a` reimplements the mteval-v13a tokenizer used by
+sacrebleu's default BLEU configuration: language-independent punctuation
+splitting with special handling of periods/commas adjacent to digits.
+It is what the paper's BLEU numbers are computed with.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Sequence
+
+# mteval-v13a language-independent tokenization patterns, applied in order.
+_13A_RULES: list[tuple[re.Pattern[str], str]] = [
+    # separate out punctuation (skip-able symbols and general punctuation)
+    (re.compile(r"([\{-\~\[-\` -\&\(-\+\:-\@\/])"), r" \1 "),
+    # separate period/comma unless both neighbours are digits
+    (re.compile(r"([^0-9])([\.,])"), r"\1 \2 "),
+    (re.compile(r"([\.,])([^0-9])"), r" \1 \2"),
+    # separate dash when preceded by a digit
+    (re.compile(r"([0-9])(-)"), r"\1 \2 "),
+]
+
+_ENTITY_MAP = {
+    "&quot;": '"',
+    "&amp;": "&",
+    "&lt;": "<",
+    "&gt;": ">",
+}
+
+
+def tokenize_13a(text: str) -> list[str]:
+    """Tokenize ``text`` following the mteval-v13a conventions.
+
+    >>> tokenize_13a('engine.put(var, data)')
+    ['engine', '.', 'put', '(', 'var', ',', 'data', ')']
+    """
+    text = text.replace("\r\n", "\n").replace("\r", "\n")
+    # mteval: strip end-of-line hyphenation and join lines
+    text = text.replace("-\n", "").replace("\n", " ")
+    for entity, char in _ENTITY_MAP.items():
+        text = text.replace(entity, char)
+    for pattern, repl in _13A_RULES:
+        text = pattern.sub(repl, text)
+    return text.split()
+
+
+def ngrams(tokens: Sequence[str], order: int) -> Counter:
+    """Multiset of ``order``-grams over ``tokens`` (as tuples)."""
+    if order <= 0:
+        raise ValueError(f"n-gram order must be positive, got {order}")
+    return Counter(tuple(tokens[i : i + order]) for i in range(len(tokens) - order + 1))
+
+
+def all_ngrams(tokens: Sequence[str], max_order: int) -> dict[int, Counter]:
+    """N-gram multisets for every order 1..max_order."""
+    return {n: ngrams(tokens, n) for n in range(1, max_order + 1)}
+
+
+def char_ngrams(text: str, order: int, *, remove_whitespace: bool = True) -> Counter:
+    """Character n-gram multiset, optionally ignoring all whitespace (chrF default)."""
+    if remove_whitespace:
+        text = "".join(text.split())
+    return Counter(text[i : i + order] for i in range(len(text) - order + 1))
+
+
+def clipped_matches(hyp: Counter, ref: Counter) -> int:
+    """Sum of per-n-gram matches clipped to the reference count."""
+    return sum(min(count, ref[gram]) for gram, count in hyp.items())
+
+
+def token_count(texts: Iterable[str]) -> int:
+    """Total 13a token count over an iterable of texts (usage accounting)."""
+    return sum(len(tokenize_13a(t)) for t in texts)

@@ -1,0 +1,38 @@
+"""Simulated MPI.
+
+A thread-backed, mpi4py-flavoured message passing substrate that the
+workflow runtimes execute on.  It provides:
+
+* :class:`~repro.mpi.comm.SimComm` — rank/size, blocking and non-blocking
+  point-to-point (``send``/``recv``/``isend``/``irecv``), and the standard
+  collectives (``barrier``, ``bcast``, ``scatter``, ``gather``,
+  ``allgather``, ``reduce``, ``allreduce``, ``alltoall``), including
+  ``split`` for sub-communicators.
+* :func:`~repro.mpi.launcher.mpiexec` — SPMD launcher that runs a Python
+  function on ``n`` ranks (threads), with exception propagation and
+  deadlock timeouts.
+
+The lowercase methods communicate arbitrary picklable Python objects,
+mirroring mpi4py's convention; numpy arrays pass through without copies
+(ranks share an address space, like an in-situ colocated deployment).
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Request, SimComm, Status, World
+from repro.mpi.datatypes import MAX, MIN, PROD, SUM, ReduceOp
+from repro.mpi.launcher import LaunchResult, mpiexec
+
+__all__ = [
+    "SimComm",
+    "World",
+    "Status",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ReduceOp",
+    "SUM",
+    "MIN",
+    "MAX",
+    "PROD",
+    "mpiexec",
+    "LaunchResult",
+]

@@ -1,0 +1,146 @@
+"""Collective operations for :class:`~repro.mpi.comm.SimComm`.
+
+Every collective is built from point-to-point messages on reserved tags, so
+it synchronizes exactly the participating group (including split
+sub-communicators) and composes with user point-to-point traffic without
+interference — the reserved tag space starts at ``2**20``.
+
+Sequential collectives on the same communicator are ordered by the FIFO
+property of the per-(source, tag) mailbox queues, matching MPI semantics
+for non-overlapping collective calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import CommunicatorError
+from repro.mpi.datatypes import ReduceOp
+
+_TAG_BASE = 1 << 20
+TAG_BCAST = _TAG_BASE + 0
+TAG_SCATTER = _TAG_BASE + 1
+TAG_GATHER = _TAG_BASE + 2
+TAG_REDUCE = _TAG_BASE + 3
+TAG_ALLTOALL = _TAG_BASE + 4
+TAG_SPLIT = _TAG_BASE + 5
+TAG_BARRIER_IN = _TAG_BASE + 6
+TAG_BARRIER_OUT = _TAG_BASE + 7
+
+
+def barrier(comm) -> None:
+    """Group barrier: fan-in to rank 0, then fan-out release."""
+    if comm.size == 1:
+        return
+    if comm.rank == 0:
+        for src in range(1, comm.size):
+            comm.recv(source=src, tag=TAG_BARRIER_IN)
+        for dst in range(1, comm.size):
+            comm.send(None, dest=dst, tag=TAG_BARRIER_OUT)
+    else:
+        comm.send(None, dest=0, tag=TAG_BARRIER_IN)
+        comm.recv(source=0, tag=TAG_BARRIER_OUT)
+
+
+def bcast(comm, obj: Any, root: int = 0) -> Any:
+    """Broadcast ``obj`` from ``root``; every rank returns the value."""
+    if comm.size == 1:
+        return obj
+    if comm.rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                comm.send(obj, dest=dst, tag=TAG_BCAST)
+        return obj
+    return comm.recv(source=root, tag=TAG_BCAST)
+
+
+def scatter(comm, sendobj: Sequence | None, root: int = 0):
+    """Scatter one element of ``sendobj`` to each rank."""
+    if comm.rank == root:
+        if sendobj is None or len(sendobj) != comm.size:
+            raise CommunicatorError(
+                f"scatter at root needs exactly {comm.size} elements, "
+                f"got {None if sendobj is None else len(sendobj)}"
+            )
+        for dst in range(comm.size):
+            if dst != root:
+                comm.send(sendobj[dst], dest=dst, tag=TAG_SCATTER)
+        return sendobj[root]
+    return comm.recv(source=root, tag=TAG_SCATTER)
+
+
+def gather(comm, sendobj, root: int = 0):
+    """Gather one element from each rank at ``root`` (None elsewhere)."""
+    if comm.rank == root:
+        out = [None] * comm.size
+        out[root] = sendobj
+        for src in range(comm.size):
+            if src != root:
+                out[src] = comm.recv(source=src, tag=TAG_GATHER)
+        return out
+    comm.send(sendobj, dest=root, tag=TAG_GATHER)
+    return None
+
+
+def allgather(comm, sendobj):
+    """Gather at rank 0, then broadcast the full list to everyone."""
+    gathered = gather(comm, sendobj, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def alltoall(comm, sendobjs: Sequence):
+    """Each rank sends ``sendobjs[j]`` to rank ``j`` and receives one per peer."""
+    if len(sendobjs) != comm.size:
+        raise CommunicatorError(
+            f"alltoall needs exactly {comm.size} elements, got {len(sendobjs)}"
+        )
+    for dst in range(comm.size):
+        if dst != comm.rank:
+            comm.send(sendobjs[dst], dest=dst, tag=TAG_ALLTOALL)
+    out = [None] * comm.size
+    out[comm.rank] = sendobjs[comm.rank]
+    for src in range(comm.size):
+        if src != comm.rank:
+            out[src] = comm.recv(source=src, tag=TAG_ALLTOALL)
+    return out
+
+
+def reduce(comm, sendobj, op: ReduceOp, root: int = 0):
+    """Reduce values from all ranks at ``root`` with ``op`` (None elsewhere).
+
+    The combination order is rank order, making results deterministic even
+    for non-commutative float addition.
+    """
+    gathered = gather(comm, sendobj, root=root)
+    if comm.rank == root:
+        return op.combine(gathered)
+    return None
+
+
+def allreduce(comm, sendobj, op: ReduceOp):
+    """Reduce at rank 0 then broadcast the result."""
+    reduced = reduce(comm, sendobj, op, root=0)
+    return bcast(comm, reduced, root=0)
+
+
+def split(comm, color: int, key: int | None = None):
+    """Partition the communicator by ``color`` (``MPI_Comm_split``).
+
+    Ranks passing a negative color receive ``None`` (``MPI_UNDEFINED``).
+    ``key`` orders ranks within the new group; ties and the default fall
+    back to the old rank order.
+    """
+    from repro.mpi.comm import SimComm
+
+    me = (color, key if key is not None else comm.rank, comm.rank, comm._world_rank)
+    everyone = allgather(comm, me)
+    if color < 0:
+        return None
+    members = sorted(
+        (k, old_rank, world_rank)
+        for c, k, old_rank, world_rank in everyone
+        if c == color
+    )
+    group = [world_rank for _k, _old, world_rank in members]
+    ctx = f"{comm.ctx}/split:{color}:{'.'.join(str(g) for g in group)}"
+    return SimComm(comm._world, comm._world_rank, group, ctx=ctx)

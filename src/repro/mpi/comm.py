@@ -1,0 +1,266 @@
+"""Thread-backed simulated MPI communicator.
+
+Each :class:`World` owns one mailbox per rank; a :class:`SimComm` is a view
+of the world bound to a rank (and, for split communicators, a subset of
+ranks).  Point-to-point messages carry ``(ctx, source, tag, payload)`` and
+are matched by ``(ctx, source, tag)`` with wildcard support on source and
+tag; the context id isolates communicators that share the same world, so a
+split communicator can never steal a message addressed to its parent.
+Collectives are built from point-to-point fan-in/fan-out and therefore
+synchronize exactly like their MPI counterparts, including on subgroups.
+
+All blocking receives honour a deadline (default 30 s) and raise
+:class:`~repro.errors.CommunicatorError` instead of hanging, which keeps the
+test suite robust against bugs in workflow runtimes built on top.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CommunicatorError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass
+class Status:
+    """Delivery metadata for a received message."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass
+class _Envelope:
+    ctx: str
+    source: int
+    tag: int
+    payload: Any
+
+
+class _Mailbox:
+    """Per-rank message store with (ctx, source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: list[_Envelope] = []
+
+    def put(self, env: _Envelope) -> None:
+        with self._cond:
+            self._messages.append(env)
+            self._cond.notify_all()
+
+    def _match(self, ctx: str, source: int, tag: int) -> int | None:
+        for i, env in enumerate(self._messages):
+            if env.ctx != ctx:
+                continue
+            if source not in (ANY_SOURCE, env.source):
+                continue
+            if tag not in (ANY_TAG, env.tag):
+                continue
+            return i
+        return None
+
+    def get(self, ctx: str, source: int, tag: int, timeout: float) -> _Envelope:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                idx = self._match(ctx, source, tag)
+                if idx is not None:
+                    return self._messages.pop(idx)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommunicatorError(
+                        f"recv(ctx={ctx}, source={source}, tag={tag}) "
+                        f"timed out after {timeout:.1f}s"
+                    )
+                self._cond.wait(remaining)
+
+    def probe(self, ctx: str, source: int, tag: int) -> bool:
+        with self._lock:
+            return self._match(ctx, source, tag) is not None
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py-style ``wait``/``test``)."""
+
+    def __init__(self, resolve, already_done: bool = False, value: Any = None) -> None:
+        self._resolve = resolve
+        self._done = already_done
+        self._value = value
+
+    def wait(self, timeout: float = _DEFAULT_TIMEOUT) -> Any:
+        if not self._done:
+            self._value = self._resolve(timeout)
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._value
+        try:
+            self._value = self._resolve(0.001)
+        except CommunicatorError:
+            return False, None
+        self._done = True
+        return True, self._value
+
+
+@dataclass
+class World:
+    """A set of ranks sharing mailboxes; the root of all communicators."""
+
+    size: int
+    timeout: float = _DEFAULT_TIMEOUT
+    _mailboxes: list[_Mailbox] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CommunicatorError(f"world size must be positive, got {self.size}")
+        self._mailboxes = [_Mailbox() for _ in range(self.size)]
+
+    def comm(self, rank: int) -> "SimComm":
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"rank {rank} out of range for world of {self.size}")
+        return SimComm(self, rank, list(range(self.size)), ctx="world")
+
+
+class SimComm:
+    """Communicator bound to one rank of a :class:`World`.
+
+    ``group`` is the ordered list of world ranks belonging to this
+    communicator (order defines the new rank numbering, so split
+    communicators honour ``MPI_Comm_split``'s ``key`` argument).
+    """
+
+    def __init__(self, world: World, world_rank: int, group: list[int], ctx: str) -> None:
+        self._world = world
+        self._world_rank = world_rank
+        self._group = list(group)
+        self._ctx = ctx
+        if world_rank not in self._group:
+            raise CommunicatorError(
+                f"world rank {world_rank} not a member of group {self._group}"
+            )
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Rank within this communicator's group."""
+        return self._group.index(self._world_rank)
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    @property
+    def ctx(self) -> str:
+        """Context id isolating this communicator's message space."""
+        return self._ctx
+
+    def Get_rank(self) -> int:  # mpi4py spelling
+        return self.rank
+
+    def Get_size(self) -> int:  # mpi4py spelling
+        return self.size
+
+    def _world_rank_of(self, group_rank: int) -> int:
+        if not 0 <= group_rank < len(self._group):
+            raise CommunicatorError(
+                f"rank {group_rank} out of range for communicator of size {self.size}"
+            )
+        return self._group[group_rank]
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a Python object to ``dest`` (buffered, non-blocking)."""
+        target = self._world_rank_of(dest)
+        self._world._mailboxes[target].put(_Envelope(self._ctx, self.rank, tag, obj))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking receive matched on ``(source, tag)`` with wildcards."""
+        env = self._world._mailboxes[self._world_rank].get(
+            self._ctx, source, tag,
+            timeout if timeout is not None else self._world.timeout,
+        )
+        if status is not None:
+            status.source, status.tag = env.source, env.tag
+        return env.payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request(resolve=lambda _t: None, already_done=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(resolve=lambda t: self.recv(source, tag, timeout=t))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        return self._world._mailboxes[self._world_rank].probe(self._ctx, source, tag)
+
+    # -- collectives (implemented in collectives.py) ------------------------
+
+    def barrier(self) -> None:
+        from repro.mpi import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        from repro.mpi import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def scatter(self, sendobj=None, root: int = 0):
+        from repro.mpi import collectives
+
+        return collectives.scatter(self, sendobj, root)
+
+    def gather(self, sendobj, root: int = 0):
+        from repro.mpi import collectives
+
+        return collectives.gather(self, sendobj, root)
+
+    def allgather(self, sendobj):
+        from repro.mpi import collectives
+
+        return collectives.allgather(self, sendobj)
+
+    def alltoall(self, sendobjs):
+        from repro.mpi import collectives
+
+        return collectives.alltoall(self, sendobjs)
+
+    def reduce(self, sendobj, op=None, root: int = 0):
+        from repro.mpi import collectives
+        from repro.mpi.datatypes import SUM
+
+        return collectives.reduce(self, sendobj, op or SUM, root)
+
+    def allreduce(self, sendobj, op=None):
+        from repro.mpi import collectives
+        from repro.mpi.datatypes import SUM
+
+        return collectives.allreduce(self, sendobj, op or SUM)
+
+    def split(self, color: int, key: int | None = None) -> "SimComm | None":
+        from repro.mpi import collectives
+
+        return collectives.split(self, color, key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimComm(rank={self.rank}, size={self.size}, ctx={self._ctx!r})"

@@ -1,0 +1,54 @@
+"""Reduction operators and datatype tags for the simulated MPI."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from enum import Enum
+from functools import reduce as _functools_reduce
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+class Datatype(Enum):
+    """MPI-style datatype tags (informational; payloads are Python objects)."""
+
+    INT = "int"
+    FLOAT = "float"
+    DOUBLE = "double"
+    BYTE = "byte"
+    SIZE_T = "size_t"
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative reduction operator.
+
+    Works elementwise on numpy arrays and directly on scalars; mixed inputs
+    follow numpy broadcasting.
+    """
+
+    name: str
+    fn: Callable
+
+    def combine(self, values: Iterable):
+        values = list(values)
+        if not values:
+            raise ValueError(f"reduce({self.name}) over zero values")
+        return _functools_reduce(self.fn, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", operator.add)
+PROD = ReduceOp("prod", operator.mul)
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b) if _arrayish(a, b) else min(a, b))
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b) if _arrayish(a, b) else max(a, b))
+LAND = ReduceOp("land", lambda a, b: bool(a) and bool(b))
+LOR = ReduceOp("lor", lambda a, b: bool(a) or bool(b))
+
+
+def _arrayish(*values) -> bool:
+    return any(isinstance(v, np.ndarray) for v in values)

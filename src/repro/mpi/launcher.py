@@ -1,0 +1,76 @@
+"""SPMD launcher for the simulated MPI: run a function on N ranks.
+
+:func:`mpiexec` mirrors ``mpiexec -n N python script.py``: it creates a
+:class:`~repro.mpi.comm.World`, spawns one thread per rank, calls
+``fn(comm, *args, **kwargs)`` on each, joins all threads, and re-raises the
+first rank failure (annotated with its rank) so tests see real tracebacks
+instead of hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CommunicatorError
+from repro.mpi.comm import SimComm, World
+
+
+@dataclass
+class LaunchResult:
+    """Return values and timing for one SPMD launch."""
+
+    returns: list[Any]
+    nprocs: int
+    failures: list[tuple[int, BaseException]] = field(default_factory=list)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.returns[rank]
+
+
+def mpiexec(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    timeout: float = 60.0,
+    comm_timeout: float = 30.0,
+    **kwargs: Any,
+) -> LaunchResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    Raises the first per-rank exception (chained, with rank context) after
+    all threads have been joined; raises :class:`CommunicatorError` if any
+    rank is still alive after ``timeout`` seconds (deadlock guard).
+    """
+    if nprocs <= 0:
+        raise CommunicatorError(f"nprocs must be positive, got {nprocs}")
+    world = World(nprocs, timeout=comm_timeout)
+    returns: list[Any] = [None] * nprocs
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def run_rank(rank: int) -> None:
+        comm: SimComm = world.comm(rank)
+        try:
+            returns[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            with failures_lock:
+                failures.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=run_rank, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    if alive:
+        raise CommunicatorError(f"ranks did not terminate within {timeout}s: {alive}")
+    if failures:
+        failures.sort(key=lambda pair: pair[0])
+        rank, exc = failures[0]
+        raise CommunicatorError(f"rank {rank} failed: {exc!r}") from exc
+    return LaunchResult(returns=returns, nprocs=nprocs)

@@ -1,0 +1,19 @@
+"""Reporting: render every table and figure of the paper from measured data."""
+
+from repro.reporting.hallucinations import HallucinationReport, audit_eval
+from repro.reporting.heatmap import render_figure1, render_heatmap
+from repro.reporting.tables import (
+    compare_with_paper,
+    render_fewshot_table,
+    render_grid_table,
+)
+
+__all__ = [
+    "render_grid_table",
+    "render_fewshot_table",
+    "compare_with_paper",
+    "render_heatmap",
+    "render_figure1",
+    "HallucinationReport",
+    "audit_eval",
+]

@@ -1,0 +1,89 @@
+"""Hallucination auditing: aggregate validator findings over evaluations.
+
+The paper analyses hallucinated API calls qualitatively (Tables 4 and 6);
+this module quantifies them: for every completion of an evaluation run,
+the target system's validator is applied and the nonexistent symbols are
+tallied into a :class:`HallucinationReport` (rate per trial, most common
+invented names, clean-trial fraction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.task import EvalResult
+from repro.errors import HarnessError
+from repro.workflows import WorkflowSystem, get_system
+
+
+@dataclass
+class HallucinationReport:
+    """Aggregated audit over every trial of an evaluation."""
+
+    system: str
+    artifact_kind: str
+    trials: int
+    clean_trials: int
+    total_hallucinations: int
+    by_symbol: Counter = field(default_factory=Counter)
+
+    @property
+    def rate_per_trial(self) -> float:
+        return self.total_hallucinations / self.trials if self.trials else 0.0
+
+    @property
+    def clean_fraction(self) -> float:
+        return self.clean_trials / self.trials if self.trials else 0.0
+
+    def most_common(self, n: int = 5) -> list[tuple[str, int]]:
+        return self.by_symbol.most_common(n)
+
+    def render(self) -> str:
+        top = ", ".join(f"{s} x{c}" for s, c in self.most_common())
+        return (
+            f"{self.system} {self.artifact_kind}: "
+            f"{self.total_hallucinations} hallucination(s) over {self.trials} "
+            f"trial(s) ({self.rate_per_trial:.1f}/trial, "
+            f"{self.clean_fraction:.0%} clean); top: {top or 'none'}"
+        )
+
+
+def audit_eval(
+    result: EvalResult,
+    system: str | WorkflowSystem,
+    *,
+    artifact_kind: str = "config",
+) -> HallucinationReport:
+    """Audit every scored completion of ``result`` with a system validator."""
+    descriptor = get_system(system) if isinstance(system, str) else system
+    if artifact_kind == "config":
+        validator = descriptor.validate_config
+    elif artifact_kind == "task-code":
+        validator = descriptor.validate_task_code
+    else:
+        raise HarnessError(f"unknown artifact kind {artifact_kind!r}")
+    if validator is None:
+        raise HarnessError(
+            f"{descriptor.display_name} has no {artifact_kind} validator"
+        )
+
+    report = HallucinationReport(
+        system=descriptor.display_name,
+        artifact_kind=artifact_kind,
+        trials=0,
+        clean_trials=0,
+        total_hallucinations=0,
+    )
+    for sample in result.samples:
+        for score in sample.scores:
+            validation = validator(score.answer)
+            hallucinated = validation.hallucinations()
+            report.trials += 1
+            if not hallucinated:
+                report.clean_trials += 1
+            report.total_hallucinations += len(hallucinated)
+            report.by_symbol.update(
+                d.symbol for d in hallucinated if d.symbol
+            )
+    return report

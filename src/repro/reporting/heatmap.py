@@ -1,0 +1,56 @@
+"""ASCII heatmaps for the Figure 1 prompt-sensitivity results."""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.data import MODEL_LABELS, PROMPT_VARIANTS
+from repro.utils.tables import render_matrix
+
+_SHORT_LABELS = {
+    "o3": "o3",
+    "gemini-2.5-pro": "Gemini",
+    "claude-sonnet-4": "Claude",
+    "llama-3.3-70b": "LLaMA",
+}
+
+
+def render_heatmap(
+    title: str,
+    data: Mapping[str, Mapping[str, float]],
+    *,
+    variants: Sequence[str] = PROMPT_VARIANTS,
+    models: Sequence[str] | None = None,
+) -> str:
+    """Render one heatmap: rows = prompt variants, columns = models."""
+    if models is None:
+        first = next(iter(data.values()))
+        models = list(first)
+    present = [v for v in variants if v in data] or list(data)
+    values = [[data[v][m] for m in models] for v in present]
+    variants = present
+    cols = [_SHORT_LABELS.get(m, MODEL_LABELS.get(m, m)) for m in models]
+    return render_matrix(title, list(variants), cols, values)
+
+
+def render_figure1(
+    results: Mapping[Hashable, Mapping[str, Mapping[str, float]]],
+    figure_title: str,
+) -> str:
+    """Render all conditions of one Figure 1 sub-figure."""
+    blocks = [figure_title, "=" * len(figure_title)]
+    for condition, data in results.items():
+        if isinstance(condition, tuple):
+            from repro.workflows import get_system
+
+            label = (
+                f"{get_system(condition[0]).display_name} to "
+                f"{get_system(condition[1]).display_name}"
+            )
+        else:
+            from repro.workflows import get_system
+
+            label = get_system(condition).display_name
+        blocks.append("")
+        blocks.append(render_heatmap(label, data))
+    return "\n".join(blocks)

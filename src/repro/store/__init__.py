@@ -1,0 +1,31 @@
+"""Simulated storage substrate.
+
+Three layers, mirroring what HPC in-situ stacks sit on:
+
+* :class:`~repro.store.filesystem.SimFilesystem` — an in-memory POSIX-ish
+  namespace holding structured file objects (our "file formats" are Python
+  object trees, not byte blobs, because every consumer lives in-process).
+* :class:`~repro.store.h5.H5File` — an HDF5-like hierarchy of groups and
+  datasets with attributes, addressed by absolute paths such as
+  ``/group1/grid``; supports change notification so memory-coupled
+  consumers (Wilkins' LowFive memory mode) can block until a producer has
+  published a dataset.
+* :class:`~repro.store.bp.BPFile` — an ADIOS2 BP-like step-oriented
+  container of variables.
+"""
+
+from repro.store.bp import BPFile, BPStep, BPVarInfo
+from repro.store.filesystem import SimFilesystem, default_filesystem, reset_default_filesystem
+from repro.store.h5 import H5Dataset, H5File, H5Group
+
+__all__ = [
+    "SimFilesystem",
+    "default_filesystem",
+    "reset_default_filesystem",
+    "H5File",
+    "H5Group",
+    "H5Dataset",
+    "BPFile",
+    "BPStep",
+    "BPVarInfo",
+]

@@ -1,0 +1,139 @@
+"""BP-like step-oriented container (the ADIOS2 on-disk/streaming format).
+
+A :class:`BPFile` is an append-only sequence of steps; each step maps a
+variable name to its metadata (:class:`BPVarInfo`) and payload.  Writers
+append whole steps (``begin_step``/``put``/``end_step`` in the engine layer
+batch into one :class:`BPStep`); readers either iterate completed steps
+(file engine) or block for the next step (stream engine).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import StoreError
+
+
+@dataclass(frozen=True)
+class BPVarInfo:
+    """Variable metadata: global shape and this writer's block offset/count."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...] = ()
+    start: tuple[int, ...] = ()
+    count: tuple[int, ...] = ()
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape == ()
+
+
+@dataclass
+class BPStep:
+    """One completed output step: variable name → (info, data)."""
+
+    index: int
+    variables: dict[str, tuple[BPVarInfo, Any]] = field(default_factory=dict)
+
+    def names(self) -> list[str]:
+        return sorted(self.variables)
+
+    def read(self, name: str) -> Any:
+        try:
+            return self.variables[name][1]
+        except KeyError:
+            raise StoreError(f"step {self.index}: no variable {name!r}") from None
+
+    def info(self, name: str) -> BPVarInfo:
+        try:
+            return self.variables[name][0]
+        except KeyError:
+            raise StoreError(f"step {self.index}: no variable {name!r}") from None
+
+
+class BPFile:
+    """Thread-safe append-only sequence of :class:`BPStep`.
+
+    ``finalize()`` marks end-of-stream so blocking readers terminate
+    cleanly (ADIOS2's ``EndOfStream`` status).
+    """
+
+    def __init__(self, name: str = "<anonymous>.bp") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._steps: list[BPStep] = []
+        self._finalized = False
+
+    def append_step(self, variables: dict[str, tuple[BPVarInfo, Any]]) -> BPStep:
+        with self._cond:
+            if self._finalized:
+                raise StoreError(f"{self.name}: cannot append to a finalized BP file")
+            step = BPStep(index=len(self._steps), variables=dict(variables))
+            self._steps.append(step)
+            self._cond.notify_all()
+            return step
+
+    def finalize(self) -> None:
+        with self._cond:
+            self._finalized = True
+            self._cond.notify_all()
+
+    @property
+    def finalized(self) -> bool:
+        with self._lock:
+            return self._finalized
+
+    @property
+    def num_steps(self) -> int:
+        with self._lock:
+            return len(self._steps)
+
+    def step(self, index: int) -> BPStep:
+        with self._lock:
+            try:
+                return self._steps[index]
+            except IndexError:
+                raise StoreError(
+                    f"{self.name}: step {index} out of range ({len(self._steps)} steps)"
+                ) from None
+
+    def wait_for_step(self, index: int, timeout: float = 30.0) -> BPStep | None:
+        """Block until step ``index`` exists; ``None`` signals end-of-stream."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._steps) <= index:
+                if self._finalized:
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StoreError(
+                        f"{self.name}: timed out waiting for step {index}"
+                    )
+                self._cond.wait(remaining)
+            return self._steps[index]
+
+    def steps(self) -> Iterator[BPStep]:
+        """Iterate over the currently completed steps (snapshot)."""
+        with self._lock:
+            snapshot = list(self._steps)
+        return iter(snapshot)
+
+    def variables(self) -> list[str]:
+        """Union of variable names over all steps."""
+        with self._lock:
+            names: set[str] = set()
+            for step in self._steps:
+                names.update(step.variables)
+            return sorted(names)
+
+    def read_all(self, name: str) -> list[np.ndarray]:
+        """Payloads of ``name`` across steps (missing steps skipped)."""
+        return [s.variables[name][1] for s in self.steps() if name in s.variables]

@@ -1,0 +1,103 @@
+"""In-memory filesystem namespace for simulated workflow I/O.
+
+Workflow tasks address files by name (``outfile.h5``, ``output.bp``); the
+filesystem maps those names to live file objects (:class:`~repro.store.h5.H5File`,
+:class:`~repro.store.bp.BPFile`, or plain payloads).  A process-wide default
+instance exists for convenience, but runtimes create private instances so
+concurrent workflows never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.errors import StoreError
+
+
+class SimFilesystem:
+    """Thread-safe name → file-object namespace with creation waiting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._files: dict[str, Any] = {}
+
+    def create(self, name: str, obj: Any, *, overwrite: bool = True) -> Any:
+        """Register ``obj`` under ``name``; returns the object."""
+        with self._cond:
+            if not overwrite and name in self._files:
+                raise StoreError(f"file exists: {name!r}")
+            self._files[name] = obj
+            self._cond.notify_all()
+        return obj
+
+    def open(self, name: str) -> Any:
+        """Return the file object; raises :class:`StoreError` if absent."""
+        with self._lock:
+            try:
+                return self._files[name]
+            except KeyError:
+                raise StoreError(f"no such file: {name!r}") from None
+
+    def open_or_create(self, name: str, factory: Callable[[], Any]) -> Any:
+        """Atomically fetch ``name``, creating it via ``factory`` if missing."""
+        with self._cond:
+            if name not in self._files:
+                self._files[name] = factory()
+                self._cond.notify_all()
+            return self._files[name]
+
+    def wait_for(self, name: str, timeout: float = 30.0) -> Any:
+        """Block until ``name`` exists (producer/consumer file coupling)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while name not in self._files:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StoreError(f"timed out waiting for file {name!r}")
+                self._cond.wait(remaining)
+            return self._files[name]
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._files
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            if name not in self._files:
+                raise StoreError(f"no such file: {name!r}")
+            del self._files[name]
+
+    def listdir(self) -> list[str]:
+        with self._lock:
+            return sorted(self._files)
+
+    def __contains__(self, name: str) -> bool:
+        return self.exists(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.listdir())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._files)
+
+
+_default = SimFilesystem()
+_default_lock = threading.Lock()
+
+
+def default_filesystem() -> SimFilesystem:
+    """The process-wide default namespace (examples / quick scripts)."""
+    return _default
+
+
+def reset_default_filesystem() -> SimFilesystem:
+    """Replace the default namespace (test isolation helper)."""
+    global _default
+    with _default_lock:
+        _default = SimFilesystem()
+    return _default

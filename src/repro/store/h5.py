@@ -1,0 +1,186 @@
+"""HDF5-like hierarchical container.
+
+Datasets live under slash-separated group paths (``/group1/grid``); each
+holds a numpy array plus attributes.  Publication is *versioned by step*:
+writers call :meth:`H5File.write` with a step index and readers can block in
+:meth:`H5File.read_when_available` until a given (path, step) appears —
+this is the mechanism behind Wilkins' memory (LowFive-style) transport in
+our substrate, where producer and consumer share the same ``H5File`` object
+instead of exchanging bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import StoreError
+
+
+def _normalize(path: str) -> str:
+    if not path or not path.strip("/"):
+        raise StoreError(f"invalid dataset path: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts)
+
+
+@dataclass
+class H5Dataset:
+    """A named array with attributes and per-step history."""
+
+    path: str
+    data: np.ndarray
+    attrs: dict[str, Any] = field(default_factory=dict)
+    step: int = 0
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = np.asarray(self.data)
+        return arr.astype(dtype) if dtype is not None else arr
+
+
+@dataclass
+class H5Group:
+    """A group node: child groups and datasets directly below it."""
+
+    path: str
+    groups: dict[str, "H5Group"] = field(default_factory=dict)
+    datasets: dict[str, H5Dataset] = field(default_factory=dict)
+
+
+class H5File:
+    """Thread-safe HDF5-like file with step-versioned datasets."""
+
+    def __init__(self, name: str = "<anonymous>.h5") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._root = H5Group(path="/")
+        # (path, step) -> H5Dataset ; latest version also lives in the tree
+        self._versions: dict[tuple[str, int], H5Dataset] = {}
+
+    # -- group / tree API ---------------------------------------------------
+
+    def require_group(self, path: str) -> H5Group:
+        """Create (if needed) and return the group at ``path``."""
+        path = _normalize(path)
+        with self._lock:
+            return self._require_group_locked(path)
+
+    def _require_group_locked(self, path: str) -> H5Group:
+        node = self._root
+        so_far = ""
+        for part in [p for p in path.split("/") if p]:
+            so_far += "/" + part
+            if part not in node.groups:
+                node.groups[part] = H5Group(path=so_far)
+            node = node.groups[part]
+        return node
+
+    # -- dataset API ---------------------------------------------------------
+
+    def write(
+        self,
+        path: str,
+        data: np.ndarray,
+        *,
+        step: int = 0,
+        attrs: dict[str, Any] | None = None,
+    ) -> H5Dataset:
+        """Publish ``data`` at ``path`` for ``step``; wakes blocked readers."""
+        path = _normalize(path)
+        arr = np.asarray(data)
+        group_path, _, leaf = path.rpartition("/")
+        with self._cond:
+            group = self._require_group_locked(group_path or "/")
+            ds = H5Dataset(path=path, data=arr, attrs=dict(attrs or {}), step=step)
+            group.datasets[leaf] = ds
+            self._versions[(path, step)] = ds
+            self._cond.notify_all()
+            return ds
+
+    def read(self, path: str, *, step: int | None = None) -> H5Dataset:
+        """Return the dataset at ``path`` (latest, or a specific ``step``)."""
+        path = _normalize(path)
+        with self._lock:
+            if step is not None:
+                try:
+                    return self._versions[(path, step)]
+                except KeyError:
+                    raise StoreError(
+                        f"{self.name}: no dataset {path!r} at step {step}"
+                    ) from None
+            ds = self._lookup_locked(path)
+            if ds is None:
+                raise StoreError(f"{self.name}: no dataset {path!r}")
+            return ds
+
+    def read_when_available(self, path: str, step: int, timeout: float = 30.0) -> H5Dataset:
+        """Block until ``(path, step)`` is published, then return it."""
+        import time
+
+        path = _normalize(path)
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while (path, step) not in self._versions:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StoreError(
+                        f"{self.name}: timed out waiting for {path!r} step {step}"
+                    )
+                self._cond.wait(remaining)
+            return self._versions[(path, step)]
+
+    def _lookup_locked(self, path: str) -> H5Dataset | None:
+        node = self._root
+        parts = [p for p in path.split("/") if p]
+        for part in parts[:-1]:
+            node = node.groups.get(part)
+            if node is None:
+                return None
+        return node.datasets.get(parts[-1]) if parts else None
+
+    def exists(self, path: str, *, step: int | None = None) -> bool:
+        path = _normalize(path)
+        with self._lock:
+            if step is not None:
+                return (path, step) in self._versions
+            return self._lookup_locked(path) is not None
+
+    def paths(self) -> list[str]:
+        """All dataset paths currently in the tree, sorted."""
+        out: list[str] = []
+
+        def visit(group: H5Group) -> None:
+            out.extend(ds.path for ds in group.datasets.values())
+            for child in group.groups.values():
+                visit(child)
+
+        with self._lock:
+            visit(self._root)
+        return sorted(out)
+
+    def steps_of(self, path: str) -> list[int]:
+        """All published step indices for ``path``."""
+        path = _normalize(path)
+        with self._lock:
+            return sorted(s for (p, s) in self._versions if p == path)
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    def __getitem__(self, path: str) -> H5Dataset:
+        return self.read(path)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.paths())

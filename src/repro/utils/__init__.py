@@ -1,0 +1,20 @@
+"""Shared low-level utilities: seeded RNG derivation, text handling, tables."""
+
+from repro.utils.rng import derive_seed, rng_for
+from repro.utils.text import (
+    dedent_strip,
+    extract_code_blocks,
+    extract_first_code_block,
+    normalize_newlines,
+    strip_markdown_chatter,
+)
+
+__all__ = [
+    "derive_seed",
+    "rng_for",
+    "dedent_strip",
+    "extract_code_blocks",
+    "extract_first_code_block",
+    "normalize_newlines",
+    "strip_markdown_chatter",
+]

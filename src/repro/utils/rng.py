@@ -1,0 +1,56 @@
+"""Deterministic seed derivation.
+
+Every stochastic component in the package derives its RNG from a stable
+SHA-256 hash of string labels, never from global state.  This makes whole
+experiment sweeps reproducible bit-for-bit across processes and platforms
+(Python's builtin ``hash`` is salted per-process, so it is never used).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(*labels: object) -> int:
+    """Derive a stable 64-bit seed from an ordered sequence of labels.
+
+    Labels are stringified and joined with an unlikely separator, then hashed
+    with SHA-256.  The same labels always produce the same seed, and any
+    change to any label (including order) produces an unrelated seed.
+
+    >>> derive_seed("table1", "o3", "adios2", 0) == derive_seed("table1", "o3", "adios2", 0)
+    True
+    >>> derive_seed("a", "b") != derive_seed("b", "a")
+    True
+    """
+    payload = "\x1f".join(str(label) for label in labels).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") & _MASK64
+
+
+def rng_for(*labels: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded from ``labels``."""
+    return np.random.default_rng(derive_seed(*labels))
+
+
+def spawn_streams(base: int, n: int) -> list[np.random.Generator]:
+    """Split a base seed into ``n`` independent generator streams."""
+    ss = np.random.SeedSequence(base)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def choice_weighted(rng: np.random.Generator, items: Iterable, weights: Iterable[float]):
+    """Weighted choice that tolerates zero-sum weights by falling back to uniform."""
+    items = list(items)
+    w = np.asarray(list(weights), dtype=float)
+    if len(items) == 0:
+        raise ValueError("cannot choose from an empty sequence")
+    total = w.sum()
+    if total <= 0:
+        return items[int(rng.integers(0, len(items)))]
+    return items[int(rng.choice(len(items), p=w / total))]

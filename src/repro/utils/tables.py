@@ -1,0 +1,80 @@
+"""Plain-text table rendering used by the reporting layer and benchmarks.
+
+The renderer intentionally mimics the layout of the paper's tables: a header
+row of model names, one row per workflow system, ``mean±stderr`` cells, and
+an ``Overall`` row/column.  Output is monospace-aligned ASCII so it reads
+cleanly in benchmark logs and EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Cell:
+    """A single table cell: a value with optional uncertainty and bold flag."""
+
+    mean: float
+    stderr: float | None = None
+    bold: bool = False
+
+    def render(self, precision: int = 1) -> str:
+        base = f"{self.mean:.{precision}f}"
+        if self.stderr is not None:
+            base += f"±{self.stderr:.{precision}f}"
+        if self.bold:
+            base = f"*{base}*"
+        return base
+
+
+@dataclass
+class TextTable:
+    """A rectangular table with a title, column headers, and labelled rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple[str, list[str]]] = field(default_factory=list)
+
+    def add_row(self, label: str, cells: Sequence[Cell | str], precision: int = 1) -> None:
+        rendered = [c.render(precision) if isinstance(c, Cell) else str(c) for c in cells]
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(rendered)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append((label, rendered))
+
+    def render(self) -> str:
+        header = ["" , *self.columns]
+        body = [[label, *cells] for label, cells in self.rows]
+        widths = [
+            max(len(str(row[i])) for row in [header, *body])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * max(len(self.title), 8)]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(["", *map(str, self.columns)])]
+        for label, cells in self.rows:
+            out.append(",".join([label, *cells]))
+        return "\n".join(out)
+
+
+def render_matrix(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    precision: int = 1,
+) -> str:
+    """Render a dense numeric matrix (used for Figure 1 heatmaps)."""
+    table = TextTable(title=title, columns=list(col_labels))
+    for label, row in zip(row_labels, values):
+        table.add_row(label, [Cell(float(v)) for v in row], precision)
+    return table.render()

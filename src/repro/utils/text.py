@@ -1,0 +1,103 @@
+"""Text utilities shared by the metrics, LLM simulator, and harness.
+
+These implement the response post-processing that a real LLM evaluation
+pipeline needs: code-fence extraction, chatter stripping, and newline
+normalization.  The functions are deliberately conservative — they never
+invent content, only select or normalize it.
+"""
+
+from __future__ import annotations
+
+import re
+import textwrap
+
+_FENCE_RE = re.compile(
+    r"```[ \t]*(?P<lang>[A-Za-z0-9_+.-]*)[ \t]*\r?\n(?P<body>.*?)(?:\r?\n)?```",
+    re.DOTALL,
+)
+
+
+def normalize_newlines(text: str) -> str:
+    """Convert CRLF / CR line endings to LF."""
+    return text.replace("\r\n", "\n").replace("\r", "\n")
+
+
+def dedent_strip(text: str) -> str:
+    """Dedent a triple-quoted asset string and strip outer blank lines."""
+    return textwrap.dedent(normalize_newlines(text)).strip("\n")
+
+
+def extract_code_blocks(text: str) -> list[tuple[str, str]]:
+    """Extract all fenced code blocks as ``(language, body)`` tuples.
+
+    The language tag may be empty.  Bodies keep their internal formatting but
+    drop the fence lines themselves.
+    """
+    text = normalize_newlines(text)
+    return [(m.group("lang") or "", m.group("body")) for m in _FENCE_RE.finditer(text)]
+
+
+def extract_first_code_block(text: str, *, fallback_to_text: bool = True) -> str:
+    """Return the first fenced code block, or the whole text if none exists.
+
+    This mirrors how LLM-evaluation harnesses score code-generation responses:
+    models wrap code in markdown fences surrounded by prose; the scorer wants
+    only the code.  When several blocks are present the *longest* block is
+    returned, since models frequently emit a short shell snippet before the
+    main artifact.
+    """
+    blocks = extract_code_blocks(text)
+    if not blocks:
+        return normalize_newlines(text).strip("\n") if fallback_to_text else ""
+    body = max(blocks, key=lambda pair: len(pair[1]))[1]
+    return body.strip("\n")
+
+
+_CHATTER_PREFIXES = (
+    "sure",
+    "certainly",
+    "here is",
+    "here's",
+    "of course",
+    "below is",
+    "i have",
+    "i've",
+    "the following",
+    "this is",
+)
+
+
+def strip_markdown_chatter(text: str) -> str:
+    """Remove leading/trailing conversational prose around a code response.
+
+    If the text contains a fenced block we defer to
+    :func:`extract_first_code_block`.  Otherwise we drop leading lines that
+    look like assistant chatter ("Sure, here is the configuration ...") and
+    trailing lines that look like commentary, keeping the contiguous middle.
+    """
+    text = normalize_newlines(text)
+    if _FENCE_RE.search(text):
+        return extract_first_code_block(text)
+    lines = text.split("\n")
+    start, end = 0, len(lines)
+    while start < end:
+        probe = lines[start].strip().lower()
+        if probe and any(probe.startswith(p) for p in _CHATTER_PREFIXES):
+            start += 1
+        elif not probe:
+            start += 1
+        else:
+            break
+    while end > start and not lines[end - 1].strip():
+        end -= 1
+    return "\n".join(lines[start:end])
+
+
+def line_count(text: str) -> int:
+    """Number of non-empty lines in ``text``."""
+    return sum(1 for ln in normalize_newlines(text).split("\n") if ln.strip())
+
+
+def indent_of(line: str) -> str:
+    """Leading whitespace of a line."""
+    return line[: len(line) - len(line.lstrip())]

@@ -1,0 +1,44 @@
+"""Executable mini-implementations of the paper's five workflow systems.
+
+Each subpackage provides three things:
+
+1. a **programming-model substrate** faithful enough to run the paper's
+   producer/consumer workloads (e.g. generator-based cooperative
+   multitasking for Henson, a dependency-tracking DataFlowKernel for
+   Parsl);
+2. an **API surface registry** — the set of real functions / config fields
+   of that system, which is the ground truth against which hallucinated
+   calls are detected;
+3. a **validator** that audits generated artifacts (configs or annotated
+   task codes) and reports nonexistent API usage, missing required calls,
+   and unknown config fields with line numbers.
+
+Systems: :mod:`~repro.workflows.adios2`, :mod:`~repro.workflows.henson`,
+:mod:`~repro.workflows.parsl_sim`, :mod:`~repro.workflows.pycompss`,
+:mod:`~repro.workflows.wilkins`.
+"""
+
+from repro.workflows.base import (
+    ApiFunction,
+    ApiRegistry,
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    WorkflowSystem,
+)
+from repro.workflows.graph import DataLink, TaskSpec, WorkflowGraph
+from repro.workflows.registry import all_systems, get_system
+
+__all__ = [
+    "ApiFunction",
+    "ApiRegistry",
+    "Diagnostic",
+    "Severity",
+    "ValidationReport",
+    "WorkflowSystem",
+    "WorkflowGraph",
+    "TaskSpec",
+    "DataLink",
+    "get_system",
+    "all_systems",
+]

@@ -1,0 +1,172 @@
+"""Concrete ADIOS2 engines over the simulated store.
+
+* **BPFile** — batch file semantics: the writer accumulates steps into a
+  :class:`~repro.store.bp.BPFile`; a reader opening in READ mode blocks
+  until the writer has closed (finalized) the file, then iterates the
+  completed steps.  This models post-hoc file coupling.
+* **SST** — streaming semantics: reader and writer run concurrently; each
+  ``begin_step`` on the reader blocks until the writer publishes the next
+  step, and sees ``END_OF_STREAM`` once the writer closes.  This models
+  in-situ memory/interconnect coupling.
+
+Both transports share the step container, so switching a workflow from
+file to streaming coupling is — as in real ADIOS2 — a one-line engine
+change (or an XML config edit) with no task-code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StoreError, WorkflowError
+from repro.store import BPFile, BPVarInfo
+from repro.workflows.adios2.api import Engine, IO, Mode, StepStatus, Variable
+
+
+class _BPWriterMixin:
+    """Shared writer logic: buffer puts per step, append on end_step."""
+
+    _bp: BPFile
+    _pending: dict[str, tuple[BPVarInfo, Any]]
+
+    def _begin_step_impl(self, timeout: float) -> StepStatus:
+        self._pending = {}
+        return StepStatus.OK
+
+    def _put_impl(self, var: Variable, data: Any) -> None:
+        info = BPVarInfo(
+            name=var.name,
+            dtype=var.dtype,
+            shape=var.shape,
+            start=var.start,
+            count=var.count,
+        )
+        self._pending[var.name] = (info, data)
+
+    def _end_step_impl(self) -> None:
+        self._bp.append_step(self._pending)
+        self._pending = {}
+
+    def _close_impl(self) -> None:
+        self._bp.finalize()
+
+
+class _BPReaderMixin:
+    """Shared reader logic: walk steps, serve gets from the current step."""
+
+    _bp: BPFile
+    _read_index: int
+    _current = None
+
+    def _advance(self, timeout: float) -> StepStatus:
+        step = self._bp.wait_for_step(self._read_index, timeout=timeout)
+        if step is None:
+            return StepStatus.END_OF_STREAM
+        self._current = step
+        self._read_index += 1
+        return StepStatus.OK
+
+    def _get_impl(self, var: Variable) -> Any:
+        if self._current is None:
+            raise WorkflowError(f"{self.name}: no current step")
+        return self._current.read(var.name)
+
+    def _end_step_impl(self) -> None:
+        self._current = None
+
+    def _close_impl(self) -> None:
+        pass
+
+
+class BPFileWriter(_BPWriterMixin, Engine):
+    """BPFile engine, WRITE/APPEND mode."""
+
+    def __init__(self, io: IO, name: str, mode: Mode) -> None:
+        super().__init__(io, name, mode)
+        if mode is Mode.WRITE or not io.fs.exists(name):
+            self._bp = io.fs.create(name, BPFile(name))
+        else:  # APPEND to an existing, unfinalized file
+            existing = io.fs.open(name)
+            if not isinstance(existing, BPFile):
+                raise WorkflowError(f"{name!r} is not a BP file")
+            if existing.finalized:
+                raise WorkflowError(f"{name!r} is finalized; cannot append")
+            self._bp = existing
+        self._pending = {}
+
+
+class BPFileReader(_BPReaderMixin, Engine):
+    """BPFile engine, READ mode: waits for the file to be complete."""
+
+    def __init__(self, io: IO, name: str, mode: Mode, timeout: float = 30.0) -> None:
+        super().__init__(io, name, mode)
+        bp = io.fs.wait_for(name, timeout=timeout)
+        if not isinstance(bp, BPFile):
+            raise WorkflowError(f"{name!r} is not a BP file")
+        self._bp = bp
+        self._read_index = 0
+
+    def _begin_step_impl(self, timeout: float) -> StepStatus:
+        # file semantics: only completed files are readable
+        import time
+
+        deadline = time.monotonic() + timeout
+        while not self._bp.finalized:
+            if time.monotonic() >= deadline:
+                raise StoreError(
+                    f"{self.name}: BPFile reader timed out waiting for writer close"
+                )
+            time.sleep(0.001)
+        if self._read_index >= self._bp.num_steps:
+            return StepStatus.END_OF_STREAM
+        return self._advance(timeout)
+
+
+class SSTWriter(_BPWriterMixin, Engine):
+    """SST engine, WRITE mode: steps stream to concurrent readers."""
+
+    def __init__(self, io: IO, name: str, mode: Mode) -> None:
+        super().__init__(io, name, mode)
+        if mode is not Mode.WRITE:
+            raise WorkflowError("SST supports WRITE mode for producers")
+        self._bp = io.fs.open_or_create(name, lambda: BPFile(name))
+        if not isinstance(self._bp, BPFile):
+            raise WorkflowError(f"{name!r} is not a BP stream")
+        self._pending = {}
+
+
+class SSTReader(_BPReaderMixin, Engine):
+    """SST engine, READ mode: blocks per step while the writer runs."""
+
+    def __init__(self, io: IO, name: str, mode: Mode, timeout: float = 30.0) -> None:
+        super().__init__(io, name, mode)
+        bp = io.fs.open_or_create(name, lambda: BPFile(name))
+        if not isinstance(bp, BPFile):
+            raise WorkflowError(f"{name!r} is not a BP stream")
+        self._bp = bp
+        self._read_index = 0
+
+    def _begin_step_impl(self, timeout: float) -> StepStatus:
+        return self._advance(timeout)
+
+
+ENGINE_TYPES = {
+    "BPFile": (BPFileWriter, BPFileReader),
+    "BP4": (BPFileWriter, BPFileReader),
+    "BP5": (BPFileWriter, BPFileReader),
+    "SST": (SSTWriter, SSTReader),
+}
+
+
+def make_engine(io: IO, name: str, mode: Mode) -> Engine:
+    """Instantiate the engine selected on ``io`` for the requested mode."""
+    try:
+        writer_cls, reader_cls = ENGINE_TYPES[io.engine_type]
+    except KeyError:
+        raise WorkflowError(
+            f"unknown ADIOS2 engine {io.engine_type!r}; "
+            f"available: {sorted(ENGINE_TYPES)}"
+        ) from None
+    if mode is Mode.READ:
+        return reader_cls(io, name, mode)
+    return writer_cls(io, name, mode)

@@ -1,0 +1,113 @@
+"""The ADIOS2 API surface: real C functions and XML config vocabulary.
+
+This registry is the ground truth for hallucination detection — any
+``adios2_*`` identifier in a generated artifact that is not listed here is
+a nonexistent-API error (e.g. models inventing ``adios2_write`` instead of
+``adios2_put``).
+"""
+
+from __future__ import annotations
+
+from repro.workflows.base import ApiFunction, ApiRegistry
+
+# C bindings surface (the annotation experiment provides a C producer).
+# `required=True` marks the calls a correct step-based producer annotation
+# must contain.
+ADIOS2_C_API = ApiRegistry(
+    "ADIOS2",
+    [
+        ApiFunction("adios2_init", "function", "adios2_adios* adios2_init(MPI_Comm)",
+                    "initialize the ADIOS2 library on a communicator", required=True),
+        ApiFunction("adios2_init_config", "function",
+                    "adios2_adios* adios2_init_config(const char*, MPI_Comm)",
+                    "initialize with an XML runtime configuration"),
+        ApiFunction("adios2_declare_io", "function",
+                    "adios2_io* adios2_declare_io(adios2_adios*, const char*)",
+                    "declare a named IO group", required=True),
+        ApiFunction("adios2_at_io", "function",
+                    "adios2_io* adios2_at_io(adios2_adios*, const char*)",
+                    "retrieve a previously declared IO group"),
+        ApiFunction("adios2_set_engine", "function",
+                    "adios2_error adios2_set_engine(adios2_io*, const char*)",
+                    "select the engine type for an IO group"),
+        ApiFunction("adios2_set_parameter", "function",
+                    "adios2_error adios2_set_parameter(adios2_io*, const char*, const char*)",
+                    "set one engine parameter"),
+        ApiFunction("adios2_define_variable", "function",
+                    "adios2_variable* adios2_define_variable(adios2_io*, const char*, "
+                    "adios2_type, size_t, const size_t*, const size_t*, const size_t*, "
+                    "adios2_constant_dims)",
+                    "declare a variable with global shape and local block", required=True),
+        ApiFunction("adios2_inquire_variable", "function",
+                    "adios2_variable* adios2_inquire_variable(adios2_io*, const char*)",
+                    "look up a variable on the reader side"),
+        ApiFunction("adios2_open", "function",
+                    "adios2_engine* adios2_open(adios2_io*, const char*, adios2_mode)",
+                    "open an engine on a file or stream", required=True),
+        ApiFunction("adios2_begin_step", "function",
+                    "adios2_error adios2_begin_step(adios2_engine*, adios2_step_mode, "
+                    "float, adios2_step_status*)",
+                    "start an output/input step", required=True),
+        ApiFunction("adios2_put", "function",
+                    "adios2_error adios2_put(adios2_engine*, adios2_variable*, const void*, "
+                    "adios2_mode)",
+                    "stage data for output", required=True),
+        ApiFunction("adios2_get", "function",
+                    "adios2_error adios2_get(adios2_engine*, adios2_variable*, void*, "
+                    "adios2_mode)",
+                    "schedule data for input"),
+        ApiFunction("adios2_end_step", "function",
+                    "adios2_error adios2_end_step(adios2_engine*)",
+                    "complete the current step", required=True),
+        ApiFunction("adios2_close", "function",
+                    "adios2_error adios2_close(adios2_engine*)",
+                    "close the engine", required=True),
+        ApiFunction("adios2_finalize", "function",
+                    "adios2_error adios2_finalize(adios2_adios*)",
+                    "release the library", required=True),
+        ApiFunction("adios2_perform_puts", "function",
+                    "adios2_error adios2_perform_puts(adios2_engine*)",
+                    "execute deferred puts"),
+        ApiFunction("adios2_perform_gets", "function",
+                    "adios2_error adios2_perform_gets(adios2_engine*)",
+                    "execute deferred gets"),
+        # types / enums commonly referenced in annotated code
+        ApiFunction("adios2_type_float", "keyword"),
+        ApiFunction("adios2_type_double", "keyword"),
+        ApiFunction("adios2_type_int32_t", "keyword"),
+        ApiFunction("adios2_mode_write", "keyword"),
+        ApiFunction("adios2_mode_read", "keyword"),
+        ApiFunction("adios2_mode_deferred", "keyword"),
+        ApiFunction("adios2_mode_sync", "keyword"),
+        ApiFunction("adios2_step_mode_append", "keyword"),
+        ApiFunction("adios2_step_mode_read", "keyword"),
+        ApiFunction("adios2_step_status_ok", "keyword"),
+        ApiFunction("adios2_constant_dims_true", "keyword"),
+        ApiFunction("adios2_constant_dims_false", "keyword"),
+        ApiFunction("adios2_c", "header", description="C bindings header adios2_c.h"),
+        ApiFunction("adios2_adios", "class"),
+        ApiFunction("adios2_io", "class"),
+        ApiFunction("adios2_variable", "class"),
+        ApiFunction("adios2_engine", "class"),
+        ApiFunction("adios2_error", "class"),
+        ApiFunction("adios2_step_status", "class"),
+    ],
+)
+
+# XML config vocabulary (elements and attributes) for the configuration
+# experiment's validator.
+ADIOS2_CONFIG_FIELDS = ApiRegistry(
+    "ADIOS2",
+    [
+        ApiFunction("adios-config", "field", required=True),
+        ApiFunction("io", "field", required=True),
+        ApiFunction("engine", "field"),
+        ApiFunction("parameter", "field"),
+        ApiFunction("variable", "field"),
+        ApiFunction("transport", "field"),
+        ApiFunction("name", "field"),
+        ApiFunction("type", "field"),
+        ApiFunction("key", "field"),
+        ApiFunction("value", "field"),
+    ],
+)

@@ -1,0 +1,25 @@
+"""WorkflowSystem descriptor for ADIOS2."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workflows.adios2.surface import ADIOS2_C_API, ADIOS2_CONFIG_FIELDS
+from repro.workflows.adios2.validator import validate_config, validate_task_code
+from repro.workflows.base import WorkflowSystem
+
+
+@lru_cache(maxsize=1)
+def adios2_system() -> WorkflowSystem:
+    """Build (once) the ADIOS2 system descriptor."""
+    return WorkflowSystem(
+        name="adios2",
+        display_name="ADIOS2",
+        kind="in-situ",
+        task_language="c",
+        config_language="xml",
+        api=ADIOS2_C_API,
+        config_fields=ADIOS2_CONFIG_FIELDS,
+        validate_config=validate_config,
+        validate_task_code=validate_task_code,
+    )

@@ -1,0 +1,94 @@
+"""Validators for ADIOS2 artifacts: XML configs and annotated C task codes."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+from repro.workflows.adios2.surface import ADIOS2_C_API, ADIOS2_CONFIG_FIELDS
+from repro.workflows.adios2.xmlconfig import parse_xml_config
+from repro.workflows.base import Diagnostic, Severity, ValidationReport
+from repro.workflows.validators import check_api_usage, find_line
+
+_XML_TAG_RE = re.compile(r"<\s*/?\s*([A-Za-z][\w.-]*)")
+_XML_ATTR_RE = re.compile(r"\b([A-Za-z][\w-]*)\s*=\s*\"")
+
+
+def validate_config(text: str) -> ValidationReport:
+    """Audit an adios2.xml document: parseability + element/attr vocabulary."""
+    report = ValidationReport(system="ADIOS2", artifact_kind="config")
+    try:
+        parse_xml_config(text)
+    except ConfigError as exc:
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="parse-error",
+                message=str(exc),
+                line=None,
+            )
+        )
+    # vocabulary audit runs even when parsing fails, to localize the damage
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        for m in _XML_TAG_RE.finditer(line):
+            tag = m.group(1)
+            if tag in ("xml",):  # prolog
+                continue
+            if not ADIOS2_CONFIG_FIELDS.known(tag):
+                report.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        code="unknown-field",
+                        message=f"<{tag}> is not an adios2.xml element",
+                        line=lineno,
+                        symbol=tag,
+                        suggestion=ADIOS2_CONFIG_FIELDS.suggest(tag),
+                    )
+                )
+        for m in _XML_ATTR_RE.finditer(line):
+            attr = m.group(1)
+            if attr in ("version", "encoding"):  # prolog attributes
+                continue
+            if not ADIOS2_CONFIG_FIELDS.known(attr):
+                report.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.WARNING,
+                        code="unknown-field",
+                        message=f"attribute {attr!r} is not part of adios2.xml",
+                        line=lineno,
+                        symbol=attr,
+                        suggestion=ADIOS2_CONFIG_FIELDS.suggest(attr),
+                    )
+                )
+    return report
+
+
+def validate_task_code(text: str) -> ValidationReport:
+    """Audit an annotated C task code for the ADIOS2 surface.
+
+    Flags ``adios2_*`` identifiers that do not exist and checks that the
+    step-based producer skeleton (init → declare_io → define_variable →
+    open → begin/put/end → close → finalize) is complete.
+    """
+    report = ValidationReport(system="ADIOS2", artifact_kind="task-code")
+    report.extend(
+        check_api_usage(
+            text,
+            ADIOS2_C_API,
+            r"adios2_\w+",
+            required=ADIOS2_C_API.required_names("function"),
+        )
+    )
+    # step pairing sanity: every begin_step should be matched by an end_step
+    begins = text.count("adios2_begin_step")
+    ends = text.count("adios2_end_step")
+    if begins != ends:
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.WARNING,
+                code="structure",
+                message=f"unbalanced steps: {begins} begin_step vs {ends} end_step",
+                line=find_line(text, "adios2_begin_step"),
+            )
+        )
+    return report

@@ -1,0 +1,128 @@
+"""ADIOS2 XML runtime configuration.
+
+The paper's *workflow configuration* experiment asks models to emit an
+``adios2.xml`` runtime config: ``<adios-config>`` containing ``<io>``
+blocks, each selecting an ``<engine>`` and its ``<parameter>`` settings.
+This module parses that format into :class:`AdiosConfig` and exposes the
+valid element/attribute vocabulary for the validator.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+VALID_ROOT = "adios-config"
+VALID_IO_TAG = "io"
+VALID_ENGINE_TAG = "engine"
+VALID_PARAMETER_TAG = "parameter"
+VALID_VARIABLE_TAG = "variable"
+VALID_TRANSPORT_TAG = "transport"
+
+KNOWN_ENGINE_TYPES = ("BPFile", "BP4", "BP5", "SST", "HDF5", "DataMan", "Inline")
+
+
+@dataclass
+class IOConfig:
+    """Configuration of one named IO group."""
+
+    name: str
+    engine_type: str = ""
+    parameters: dict[str, str] = field(default_factory=dict)
+    variables: list[str] = field(default_factory=list)
+    transports: list[str] = field(default_factory=list)
+
+
+@dataclass
+class AdiosConfig:
+    """Parsed adios2.xml: IO configs keyed by name."""
+
+    ios: dict[str, IOConfig] = field(default_factory=dict)
+
+    def io(self, name: str) -> IOConfig:
+        try:
+            return self.ios[name]
+        except KeyError:
+            raise ConfigError(f"no <io name={name!r}> block in config") from None
+
+
+def parse_xml_config(text: str) -> AdiosConfig:
+    """Parse and structurally validate an adios2.xml document.
+
+    Raises :class:`ConfigError` with a human-readable message for malformed
+    XML, a wrong root element, unnamed ``<io>`` blocks, or unknown engine
+    types — the error classes the paper's validator cares about.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigError(f"malformed XML: {exc}") from exc
+
+    if root.tag != VALID_ROOT:
+        raise ConfigError(
+            f"root element must be <{VALID_ROOT}>, got <{root.tag}>"
+        )
+
+    config = AdiosConfig()
+    for io_el in root:
+        if io_el.tag != VALID_IO_TAG:
+            raise ConfigError(
+                f"unexpected element <{io_el.tag}> under <{VALID_ROOT}> "
+                f"(only <{VALID_IO_TAG}> is allowed)"
+            )
+        name = io_el.get("name")
+        if not name:
+            raise ConfigError("<io> element missing required 'name' attribute")
+        if name in config.ios:
+            raise ConfigError(f"duplicate <io name={name!r}>")
+        io_cfg = IOConfig(name=name)
+        for child in io_el:
+            if child.tag == VALID_ENGINE_TAG:
+                etype = child.get("type", "")
+                if etype and etype not in KNOWN_ENGINE_TYPES:
+                    raise ConfigError(
+                        f"io {name!r}: unknown engine type {etype!r} "
+                        f"(known: {', '.join(KNOWN_ENGINE_TYPES)})"
+                    )
+                io_cfg.engine_type = etype
+                for param in child:
+                    if param.tag != VALID_PARAMETER_TAG:
+                        raise ConfigError(
+                            f"io {name!r}: unexpected <{param.tag}> under <engine>"
+                        )
+                    key, value = param.get("key"), param.get("value")
+                    if key is None or value is None:
+                        raise ConfigError(
+                            f"io {name!r}: <parameter> needs 'key' and 'value'"
+                        )
+                    io_cfg.parameters[key] = value
+            elif child.tag == VALID_VARIABLE_TAG:
+                vname = child.get("name")
+                if not vname:
+                    raise ConfigError(f"io {name!r}: <variable> missing 'name'")
+                io_cfg.variables.append(vname)
+            elif child.tag == VALID_TRANSPORT_TAG:
+                io_cfg.transports.append(child.get("type", ""))
+            else:
+                raise ConfigError(f"io {name!r}: unexpected element <{child.tag}>")
+        config.ios[name] = io_cfg
+    return config
+
+
+def render_xml_config(config: AdiosConfig) -> str:
+    """Serialize an :class:`AdiosConfig` back to canonical adios2.xml text."""
+    lines = ["<?xml version=\"1.0\"?>", f"<{VALID_ROOT}>"]
+    for io_cfg in config.ios.values():
+        lines.append(f'    <io name="{io_cfg.name}">')
+        if io_cfg.engine_type or io_cfg.parameters:
+            lines.append(f'        <engine type="{io_cfg.engine_type}">')
+            for key, value in io_cfg.parameters.items():
+                lines.append(f'            <parameter key="{key}" value="{value}"/>')
+            lines.append("        </engine>")
+        for vname in io_cfg.variables:
+            lines.append(f'        <variable name="{vname}"/>')
+        lines.append("    </io>")
+    lines.append(f"</{VALID_ROOT}>")
+    return "\n".join(lines)

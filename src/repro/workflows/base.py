@@ -1,0 +1,162 @@
+"""Common machinery for workflow-system descriptors and artifact validation.
+
+The experiments in the paper hinge on whether an LLM uses a system's *real*
+API surface — its hallucinations are "plausible but nonexistent" calls like
+``henson_put`` or config fields like ``inputs`` instead of ``inports``.
+:class:`ApiRegistry` records the real surface; validators compare artifacts
+against it and emit :class:`Diagnostic` entries.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable
+
+
+class Severity(Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class ApiFunction:
+    """One element of a system's public surface."""
+
+    name: str
+    kind: str = "function"  # function | decorator | field | class | keyword
+    signature: str = ""
+    description: str = ""
+    required: bool = False  # must appear in a correct artifact of this kind
+
+
+class ApiRegistry:
+    """The authoritative API surface of one workflow system."""
+
+    def __init__(self, system: str, entries: Iterable[ApiFunction] = ()) -> None:
+        self.system = system
+        self._entries: dict[str, ApiFunction] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: ApiFunction) -> None:
+        self._entries[entry.name] = entry
+
+    def known(self, name: str) -> bool:
+        return name in self._entries
+
+    def get(self, name: str) -> ApiFunction | None:
+        return self._entries.get(name)
+
+    def names(self, kind: str | None = None) -> list[str]:
+        return sorted(
+            e.name for e in self._entries.values() if kind is None or e.kind == kind
+        )
+
+    def required_names(self, kind: str | None = None) -> list[str]:
+        return sorted(
+            e.name
+            for e in self._entries.values()
+            if e.required and (kind is None or e.kind == kind)
+        )
+
+    def suggest(self, name: str, cutoff: float = 0.5) -> str | None:
+        """Closest real name to a hallucinated one (for diagnostics)."""
+        matches = difflib.get_close_matches(name, list(self._entries), n=1, cutoff=cutoff)
+        return matches[0] if matches else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return self.known(name)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding, tied to a line of the artifact when possible."""
+
+    severity: Severity
+    code: str  # nonexistent-api | missing-api | unknown-field | missing-field | parse-error | structure
+    message: str
+    line: int | None = None
+    symbol: str | None = None
+    suggestion: str | None = None
+
+    def render(self) -> str:
+        loc = f"line {self.line}: " if self.line is not None else ""
+        hint = f" (did you mean {self.suggestion!r}?)" if self.suggestion else ""
+        return f"[{self.severity.value}] {loc}{self.message}{hint}"
+
+
+@dataclass
+class ValidationReport:
+    """Validator output for one artifact."""
+
+    system: str
+    artifact_kind: str  # config | task-code
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def hallucinations(self) -> list[Diagnostic]:
+        """Uses of names that do not exist in the system's surface."""
+        return [d for d in self.diagnostics if d.code in ("nonexistent-api", "unknown-field")]
+
+    def missing(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code in ("missing-api", "missing-field")]
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return f"{self.system} {self.artifact_kind}: OK"
+        lines = [f"{self.system} {self.artifact_kind}: {len(self.errors())} error(s), "
+                 f"{len(self.warnings())} warning(s)"]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+@dataclass
+class WorkflowSystem:
+    """Descriptor tying together a system's identity, surface, and validators.
+
+    ``validate_config`` / ``validate_task_code`` are callables taking the
+    artifact text and returning a :class:`ValidationReport`; systems that
+    have no notion of one artifact kind leave it ``None`` (e.g. Wilkins
+    requires no task-code changes, PyCOMPSs/Parsl configs describe the
+    execution environment rather than the workflow — the paper excludes
+    those combinations for exactly these reasons).
+    """
+
+    name: str  # canonical key: adios2 | henson | parsl | pycompss | wilkins
+    display_name: str
+    kind: str  # in-situ | distributed | task-parallel
+    task_language: str  # c | python
+    config_language: str | None  # xml | hwl | yaml | None
+    api: ApiRegistry
+    config_fields: ApiRegistry | None = None
+    validate_config: Callable[[str], ValidationReport] | None = None
+    validate_task_code: Callable[[str], ValidationReport] | None = None
+
+    @property
+    def supports_configuration(self) -> bool:
+        return self.validate_config is not None
+
+    @property
+    def supports_annotation(self) -> bool:
+        return self.validate_task_code is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkflowSystem({self.name!r})"

@@ -1,0 +1,161 @@
+"""Dependency-resolving task executor shared by the Parsl and PyCOMPSs substrates.
+
+Both systems expose *implicit dataflow*: calling a decorated function
+returns a future immediately, and the runtime launches the task once all
+futures among its inputs have resolved.  :class:`DataflowExecutor`
+implements exactly that: tasks with unresolved dependencies wait on
+completion callbacks (no thread is blocked while waiting), then run on a
+bounded thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import WorkflowError
+
+
+@dataclass
+class TaskRecord:
+    """Bookkeeping for one submitted task."""
+
+    task_id: int
+    name: str
+    future: Future
+    depends_on: tuple[Future, ...] = ()
+    state: str = "pending"  # pending | running | done | failed
+    extra: dict = field(default_factory=dict)
+
+
+class DataflowExecutor:
+    """Bounded thread pool with future-based dependency scheduling."""
+
+    def __init__(self, max_workers: int = 8, label: str = "dataflow") -> None:
+        if max_workers <= 0:
+            raise WorkflowError("max_workers must be positive")
+        self.label = label
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"{label}-worker"
+        )
+        self._lock = threading.Lock()
+        self._records: dict[int, TaskRecord] = {}
+        self._next_id = 0
+        self._shutdown = False
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        depends_on: Iterable[Future] = (),
+        name: str | None = None,
+    ) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` after ``depends_on`` resolve.
+
+        Futures appearing directly in ``args``/``kwargs`` are implicit
+        dependencies and are replaced by their results at launch time.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise WorkflowError(f"{self.label}: executor is shut down")
+            task_id = self._next_id
+            self._next_id += 1
+
+        kwargs = dict(kwargs or {})
+        future: Future = Future()
+        implicit = [a for a in args if isinstance(a, Future)]
+        implicit += [v for v in kwargs.values() if isinstance(v, Future)]
+        deps = tuple(dict.fromkeys([*depends_on, *implicit]))  # de-dup, keep order
+        record = TaskRecord(
+            task_id=task_id,
+            name=name or getattr(fn, "__name__", "task"),
+            future=future,
+            depends_on=deps,
+        )
+        with self._lock:
+            self._records[task_id] = record
+
+        remaining = len(deps)
+        count_lock = threading.Lock()
+
+        def launch() -> None:
+            failed = [d for d in record.depends_on if d.exception() is not None]
+            if failed:
+                record.state = "failed"
+                future.set_exception(
+                    WorkflowError(
+                        f"task {record.name!r} aborted: dependency failed "
+                        f"({failed[0].exception()!r})"
+                    )
+                )
+                return
+            record.state = "running"
+            resolved_args = tuple(
+                a.result() if isinstance(a, Future) else a for a in args
+            )
+            resolved_kwargs = {
+                k: (v.result() if isinstance(v, Future) else v)
+                for k, v in kwargs.items()
+            }
+            try:
+                result = fn(*resolved_args, **resolved_kwargs)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via future
+                record.state = "failed"
+                future.set_exception(exc)
+            else:
+                record.state = "done"
+                future.set_result(result)
+
+        def dep_done(_dep: Future) -> None:
+            nonlocal remaining
+            with count_lock:
+                remaining -= 1
+                ready = remaining == 0
+            if ready:
+                self._pool.submit(launch)
+
+        if not deps:
+            self._pool.submit(launch)
+        else:
+            for dep in deps:
+                dep.add_done_callback(dep_done)
+        return future
+
+    # -- introspection ---------------------------------------------------------
+
+    def records(self) -> list[TaskRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def counts(self) -> dict[str, int]:
+        out = {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        for rec in self.records():
+            out[rec.state] = out.get(rec.state, 0) + 1
+        return out
+
+    def wait_all(self, timeout: float = 60.0) -> None:
+        """Block until every submitted task has finished."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        for rec in self.records():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkflowError(f"{self.label}: wait_all timed out")
+            try:
+                rec.future.exception(timeout=remaining)
+            except TimeoutError:
+                raise WorkflowError(
+                    f"{self.label}: task {rec.name!r} did not finish in time"
+                ) from None
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=wait)

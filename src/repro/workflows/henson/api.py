@@ -1,0 +1,170 @@
+"""C-flavoured Henson API bound to the calling puppet.
+
+Task code written against this module reads exactly like the C API the
+paper's reference codes use::
+
+    from repro.workflows.henson import api as henson
+
+    def producer():
+        t = 0
+        while henson.henson_active():
+            array = make_data()
+            henson.henson_save_array("array", array)
+            henson.henson_save_int("t", t)
+            henson.henson_yield()
+            t += 1
+
+Functions resolve the current puppet through a thread-local binding set by
+:class:`~repro.workflows.henson.coroutines.HensonRuntime`; calling them
+outside a running puppet raises :class:`~repro.errors.WorkflowError`
+(standalone execution, which real Henson supports, is available via
+``henson_active() == False`` when ``strict=False``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.errors import WorkflowError
+
+_tls = threading.local()
+
+
+def _bind_context(runtime, state) -> None:
+    _tls.runtime = runtime
+    _tls.state = state
+
+
+def _unbind_context() -> None:
+    _tls.runtime = None
+    _tls.state = None
+
+
+def _current():
+    runtime = getattr(_tls, "runtime", None)
+    state = getattr(_tls, "state", None)
+    if runtime is None or state is None:
+        return None, None
+    return runtime, state
+
+
+def _require_runtime():
+    runtime, state = _current()
+    if runtime is None:
+        raise WorkflowError(
+            "henson API called outside a running puppet "
+            "(run task code through HensonRuntime)"
+        )
+    return runtime, state
+
+
+# -- scheduling -----------------------------------------------------------------
+
+
+def henson_active() -> bool:
+    """True while the workflow is running; False standalone or at shutdown."""
+    runtime, _state = _current()
+    if runtime is None:
+        return False
+    return runtime.active()
+
+
+def henson_yield() -> None:
+    """Hand the baton to the next puppet (no-op standalone)."""
+    runtime, state = _current()
+    if runtime is None:
+        return
+    runtime._yield_turn(state)
+
+
+def henson_stop() -> None:
+    """Request workflow shutdown; loops observe it via henson_active()."""
+    runtime, _state = _require_runtime()
+    runtime.stop()
+
+
+# -- named-value exchange (typed save) --------------------------------------------
+
+
+def _save(name: str, value: Any) -> None:
+    runtime, _state = _require_runtime()
+    runtime.values.save(name, value)
+
+
+def _load(name: str) -> Any:
+    runtime, _state = _require_runtime()
+    return runtime.values.load(name)
+
+
+def henson_save_int(name: str, value: int) -> None:
+    """Save an integer under ``name``."""
+    _save(name, int(value))
+
+
+def henson_save_float(name: str, value: float) -> None:
+    """Save a single-precision float under ``name``."""
+    _save(name, float(value))
+
+
+def henson_save_double(name: str, value: float) -> None:
+    """Save a double-precision float under ``name``."""
+    _save(name, float(value))
+
+
+def henson_save_size_t(name: str, value: int) -> None:
+    """Save an unsigned size under ``name``."""
+    if value < 0:
+        raise WorkflowError(f"henson_save_size_t({name!r}): negative value {value}")
+    _save(name, int(value))
+
+
+def henson_save_array(name: str, array: np.ndarray, count: int | None = None) -> None:
+    """Save an array by reference (zero-copy pointer passing)."""
+    arr = np.asarray(array)
+    if count is not None and count != arr.size:
+        raise WorkflowError(
+            f"henson_save_array({name!r}): count {count} != array size {arr.size}"
+        )
+    _save(name, arr)
+
+
+def henson_save_pointer(name: str, obj: Any) -> None:
+    """Save an opaque object reference under ``name``."""
+    _save(name, obj)
+
+
+def henson_load_int(name: str) -> int:
+    return int(_load(name))
+
+
+def henson_load_float(name: str) -> float:
+    return float(_load(name))
+
+
+def henson_load_double(name: str) -> float:
+    return float(_load(name))
+
+
+def henson_load_size_t(name: str) -> int:
+    value = int(_load(name))
+    if value < 0:
+        raise WorkflowError(f"henson_load_size_t({name!r}): negative value {value}")
+    return value
+
+
+def henson_load_array(name: str) -> np.ndarray:
+    value = _load(name)
+    return np.asarray(value)
+
+
+def henson_load_pointer(name: str) -> Any:
+    return _load(name)
+
+
+def henson_exists(name: str) -> bool:
+    """True if a value named ``name`` has been saved."""
+    runtime, _state = _require_runtime()
+    return runtime.values.exists(name)

@@ -1,0 +1,162 @@
+"""Cooperative multitasking scheduler for Henson puppets.
+
+Puppets run on dedicated threads but only one holds the *baton* at a time,
+exactly like coroutines: ``henson_yield()`` parks the caller and passes
+the baton to the next puppet in declaration order.  Data exchange happens
+through a shared named-value store (pointer passing — values are shared
+Python/numpy objects, never copied, mirroring Henson's zero-copy design).
+
+Lifecycle: the runtime repeatedly cycles through live puppets.  When every
+*driver* puppet (by default the first one, conventionally the simulation)
+has returned, ``henson_active()`` flips to False so that loop-style
+consumer puppets (``while henson_active(): ...``) exit their loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+
+
+@dataclass
+class Puppet:
+    """One cooperative task: a Python callable standing in for a shared object."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    driver: bool = False  # drivers decide workflow lifetime
+
+
+class NamedValues:
+    """The Henson exchange namespace (name → live object)."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, Any] = {}
+
+    def save(self, name: str, value: Any) -> None:
+        self._values[name] = value
+
+    def load(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise WorkflowError(f"henson_load: no saved value named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._values
+
+    def names(self) -> list[str]:
+        return sorted(self._values)
+
+
+class _PuppetState:
+    def __init__(self, puppet: Puppet) -> None:
+        self.puppet = puppet
+        self.go = threading.Event()
+        self.parked = threading.Event()
+        self.finished = False
+        self.exception: BaseException | None = None
+        self.result: Any = None
+        self.thread: threading.Thread | None = None
+
+
+class HensonRuntime:
+    """Run a set of puppets cooperatively until all complete.
+
+    ``yields`` and execution order are fully deterministic: puppets are
+    cycled in declaration order, and only one thread is runnable at any
+    instant.
+    """
+
+    def __init__(self, puppets: list[Puppet], *, turn_timeout: float = 30.0) -> None:
+        if not puppets:
+            raise WorkflowError("HensonRuntime needs at least one puppet")
+        names = [p.name for p in puppets]
+        if len(set(names)) != len(names):
+            raise WorkflowError(f"duplicate puppet names: {names}")
+        if not any(p.driver for p in puppets):
+            puppets = [
+                Puppet(p.name, p.fn, p.args, driver=(i == 0))
+                for i, p in enumerate(puppets)
+            ]
+        self.puppets = puppets
+        self.values = NamedValues()
+        self._states = [_PuppetState(p) for p in puppets]
+        self._turn_timeout = turn_timeout
+        self._stopped = False
+        self._yield_counts: dict[str, int] = {p.name: 0 for p in puppets}
+
+    # -- queries used by the api layer ---------------------------------------
+
+    def active(self) -> bool:
+        """True while at least one driver puppet is still running."""
+        if self._stopped:
+            return False
+        return any(
+            s.puppet.driver and not s.finished for s in self._states
+        )
+
+    def stop(self) -> None:
+        """henson_stop(): terminate the workflow at the next yield points."""
+        self._stopped = True
+
+    def yield_counts(self) -> dict[str, int]:
+        return dict(self._yield_counts)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        """Execute all puppets to completion; returns name → return value."""
+        from repro.workflows.henson.api import _bind_context, _unbind_context
+
+        def body(state: _PuppetState) -> None:
+            state.go.wait()
+            state.go.clear()
+            _bind_context(self, state)
+            try:
+                state.result = state.puppet.fn(*state.puppet.args)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                state.exception = exc
+            finally:
+                _unbind_context()
+                state.finished = True
+                state.parked.set()
+
+        for state in self._states:
+            state.thread = threading.Thread(
+                target=body, args=(state,), name=f"puppet-{state.puppet.name}", daemon=True
+            )
+            state.thread.start()
+
+        # baton loop: give each live puppet one turn per round
+        while any(not s.finished for s in self._states):
+            progressed = False
+            for state in self._states:
+                if state.finished:
+                    continue
+                progressed = True
+                state.parked.clear()
+                state.go.set()
+                if not state.parked.wait(self._turn_timeout):
+                    raise WorkflowError(
+                        f"puppet {state.puppet.name!r} did not yield or finish "
+                        f"within {self._turn_timeout}s"
+                    )
+                if state.exception is not None:
+                    raise WorkflowError(
+                        f"puppet {state.puppet.name!r} failed: {state.exception!r}"
+                    ) from state.exception
+            if not progressed:  # pragma: no cover - loop condition guards this
+                break
+        return {s.puppet.name: s.result for s in self._states}
+
+    # called by api.henson_yield via the bound context
+    def _yield_turn(self, state: _PuppetState) -> None:
+        self._yield_counts[state.puppet.name] += 1
+        state.parked.set()  # hand baton back to scheduler
+        state.go.wait()  # wait for next turn
+        state.go.clear()

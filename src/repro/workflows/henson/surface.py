@@ -1,0 +1,61 @@
+"""The Henson API surface: real C functions and hwl script vocabulary.
+
+This registry deliberately excludes the names the paper documents as
+hallucinations — ``henson_put``, ``henson_declare_variable``,
+``henson_data_init``, ``henson_init``, ``henson_rank``, ``henson_size``,
+``henson_finalize`` — so the validator classifies them as nonexistent.
+(Henson has no explicit init/finalize: puppets are re-entered by the
+runtime, and MPI identity comes from the ambient communicator.)
+"""
+
+from __future__ import annotations
+
+from repro.workflows.base import ApiFunction, ApiRegistry
+
+HENSON_C_API = ApiRegistry(
+    "Henson",
+    [
+        ApiFunction("henson_yield", "function", "void henson_yield()",
+                    "hand control to the next puppet", required=True),
+        ApiFunction("henson_active", "function", "int henson_active()",
+                    "true while the workflow is running", required=True),
+        ApiFunction("henson_stop", "function", "void henson_stop()",
+                    "request workflow shutdown"),
+        ApiFunction("henson_save_int", "function",
+                    "void henson_save_int(const char*, int)",
+                    "save an integer named value", required=True),
+        ApiFunction("henson_save_float", "function",
+                    "void henson_save_float(const char*, float)"),
+        ApiFunction("henson_save_double", "function",
+                    "void henson_save_double(const char*, double)"),
+        ApiFunction("henson_save_size_t", "function",
+                    "void henson_save_size_t(const char*, size_t)"),
+        ApiFunction("henson_save_array", "function",
+                    "void henson_save_array(const char*, void*, size_t, size_t, size_t)",
+                    "save an array by reference (zero copy)", required=True),
+        ApiFunction("henson_save_pointer", "function",
+                    "void henson_save_pointer(const char*, void*)"),
+        ApiFunction("henson_load_int", "function",
+                    "void henson_load_int(const char*, int*)"),
+        ApiFunction("henson_load_float", "function",
+                    "void henson_load_float(const char*, float*)"),
+        ApiFunction("henson_load_double", "function",
+                    "void henson_load_double(const char*, double*)"),
+        ApiFunction("henson_load_size_t", "function",
+                    "void henson_load_size_t(const char*, size_t*)"),
+        ApiFunction("henson_load_array", "function",
+                    "void henson_load_array(const char*, void**, size_t*, size_t*, size_t*)"),
+        ApiFunction("henson_load_pointer", "function",
+                    "void henson_load_pointer(const char*, void**)"),
+        ApiFunction("henson_exists", "function", "int henson_exists(const char*)"),
+    ],
+)
+
+# hwl grammar vocabulary: keywords the config validator accepts.
+HENSON_HWL_FIELDS = ApiRegistry(
+    "Henson",
+    [
+        ApiFunction("on", "keyword", required=True),
+        ApiFunction("procs", "keyword", required=True),
+    ],
+)

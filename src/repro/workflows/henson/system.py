@@ -1,0 +1,25 @@
+"""WorkflowSystem descriptor for Henson."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workflows.base import WorkflowSystem
+from repro.workflows.henson.surface import HENSON_C_API, HENSON_HWL_FIELDS
+from repro.workflows.henson.validator import validate_config, validate_task_code
+
+
+@lru_cache(maxsize=1)
+def henson_system() -> WorkflowSystem:
+    """Build (once) the Henson system descriptor."""
+    return WorkflowSystem(
+        name="henson",
+        display_name="Henson",
+        kind="in-situ",
+        task_language="c",
+        config_language="hwl",
+        api=HENSON_C_API,
+        config_fields=HENSON_HWL_FIELDS,
+        validate_config=validate_config,
+        validate_task_code=validate_task_code,
+    )

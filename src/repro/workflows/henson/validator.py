@@ -1,0 +1,83 @@
+"""Validators for Henson artifacts: ``.hwl`` scripts and annotated C codes."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+from repro.workflows.base import Diagnostic, Severity, ValidationReport
+from repro.workflows.henson.hwl import parse_hwl
+from repro.workflows.henson.surface import HENSON_C_API
+from repro.workflows.validators import check_api_usage, find_line
+
+# YAML-ish / INI-ish lines signal the model emitted the wrong artifact kind
+_FOREIGN_CONFIG_RE = re.compile(r"^\s*(tasks:|workflow:|\[[\w.-]+\]|-\s+\w+:)", re.MULTILINE)
+
+
+def validate_config(text: str) -> ValidationReport:
+    """Audit an ``.hwl`` workflow script."""
+    report = ValidationReport(system="Henson", artifact_kind="config")
+    if _FOREIGN_CONFIG_RE.search(text):
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="structure",
+                message="artifact looks like YAML/INI, not a Henson hwl script",
+            )
+        )
+        return report
+    try:
+        parse_hwl(text)
+    except ConfigError as exc:
+        message = str(exc)
+        lineno = None
+        m = re.search(r"hwl line (\d+)", message)
+        if m:
+            lineno = int(m.group(1))
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="parse-error",
+                message=message,
+                line=lineno,
+            )
+        )
+    return report
+
+
+def validate_task_code(text: str) -> ValidationReport:
+    """Audit an annotated C task code against the Henson surface.
+
+    Catches the paper's reported failure modes: nonexistent calls such as
+    ``henson_put`` / ``henson_declare_variable`` / ``henson_data_init`` /
+    ``henson_init``, plus missing required calls (a correct producer uses
+    ``henson_active``, ``henson_save_array``, ``henson_save_int`` and
+    ``henson_yield``).
+    """
+    report = ValidationReport(system="Henson", artifact_kind="task-code")
+    report.extend(
+        check_api_usage(
+            text,
+            HENSON_C_API,
+            r"henson_\w+",
+            required=HENSON_C_API.required_names("function"),
+        )
+    )
+    # Henson puppets must not manage MPI lifetime themselves: the runtime
+    # owns MPI_Init/MPI_Finalize when puppets are re-entered cooperatively.
+    for bad in ("MPI_Init", "MPI_Finalize"):
+        lineno = find_line(text, bad + "(")
+        if lineno is not None:
+            report.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.WARNING,
+                    code="structure",
+                    message=(
+                        f"{bad} called inside a puppet; the Henson runtime "
+                        "owns the MPI lifetime"
+                    ),
+                    line=lineno,
+                    symbol=bad,
+                )
+            )
+    return report

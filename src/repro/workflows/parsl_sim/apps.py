@@ -1,0 +1,121 @@
+"""Parsl apps: ``@python_app`` / ``@bash_app`` decorators and futures.
+
+Calling a decorated function submits it to the loaded
+:class:`~repro.workflows.parsl_sim.dfk.DataFlowKernel` and returns an
+:class:`AppFuture`.  ``inputs=[...]``/``outputs=[...]`` keyword arguments
+carry :class:`File` staging descriptors; each output is mirrored by a
+:class:`DataFuture` that resolves when the app completes (Parsl's file
+staging model).
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+from repro.store import SimFilesystem, default_filesystem
+
+
+class File:
+    """A named file handle staged through a simulated filesystem."""
+
+    def __init__(self, filepath: str, fs: SimFilesystem | None = None) -> None:
+        self.filepath = filepath
+        self.fs = fs if fs is not None else default_filesystem()
+
+    def write(self, payload: Any) -> None:
+        """Write the payload object to the simulated file."""
+        self.fs.create(self.filepath, payload)
+
+    def read(self) -> Any:
+        return self.fs.open(self.filepath)
+
+    def exists(self) -> bool:
+        return self.fs.exists(self.filepath)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"File({self.filepath!r})"
+
+    def __fspath__(self) -> str:
+        return self.filepath
+
+
+class DataFuture(Future):
+    """Future for one output :class:`File` of an app invocation."""
+
+    def __init__(self, file: File) -> None:
+        super().__init__()
+        self.file = file
+
+    @property
+    def filepath(self) -> str:
+        return self.file.filepath
+
+
+class AppFuture(Future):
+    """Future for an app's return value, carrying its output DataFutures."""
+
+    def __init__(self, task_name: str, outputs: list[DataFuture]) -> None:
+        super().__init__()
+        self.task_name = task_name
+        self.outputs = outputs
+
+    def _link(self, inner: Future) -> None:
+        """Mirror the runtime future into this one and its outputs."""
+
+        def done(f: Future) -> None:
+            exc = f.exception()
+            if exc is not None:
+                self.set_exception(exc)
+                for out in self.outputs:
+                    out.set_exception(exc)
+            else:
+                self.set_result(f.result())
+                for out in self.outputs:
+                    out.set_result(out.file)
+
+        inner.add_done_callback(done)
+
+
+def _make_app(fn: Callable, app_kind: str, executor_label: str | None) -> Callable:
+    @functools.wraps(fn)
+    def app(*args: Any, **kwargs: Any) -> AppFuture:
+        from repro.workflows.parsl_sim.dfk import dfk
+
+        kernel = dfk()
+        if kernel is None:
+            raise WorkflowError(
+                "no DataFlowKernel loaded; call parsl_sim.load(Config(...)) first"
+            )
+        return kernel.submit_app(
+            fn, args, kwargs, app_kind=app_kind, executor_label=executor_label
+        )
+
+    app.__wrapped__ = fn
+    app.app_kind = app_kind
+    return app
+
+
+def python_app(fn: Callable | None = None, *, executors: str | None = None) -> Callable:
+    """Decorate a plain Python function as a Parsl app.
+
+    Usable bare (``@python_app``) or parameterized
+    (``@python_app(executors='htex')``).
+    """
+    if fn is not None:
+        return _make_app(fn, "python", executors)
+    return lambda real_fn: _make_app(real_fn, "python", executors)
+
+
+def bash_app(fn: Callable | None = None, *, executors: str | None = None) -> Callable:
+    """Decorate a function returning a command line as a Parsl bash app.
+
+    The simulated shell records the command and materializes every
+    ``outputs=[...]`` file with the command string as payload, which is
+    enough for dependency plumbing in tests and examples.
+    """
+    if fn is not None:
+        return _make_app(fn, "bash", executors)
+    return lambda real_fn: _make_app(real_fn, "bash", executors)

@@ -1,0 +1,44 @@
+"""Parsl configuration object.
+
+In real Parsl the configuration describes the *execution environment*
+(executors, providers, retries) rather than the workflow itself — which is
+exactly why the paper excludes Parsl from the workflow-configuration
+experiment.  The substrate keeps that semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.workflows.parsl_sim.executors import Executor, ThreadPoolExecutor
+
+
+@dataclass
+class Config:
+    """Execution environment: one or more labelled executors."""
+
+    executors: list[Executor] = field(default_factory=lambda: [ThreadPoolExecutor()])
+    run_dir: str = "runinfo"
+    retries: int = 0
+    app_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.executors:
+            raise ConfigError("Config needs at least one executor")
+        labels = [e.label for e in self.executors]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate executor labels: {labels}")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+
+    def executor(self, label: str | None) -> Executor:
+        if label is None:
+            return self.executors[0]
+        for e in self.executors:
+            if e.label == label:
+                return e
+        raise ConfigError(
+            f"no executor labelled {label!r} "
+            f"(have {[e.label for e in self.executors]})"
+        )

@@ -1,0 +1,160 @@
+"""The DataFlowKernel: Parsl's runtime, simulated.
+
+Apps are submitted here; the kernel wires dependencies (futures among the
+arguments plus ``inputs=[...]`` DataFutures), retries failed apps per the
+config, executes bash apps through a tiny simulated shell, and exposes
+run statistics.  One kernel is loaded at a time via :func:`load`,
+mirroring ``parsl.load``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+from repro.workflows.parsl_sim.apps import AppFuture, DataFuture, File
+from repro.workflows.parsl_sim.config import Config
+
+_current: "DataFlowKernel | None" = None
+_current_lock = threading.Lock()
+
+
+class DataFlowKernel:
+    """Tracks apps, resolves dependencies, and dispatches to executors."""
+
+    def __init__(self, config: Config) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._task_count = 0
+        self._bash_log: list[str] = []
+        for executor in config.executors:
+            executor.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_app(
+        self,
+        fn: Callable,
+        args: tuple,
+        kwargs: dict,
+        *,
+        app_kind: str,
+        executor_label: str | None,
+    ) -> AppFuture:
+        kwargs = dict(kwargs)
+        inputs = list(kwargs.get("inputs", ()) or ())
+        outputs = [f for f in kwargs.get("outputs", ()) or ()]
+        for f in outputs:
+            if not isinstance(f, File):
+                raise WorkflowError(f"outputs must be File objects, got {type(f)!r}")
+        out_futures = [DataFuture(f) for f in outputs]
+
+        # dependencies: futures among inputs, positional args, and keyword args
+        deps: list[Future] = [i for i in inputs if isinstance(i, Future)]
+        deps += [a for a in args if isinstance(a, Future)]
+        deps += [
+            v
+            for k, v in kwargs.items()
+            if k not in ("inputs", "outputs") and isinstance(v, Future)
+        ]
+        resolved_inputs: list[Any] = list(inputs)
+
+        with self._lock:
+            self._task_count += 1
+            task_name = f"{fn.__name__}#{self._task_count}"
+
+        def run_once() -> Any:
+            final_inputs = [
+                i.result() if isinstance(i, Future) else i for i in resolved_inputs
+            ]
+            final_args = tuple(
+                a.result() if isinstance(a, Future) else a for a in args
+            )
+            final_kwargs = {
+                k: (v.result() if isinstance(v, Future) and k not in ("inputs", "outputs") else v)
+                for k, v in kwargs.items()
+            }
+            if "inputs" in final_kwargs:
+                final_kwargs["inputs"] = final_inputs
+            if "outputs" in final_kwargs:
+                final_kwargs["outputs"] = outputs
+            if app_kind == "bash":
+                command = fn(*final_args, **final_kwargs)
+                if not isinstance(command, str):
+                    raise WorkflowError(
+                        f"bash app {fn.__name__!r} must return a command string"
+                    )
+                self._run_shell(command, outputs)
+                return 0  # exit code
+            return fn(*final_args, **final_kwargs)
+
+        def run_with_retries() -> Any:
+            attempts = self.config.retries + 1
+            last_exc: BaseException | None = None
+            for _ in range(attempts):
+                try:
+                    return run_once()
+                except BaseException as exc:  # noqa: BLE001 - retried, then surfaced
+                    last_exc = exc
+            assert last_exc is not None
+            raise last_exc
+
+        executor = self.config.executor(executor_label)
+        app_future = AppFuture(task_name, out_futures)
+        inner = executor.submit(run_with_retries, (), {}, depends_on=deps)
+        app_future._link(inner)
+        return app_future
+
+    # -- simulated shell ---------------------------------------------------------
+
+    def _run_shell(self, command: str, outputs: list[File]) -> None:
+        with self._lock:
+            self._bash_log.append(command)
+        for f in outputs:
+            if not f.exists():
+                f.write(f"<produced by: {command}>")
+
+    def bash_history(self) -> list[str]:
+        with self._lock:
+            return list(self._bash_log)
+
+    # -- stats / lifecycle ---------------------------------------------------------
+
+    @property
+    def task_count(self) -> int:
+        with self._lock:
+            return self._task_count
+
+    def task_counts(self) -> dict[str, dict[str, int]]:
+        return {e.label: e.task_counts() for e in self.config.executors}
+
+    def cleanup(self) -> None:
+        for executor in self.config.executors:
+            executor.shutdown()
+
+
+def load(config: Config | None = None) -> DataFlowKernel:
+    """Load a kernel (``parsl.load``); only one may be active at a time."""
+    global _current
+    with _current_lock:
+        if _current is not None:
+            raise WorkflowError("a DataFlowKernel is already loaded; call clear() first")
+        _current = DataFlowKernel(config or Config())
+        return _current
+
+
+def clear() -> None:
+    """Tear down the active kernel (``parsl.clear``)."""
+    global _current
+    with _current_lock:
+        if _current is not None:
+            _current.cleanup()
+            _current = None
+
+
+def dfk() -> DataFlowKernel | None:
+    """The currently loaded kernel, if any."""
+    with _current_lock:
+        return _current

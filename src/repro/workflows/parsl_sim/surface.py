@@ -1,0 +1,36 @@
+"""The Parsl API surface used for hallucination detection.
+
+Includes the decorator names, staging classes, executor classes, and
+kernel functions that legitimately appear in annotated Parsl task codes.
+Names such as ``parsl_app`` or ``@parsl_task`` (common hallucinations) are
+absent and therefore flagged.
+"""
+
+from __future__ import annotations
+
+from repro.workflows.base import ApiFunction, ApiRegistry
+
+PARSL_API = ApiRegistry(
+    "Parsl",
+    [
+        ApiFunction("python_app", "decorator", "@python_app",
+                    "declare a Python function as a Parsl app", required=True),
+        ApiFunction("bash_app", "decorator", "@bash_app",
+                    "declare a command-line app"),
+        ApiFunction("join_app", "decorator", "@join_app",
+                    "declare an app that returns futures of other apps"),
+        ApiFunction("File", "class", "File(filepath)",
+                    "staged file handle", required=True),
+        ApiFunction("AppFuture", "class"),
+        ApiFunction("DataFuture", "class"),
+        ApiFunction("Config", "class", "Config(executors=[...])"),
+        ApiFunction("ThreadPoolExecutor", "class"),
+        ApiFunction("HighThroughputExecutor", "class"),
+        ApiFunction("load", "function", "parsl.load(config)"),
+        ApiFunction("clear", "function", "parsl.clear()"),
+        ApiFunction("dfk", "function"),
+        ApiFunction("inputs", "keyword", required=True),
+        ApiFunction("outputs", "keyword", required=True),
+        ApiFunction("result", "function", "future.result()", required=True),
+    ],
+)

@@ -1,0 +1,30 @@
+"""WorkflowSystem descriptor for Parsl.
+
+Parsl has no workflow-structure configuration file (its Config describes
+the execution environment), so ``validate_config`` is ``None`` and the
+configuration experiment excludes it — matching the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workflows.base import WorkflowSystem
+from repro.workflows.parsl_sim.surface import PARSL_API
+from repro.workflows.parsl_sim.validator import validate_task_code
+
+
+@lru_cache(maxsize=1)
+def parsl_system() -> WorkflowSystem:
+    """Build (once) the Parsl system descriptor."""
+    return WorkflowSystem(
+        name="parsl",
+        display_name="Parsl",
+        kind="task-parallel",
+        task_language="python",
+        config_language=None,
+        api=PARSL_API,
+        config_fields=None,
+        validate_config=None,
+        validate_task_code=validate_task_code,
+    )

@@ -1,0 +1,122 @@
+"""The ``@task`` decorator.
+
+Parameters are declared with directions as decorator keywords, exactly
+like PyCOMPSs::
+
+    @task(fname=FILE_OUT, returns=int)
+    def produce(n, fname): ...
+
+Calling a task submits it to the runtime and immediately returns future
+placeholders (one per declared return, a tuple if ``returns`` is an int
+greater than 1, ``None`` when the task declares no returns).  Futures
+passed as arguments become dependencies automatically; ``FILE_IN`` file
+parameters depend on the last writer of the same path.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+from repro.workflows.pycompss.parameter import Direction
+from repro.workflows.pycompss.runtime import runtime
+
+
+def task(
+    returns: Any = None, priority: bool = False, **param_directions: Direction
+) -> Callable:
+    """Declare a Python function as a PyCOMPSs task."""
+    for pname, direction in param_directions.items():
+        if not isinstance(direction, Direction):
+            raise WorkflowError(
+                f"@task parameter {pname!r} must map to a Direction, "
+                f"got {direction!r}"
+            )
+
+    def decorate(fn: Callable) -> Callable:
+        signature = inspect.signature(fn)
+        unknown = set(param_directions) - set(signature.parameters)
+        if unknown:
+            raise WorkflowError(
+                f"@task on {fn.__name__!r}: unknown parameters {sorted(unknown)}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+
+            file_reads: list[str] = []
+            file_writes: list[str] = []
+            for pname, direction in param_directions.items():
+                if not direction.is_file:
+                    continue
+                value = bound.arguments.get(pname)
+                if not isinstance(value, str):
+                    raise WorkflowError(
+                        f"task {fn.__name__!r}: file parameter {pname!r} must be "
+                        f"a path string, got {type(value).__name__}"
+                    )
+                if direction.reads:
+                    file_reads.append(value)
+                if direction.writes:
+                    file_writes.append(value)
+
+            future = runtime().submit(
+                fn,
+                bound.args,
+                bound.kwargs,
+                file_reads=tuple(file_reads),
+                file_writes=tuple(file_writes),
+                name=fn.__name__,
+            )
+
+            n_returns = _count_returns(returns)
+            if n_returns == 0:
+                return None
+            if n_returns == 1:
+                return future
+            return tuple(_component_future(future, i) for i in range(n_returns))
+
+        wrapper.__wrapped__ = fn
+        wrapper.task_directions = dict(param_directions)
+        wrapper.task_returns = returns
+        return wrapper
+
+    return decorate
+
+
+def _count_returns(returns: Any) -> int:
+    if returns in (None, 0, False):
+        return 0
+    if isinstance(returns, bool):
+        return 1
+    if isinstance(returns, int):
+        return returns
+    return 1  # a type annotation like `returns=float`
+
+
+def _component_future(parent: Future, index: int) -> Future:
+    child: Future = Future()
+
+    def done(f: Future) -> None:
+        exc = f.exception()
+        if exc is not None:
+            child.set_exception(exc)
+            return
+        value = f.result()
+        try:
+            child.set_result(value[index])
+        except (TypeError, IndexError) as unpack_exc:
+            child.set_exception(
+                WorkflowError(
+                    f"task declared multiple returns but produced {value!r}"
+                )
+            )
+            del unpack_exc
+
+    parent.add_done_callback(done)
+    return child

@@ -1,0 +1,98 @@
+"""PyCOMPSs synchronization API.
+
+The paper singles out ``compss_wait_on_file`` as the call LLaMA-3.3-70B
+consistently omits — it is the only way to safely consume a file produced
+by a ``FILE_OUT`` task outside another task.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any
+
+from repro.errors import WorkflowError
+from repro.workflows.pycompss.runtime import runtime
+
+
+def compss_wait_on(*objs: Any, timeout: float = 30.0) -> Any:
+    """Materialize future placeholder(s) into real values.
+
+    Accepts one or more objects; lists/tuples are resolved element-wise.
+    Non-future values pass through unchanged (like the real API).
+    """
+    if not objs:
+        raise WorkflowError("compss_wait_on needs at least one object")
+    resolved = [_resolve(obj, timeout) for obj in objs]
+    return resolved[0] if len(resolved) == 1 else tuple(resolved)
+
+
+def _resolve(obj: Any, timeout: float) -> Any:
+    if isinstance(obj, Future):
+        return obj.result(timeout=timeout)
+    if isinstance(obj, list):
+        return [_resolve(o, timeout) for o in obj]
+    if isinstance(obj, tuple):
+        return tuple(_resolve(o, timeout) for o in obj)
+    return obj
+
+
+def compss_wait_on_file(*paths: str, timeout: float = 30.0) -> str | tuple[str, ...]:
+    """Block until the last writer task of each path has completed."""
+    if not paths:
+        raise WorkflowError("compss_wait_on_file needs at least one path")
+    for path in paths:
+        if not isinstance(path, str):
+            raise WorkflowError(
+                f"compss_wait_on_file expects path strings, got {type(path).__name__}"
+            )
+        runtime().wait_for_file(path, timeout=timeout)
+    return paths[0] if len(paths) == 1 else paths
+
+
+def compss_open(path: str, mode: str = "r", timeout: float = 30.0) -> Any:
+    """Synchronize on ``path`` and return its payload from the simulated FS.
+
+    Read modes require the file to exist; write modes return a small
+    handle object whose ``write``/``close`` persist the payload.
+    """
+    rt = runtime()
+    if "r" in mode and "+" not in mode:
+        rt.wait_for_file(path, timeout=timeout)
+        return rt.fs.open(path)
+    return _WriteHandle(path, rt.fs)
+
+
+class _WriteHandle:
+    """Minimal writable handle over the simulated filesystem."""
+
+    def __init__(self, path: str, fs) -> None:
+        self.path = path
+        self._fs = fs
+        self._chunks: list[Any] = []
+        self._closed = False
+
+    def write(self, payload: Any) -> None:
+        if self._closed:
+            raise WorkflowError(f"write to closed handle {self.path!r}")
+        self._chunks.append(payload)
+
+    def close(self) -> None:
+        if not self._closed:
+            payload = (
+                "".join(self._chunks)
+                if all(isinstance(c, str) for c in self._chunks)
+                else self._chunks
+            )
+            self._fs.create(self.path, payload)
+            self._closed = True
+
+    def __enter__(self) -> "_WriteHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def compss_barrier(timeout: float = 60.0) -> None:
+    """Block until every submitted task has completed."""
+    runtime().barrier(timeout=timeout)

@@ -1,0 +1,33 @@
+"""PyCOMPSs parameter directions.
+
+Directions annotate ``@task`` parameters and drive dependency analysis:
+``FILE_IN`` readers depend on the last ``FILE_OUT``/``FILE_INOUT`` writer
+of the same path; object parameters default to ``IN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Direction:
+    """A parameter direction tag."""
+
+    name: str
+    is_file: bool
+    reads: bool
+    writes: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+IN = Direction("IN", is_file=False, reads=True, writes=False)
+OUT = Direction("OUT", is_file=False, reads=False, writes=True)
+INOUT = Direction("INOUT", is_file=False, reads=True, writes=True)
+FILE_IN = Direction("FILE_IN", is_file=True, reads=True, writes=False)
+FILE_OUT = Direction("FILE_OUT", is_file=True, reads=False, writes=True)
+FILE_INOUT = Direction("FILE_INOUT", is_file=True, reads=True, writes=True)
+
+ALL_DIRECTIONS = (IN, OUT, INOUT, FILE_IN, FILE_OUT, FILE_INOUT)

@@ -1,0 +1,122 @@
+"""The COMPSs runtime, simulated.
+
+Tracks per-file last-writer futures (the dependency source for
+``FILE_IN`` parameters and ``compss_wait_on_file``), submits tasks to a
+shared :class:`~repro.workflows.dataflow.DataflowExecutor`, and records
+every submission for introspection.  A process-wide runtime is created
+lazily — PyCOMPSs programs never instantiate the runtime themselves, the
+``runcompss`` launcher does — and :func:`reset_runtime` gives tests a
+fresh instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.store import SimFilesystem, default_filesystem
+from repro.workflows.dataflow import DataflowExecutor
+
+
+@dataclass
+class TaskInvocation:
+    """One recorded task call: name, file accesses, dependency count."""
+
+    name: str
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    n_deps: int = 0
+    future: Future | None = field(default=None, repr=False)
+
+
+class COMPSsRuntime:
+    """File-dependency tracking over a dataflow executor."""
+
+    def __init__(self, max_workers: int = 8, fs: SimFilesystem | None = None) -> None:
+        self.fs = fs if fs is not None else default_filesystem()
+        self._executor = DataflowExecutor(max_workers, label="compss")
+        self._lock = threading.Lock()
+        self._last_writer: dict[str, Future] = {}
+        self._invocations: list[TaskInvocation] = []
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        *,
+        file_reads: tuple[str, ...],
+        file_writes: tuple[str, ...],
+        name: str | None = None,
+    ) -> Future:
+        with self._lock:
+            deps = [
+                self._last_writer[path]
+                for path in file_reads
+                if path in self._last_writer
+            ]
+            future = self._executor.submit(
+                fn, args, kwargs, depends_on=deps, name=name or fn.__name__
+            )
+            for path in file_writes:
+                self._last_writer[path] = future
+            self._invocations.append(
+                TaskInvocation(
+                    name=name or fn.__name__,
+                    reads=file_reads,
+                    writes=file_writes,
+                    n_deps=len(deps),
+                    future=future,
+                )
+            )
+            return future
+
+    # -- synchronization ---------------------------------------------------------
+
+    def wait_for_file(self, path: str, timeout: float = 30.0) -> None:
+        with self._lock:
+            writer = self._last_writer.get(path)
+        if writer is not None:
+            writer.result(timeout=timeout)
+
+    def barrier(self, timeout: float = 60.0) -> None:
+        self._executor.wait_all(timeout=timeout)
+
+    # -- introspection -------------------------------------------------------------
+
+    def invocations(self) -> list[TaskInvocation]:
+        with self._lock:
+            return list(self._invocations)
+
+    def task_counts(self) -> dict[str, int]:
+        return self._executor.counts()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+
+_runtime: COMPSsRuntime | None = None
+_runtime_lock = threading.Lock()
+
+
+def runtime() -> COMPSsRuntime:
+    """The process-wide runtime, created on first use."""
+    global _runtime
+    with _runtime_lock:
+        if _runtime is None:
+            _runtime = COMPSsRuntime()
+        return _runtime
+
+
+def reset_runtime(fs: SimFilesystem | None = None) -> COMPSsRuntime:
+    """Tear down and replace the process-wide runtime (test isolation)."""
+    global _runtime
+    with _runtime_lock:
+        if _runtime is not None:
+            _runtime.shutdown()
+        _runtime = COMPSsRuntime(fs=fs)
+        return _runtime

@@ -1,0 +1,31 @@
+"""The PyCOMPSs API surface used for hallucination detection."""
+
+from __future__ import annotations
+
+from repro.workflows.base import ApiFunction, ApiRegistry
+
+PYCOMPSS_API = ApiRegistry(
+    "PyCOMPSs",
+    [
+        ApiFunction("task", "decorator", "@task(param=DIRECTION, returns=...)",
+                    "declare a Python method as a task", required=True),
+        ApiFunction("compss_wait_on", "function", "compss_wait_on(obj)",
+                    "materialize future placeholders", required=True),
+        ApiFunction("compss_wait_on_file", "function", "compss_wait_on_file(path)",
+                    "synchronize on a file produced by a task", required=True),
+        ApiFunction("compss_open", "function", "compss_open(path, mode)"),
+        ApiFunction("compss_barrier", "function", "compss_barrier()"),
+        ApiFunction("compss_delete_file", "function"),
+        ApiFunction("constraint", "decorator", "@constraint(computing_units=...)"),
+        ApiFunction("binary", "decorator", "@binary(binary='cmd')"),
+        ApiFunction("mpi", "decorator", "@mpi(runner='mpirun', processes=...)"),
+        ApiFunction("IN", "keyword"),
+        ApiFunction("OUT", "keyword"),
+        ApiFunction("INOUT", "keyword"),
+        ApiFunction("FILE_IN", "keyword", required=True),
+        ApiFunction("FILE_OUT", "keyword", required=True),
+        ApiFunction("FILE_INOUT", "keyword"),
+        ApiFunction("returns", "keyword"),
+        ApiFunction("Direction", "class"),
+    ],
+)

@@ -1,0 +1,30 @@
+"""WorkflowSystem descriptor for PyCOMPSs.
+
+PyCOMPSs project/resources XML files describe the execution environment,
+not the workflow, so ``validate_config`` is ``None`` and the configuration
+experiment excludes the system — matching the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workflows.base import WorkflowSystem
+from repro.workflows.pycompss.surface import PYCOMPSS_API
+from repro.workflows.pycompss.validator import validate_task_code
+
+
+@lru_cache(maxsize=1)
+def pycompss_system() -> WorkflowSystem:
+    """Build (once) the PyCOMPSs system descriptor."""
+    return WorkflowSystem(
+        name="pycompss",
+        display_name="PyCOMPSs",
+        kind="task-parallel",
+        task_language="python",
+        config_language=None,
+        api=PYCOMPSS_API,
+        config_fields=None,
+        validate_config=None,
+        validate_task_code=validate_task_code,
+    )

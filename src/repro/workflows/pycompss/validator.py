@@ -1,0 +1,87 @@
+"""Validator for annotated PyCOMPSs task codes (Python).
+
+Checks the decorations and synchronization discipline the paper's
+evaluation keys on: a correct producer/consumer annotation must decorate
+with ``@task`` using file directions and must synchronize file exchange
+with ``compss_wait_on_file`` (the call LLaMA omits) or ``compss_wait_on``
+for object results.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.workflows.base import Diagnostic, Severity, ValidationReport
+from repro.workflows.pycompss.surface import PYCOMPSS_API
+from repro.workflows.validators import check_api_usage
+
+_IMPORT_RE = re.compile(r"^\s*from\s+pycompss(?:\.\w+)*\s+import\s+(.+)$")
+_DECORATOR_RE = re.compile(r"^\s*@([\w.]+)")
+
+
+def validate_task_code(text: str) -> ValidationReport:
+    report = ValidationReport(system="PyCOMPSs", artifact_kind="task-code")
+
+    # compss_* identifier audit (nonexistent + required synchronization)
+    report.extend(
+        check_api_usage(
+            text,
+            PYCOMPSS_API,
+            r"compss_\w+",
+            required=["compss_wait_on_file"],
+        )
+    )
+
+    saw_task = False
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        m = _IMPORT_RE.match(line)
+        if m:
+            names = [n.strip().split(" as ")[0] for n in m.group(1).split(",")]
+            for name in names:
+                if name and not PYCOMPSS_API.known(name):
+                    report.diagnostics.append(
+                        Diagnostic(
+                            severity=Severity.ERROR,
+                            code="nonexistent-api",
+                            message=f"{name!r} is not importable from pycompss",
+                            line=lineno,
+                            symbol=name,
+                            suggestion=PYCOMPSS_API.suggest(name),
+                        )
+                    )
+        d = _DECORATOR_RE.match(line)
+        if d:
+            deco = d.group(1).split(".")[-1].split("(")[0]
+            if deco == "task":
+                saw_task = True
+            elif not PYCOMPSS_API.known(deco):
+                report.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        code="nonexistent-api",
+                        message=f"@{deco} is not a PyCOMPSs decorator",
+                        line=lineno,
+                        symbol=deco,
+                        suggestion=PYCOMPSS_API.suggest(deco),
+                    )
+                )
+
+    if not saw_task:
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="missing-api",
+                message="no @task decorator found",
+                symbol="task",
+            )
+        )
+    if "FILE_OUT" not in text and "FILE_IN" not in text:
+        report.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="missing-api",
+                message="no file parameter directions (FILE_IN/FILE_OUT) declared",
+                symbol="FILE_OUT",
+            )
+        )
+    return report

@@ -1,0 +1,50 @@
+"""Registry of workflow-system descriptors keyed by canonical name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkflowError
+from repro.workflows.base import WorkflowSystem
+
+# factories are looked up lazily so subpackages stay independently importable
+_FACTORIES: dict[str, str] = {
+    "adios2": "repro.workflows.adios2.system:adios2_system",
+    "henson": "repro.workflows.henson.system:henson_system",
+    "parsl": "repro.workflows.parsl_sim.system:parsl_system",
+    "pycompss": "repro.workflows.pycompss.system:pycompss_system",
+    "wilkins": "repro.workflows.wilkins.system:wilkins_system",
+}
+
+_ALIASES = {
+    "adios": "adios2",
+    "parsl_sim": "parsl",
+    "pycompss_sim": "pycompss",
+}
+
+
+def _load(spec: str) -> Callable[[], WorkflowSystem]:
+    import importlib
+
+    module_name, _, attr = spec.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def get_system(name: str) -> WorkflowSystem:
+    """Return the descriptor for ``name`` (``adios2``/``henson``/``parsl``/
+    ``pycompss``/``wilkins``, case-insensitive, common aliases accepted)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        factory_spec = _FACTORIES[key]
+    except KeyError:
+        raise WorkflowError(
+            f"unknown workflow system {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return _load(factory_spec)()
+
+
+def all_systems() -> list[WorkflowSystem]:
+    """All five system descriptors, in canonical order."""
+    return [get_system(name) for name in _FACTORIES]

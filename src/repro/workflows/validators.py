@@ -1,0 +1,120 @@
+"""Shared validator building blocks.
+
+System validators scan artifact text for identifiers that *look like* uses
+of the system's API (prefix patterns such as ``henson_\\w+`` or
+``adios2_\\w+``, decorator forms like ``@task``) and check each against the
+system's :class:`~repro.workflows.base.ApiRegistry`.  Unknown names become
+``nonexistent-api`` errors — the paper's hallucination class — and required
+names that never appear become ``missing-api`` errors.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.workflows.base import ApiRegistry, Diagnostic, Severity
+
+
+def scan_prefixed_calls(
+    text: str, prefix_pattern: str
+) -> list[tuple[str, int]]:
+    """Find identifiers matching ``prefix_pattern`` with their 1-based lines.
+
+    The pattern should match the bare identifier (e.g. ``henson_\\w+``);
+    matches inside line comments (``//``, ``#``) are still reported because
+    commented-out hallucinations also hurt similarity scores and mislead
+    users reading the artifact.
+    """
+    pattern = re.compile(rf"\b({prefix_pattern})\b")
+    out: list[tuple[str, int]] = []
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        for m in pattern.finditer(line):
+            out.append((m.group(1), lineno))
+    return out
+
+
+def check_api_usage(
+    text: str,
+    registry: ApiRegistry,
+    prefix_pattern: str,
+    *,
+    required: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+) -> list[Diagnostic]:
+    """Standard identifier audit: nonexistent uses + missing required calls."""
+    ignore_set = set(ignore)
+    diags: list[Diagnostic] = []
+    seen: set[str] = set()
+    for name, lineno in scan_prefixed_calls(text, prefix_pattern):
+        seen.add(name)
+        if name in ignore_set:
+            continue
+        if not registry.known(name):
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="nonexistent-api",
+                    message=f"{name!r} is not part of the {registry.system} API",
+                    line=lineno,
+                    symbol=name,
+                    suggestion=registry.suggest(name),
+                )
+            )
+    for name in required:
+        if name not in seen:
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="missing-api",
+                    message=f"required {registry.system} call {name!r} never used",
+                    symbol=name,
+                )
+            )
+    return diags
+
+
+def check_fields(
+    present: dict[str, int],
+    registry: ApiRegistry,
+    *,
+    required: Iterable[str] = (),
+    context: str = "",
+) -> list[Diagnostic]:
+    """Audit config mapping keys against a field registry.
+
+    ``present`` maps field name → line number (or 0 when unknown).
+    """
+    diags: list[Diagnostic] = []
+    prefix = f"{context}: " if context else ""
+    for name, lineno in present.items():
+        if not registry.known(name):
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="unknown-field",
+                    message=f"{prefix}{name!r} is not a valid {registry.system} field",
+                    line=lineno or None,
+                    symbol=name,
+                    suggestion=registry.suggest(name),
+                )
+            )
+    for name in required:
+        if name not in present:
+            diags.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="missing-field",
+                    message=f"{prefix}required field {name!r} missing",
+                    symbol=name,
+                )
+            )
+    return diags
+
+
+def find_line(text: str, needle: str) -> int | None:
+    """1-based line number of the first occurrence of ``needle``, if any."""
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if needle in line:
+            return lineno
+    return None

@@ -1,0 +1,55 @@
+"""Build the workflow graph from a Wilkins config.
+
+Producer outports are matched to consumer inports on the same filename
+with fnmatch dataset-name matching (Wilkins' semantics: a consumer inport
+``/group1/*`` matches any dataset the producer publishes under that
+group).  Each match becomes a :class:`~repro.workflows.graph.DataLink`
+carrying the consumer's transport choice.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+
+from repro.errors import ConfigError
+from repro.workflows.graph import DataLink, TaskSpec, WorkflowGraph
+from repro.workflows.wilkins.config import WilkinsConfig
+
+
+def build_graph(config: WilkinsConfig) -> WorkflowGraph:
+    """Derive the task graph implied by port/dataset matching."""
+    graph = WorkflowGraph()
+    for t in config.tasks:
+        graph.add_task(TaskSpec(name=t.func, func=t.func, nprocs=t.nprocs, args=t.args))
+
+    for consumer in config.tasks:
+        for inport in consumer.inports:
+            for in_dset in inport.dsets:
+                matched = False
+                for producer in config.tasks:
+                    if producer.func == consumer.func:
+                        continue
+                    for outport in producer.outports:
+                        if outport.filename != inport.filename:
+                            continue
+                        for out_dset in outport.dsets:
+                            if fnmatch(out_dset.name, in_dset.name) or fnmatch(
+                                in_dset.name, out_dset.name
+                            ):
+                                graph.add_link(
+                                    DataLink(
+                                        producer=producer.func,
+                                        consumer=consumer.func,
+                                        dataset=out_dset.name,
+                                        filename=inport.filename,
+                                        transport=in_dset.transport,
+                                    )
+                                )
+                                matched = True
+                if not matched:
+                    raise ConfigError(
+                        f"task {consumer.func!r}: inport dataset "
+                        f"{in_dset.name!r} in {inport.filename!r} has no producer"
+                    )
+    graph.validate()
+    return graph

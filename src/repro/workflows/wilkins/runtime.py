@@ -1,0 +1,259 @@
+"""The Wilkins runtime: execute a YAML-defined workflow on the substrates.
+
+Each task runs as an SPMD function over the simulated MPI
+(:func:`repro.mpi.mpiexec`) on its configured ``nprocs``, all tasks
+concurrently (in-situ style).  Dataset exchange goes through shared
+:class:`~repro.store.h5.H5File` channels:
+
+* ``memory`` transport — consumers block per step on
+  :meth:`H5File.read_when_available`, overlapping with the producer
+  (LowFive memory mode);
+* ``file`` transport — consumers wait until every writer of the file has
+  closed it, then read completed steps (classic file coupling).
+
+Task callables have the signature ``fn(comm, ctx)`` where ``comm`` is the
+task's own :class:`~repro.mpi.comm.SimComm` and ``ctx`` the
+:class:`TaskContext` carrying the ports.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import WorkflowError
+from repro.mpi import mpiexec
+from repro.store import H5File, SimFilesystem
+from repro.workflows.wilkins.config import TaskConfig, WilkinsConfig
+from repro.workflows.wilkins.graph import build_graph
+
+
+class _FileChannel:
+    """Shared state for one workflow file: the H5 namespace + writer refcount."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.h5 = H5File(filename)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._writers = 0
+        self._closed_writers = 0
+
+    def register_writer(self) -> None:
+        with self._lock:
+            self._writers += 1
+
+    def close_writer(self) -> None:
+        with self._cond:
+            self._closed_writers += 1
+            self._cond.notify_all()
+
+    @property
+    def complete(self) -> bool:
+        with self._lock:
+            return self._writers > 0 and self._closed_writers >= self._writers
+
+    def wait_complete(self, timeout: float = 30.0) -> None:
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while not (self._writers > 0 and self._closed_writers >= self._writers):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkflowError(
+                        f"timed out waiting for writers of {self.filename!r} to close"
+                    )
+                self._cond.wait(remaining)
+
+
+@dataclass
+class _DsetBinding:
+    """Resolved dataset binding for one task port."""
+
+    channel: _FileChannel
+    name: str
+    transport: str  # memory | file
+
+
+class TaskContext:
+    """Per-task handle for data exchange, shared by all of the task's ranks.
+
+    Writers publish with :meth:`write` and must :meth:`close` their
+    outports when done (the runtime closes them automatically when the
+    task function returns).  Readers use :meth:`read` for one step or
+    :meth:`steps` to iterate a stream.
+    """
+
+    def __init__(
+        self,
+        task: TaskConfig,
+        inbindings: dict[str, _DsetBinding],
+        outbindings: dict[str, _DsetBinding],
+        timeout: float = 30.0,
+    ) -> None:
+        self.task = task
+        self._in = inbindings
+        self._out = outbindings
+        self._timeout = timeout
+        self._closed = False
+        self._published_steps: dict[str, int] = {}
+
+    # -- writer side --------------------------------------------------------
+
+    def write(self, dset: str, data: Any, step: int | None = None) -> None:
+        binding = self._binding(self._out, dset, "outport")
+        if step is None:
+            step = self._published_steps.get(dset, 0)
+        binding.channel.h5.write(binding.name, data, step=step)
+        self._published_steps[dset] = step + 1
+
+    def close(self) -> None:
+        """Mark all outports complete (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for binding in {id(b.channel): b for b in self._out.values()}.values():
+                binding.channel.close_writer()
+
+    # -- reader side ----------------------------------------------------------
+
+    def read(self, dset: str, step: int = 0) -> Any:
+        binding = self._binding(self._in, dset, "inport")
+        if binding.transport == "file":
+            binding.channel.wait_complete(self._timeout)
+            return binding.channel.h5.read(binding.name, step=step).data
+        return binding.channel.h5.read_when_available(
+            binding.name, step, timeout=self._timeout
+        ).data
+
+    def steps(self, dset: str):
+        """Iterate ``(step, data)`` pairs until the producer closes."""
+        binding = self._binding(self._in, dset, "inport")
+        step = 0
+        while True:
+            if binding.channel.h5.exists(binding.name, step=step):
+                yield step, binding.channel.h5.read(binding.name, step=step).data
+                step += 1
+                continue
+            if binding.channel.complete:
+                if binding.channel.h5.exists(binding.name, step=step):
+                    continue  # raced with a final write
+                return
+            import time
+
+            time.sleep(0.001)
+
+    # -- introspection -----------------------------------------------------------
+
+    def in_dsets(self) -> list[str]:
+        return sorted(self._in)
+
+    def out_dsets(self) -> list[str]:
+        return sorted(self._out)
+
+    def _binding(self, table: dict[str, _DsetBinding], dset: str, kind: str) -> _DsetBinding:
+        try:
+            return table[dset]
+        except KeyError:
+            raise WorkflowError(
+                f"task {self.task.func!r}: no {kind} dataset {dset!r} "
+                f"(have {sorted(table)})"
+            ) from None
+
+
+class WilkinsRuntime:
+    """Launch every task of a config concurrently and collect results."""
+
+    def __init__(
+        self,
+        config: WilkinsConfig,
+        library: dict[str, Callable],
+        fs: SimFilesystem | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.config = config
+        self.graph = build_graph(config)  # validates port matching
+        self.library = dict(library)
+        self.fs = fs or SimFilesystem()
+        self.timeout = timeout
+        missing = [t.func for t in config.tasks if t.func not in self.library]
+        if missing:
+            raise WorkflowError(f"no callables registered for tasks: {missing}")
+        self._channels: dict[str, _FileChannel] = {}
+
+    def _channel(self, filename: str) -> _FileChannel:
+        if filename not in self._channels:
+            channel = _FileChannel(filename)
+            self._channels[filename] = channel
+            self.fs.create(filename, channel.h5)
+        return self._channels[filename]
+
+    def _bindings(self, task: TaskConfig) -> tuple[dict, dict]:
+        def leaf(name: str) -> str:
+            return name.rsplit("/", 1)[-1]
+
+        inb: dict[str, _DsetBinding] = {}
+        for port in task.inports:
+            channel = self._channel(port.filename)
+            for d in port.dsets:
+                # resolve glob inports against the producing outports
+                resolved = d.name
+                if any(ch in d.name for ch in "*?["):
+                    for link in self.graph.producers_of(task.func):
+                        from fnmatch import fnmatch
+
+                        if fnmatch(link.dataset, d.name):
+                            resolved = link.dataset
+                            break
+                inb[leaf(resolved)] = _DsetBinding(channel, resolved, d.transport)
+        outb: dict[str, _DsetBinding] = {}
+        for port in task.outports:
+            channel = self._channel(port.filename)
+            channel.register_writer()
+            for d in port.dsets:
+                outb[leaf(d.name)] = _DsetBinding(channel, d.name, d.transport)
+        return inb, outb
+
+    def run(self) -> dict[str, Any]:
+        """Execute the workflow; returns task func → rank-0 return value."""
+        results: dict[str, Any] = {}
+        errors: list[tuple[str, BaseException]] = []
+        lock = threading.Lock()
+        contexts: dict[str, TaskContext] = {}
+        for task in self.config.tasks:
+            inb, outb = self._bindings(task)
+            contexts[task.func] = TaskContext(task, inb, outb, timeout=self.timeout)
+
+        def run_task(task: TaskConfig) -> None:
+            ctx = contexts[task.func]
+            fn = self.library[task.func]
+            try:
+                launch = mpiexec(
+                    fn, task.nprocs, ctx, timeout=self.timeout * 2,
+                    comm_timeout=self.timeout,
+                )
+                with lock:
+                    results[task.func] = launch.returns[0]
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                with lock:
+                    errors.append((task.func, exc))
+            finally:
+                ctx.close()
+
+        threads = [
+            threading.Thread(target=run_task, args=(t,), name=f"wilkins-{t.func}", daemon=True)
+            for t in self.config.tasks
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.timeout * 3)
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            raise WorkflowError(f"tasks did not terminate: {alive}")
+        if errors:
+            errors.sort(key=lambda e: e[0])
+            name, exc = errors[0]
+            raise WorkflowError(f"task {name!r} failed: {exc!r}") from exc
+        return results

@@ -1,0 +1,39 @@
+"""The Wilkins YAML vocabulary.
+
+The field names here are the ones the paper's Table 6 ground truth uses;
+the common hallucinations it reports (``inputs``/``outputs`` instead of
+``inports``/``outports``, ``command``, ``processes``, ``dependencies``,
+``workflow``, ``datasets``) are absent and therefore flagged by the
+validator.
+"""
+
+from __future__ import annotations
+
+from repro.workflows.base import ApiFunction, ApiRegistry
+
+WILKINS_CONFIG_FIELDS = ApiRegistry(
+    "Wilkins",
+    [
+        ApiFunction("tasks", "field", required=True,
+                    description="top-level list of workflow tasks"),
+        ApiFunction("func", "field", required=True,
+                    description="task callable / executable name"),
+        ApiFunction("nprocs", "field", required=True,
+                    description="number of processes for the task"),
+        ApiFunction("inports", "field", description="data the task consumes"),
+        ApiFunction("outports", "field", description="data the task produces"),
+        ApiFunction("filename", "field", required=True,
+                    description="HDF5 namespace carrying the datasets"),
+        ApiFunction("dsets", "field", required=True,
+                    description="list of dataset requirements in a port"),
+        ApiFunction("name", "field", required=True,
+                    description="dataset path, e.g. /group1/grid"),
+        ApiFunction("file", "field", description="0/1 flag: file transport"),
+        ApiFunction("memory", "field", description="0/1 flag: memory transport"),
+        ApiFunction("args", "field", description="extra task arguments"),
+        ApiFunction("taskCount", "field", description="task replication count"),
+        ApiFunction("io_freq", "field", description="I/O frequency hint"),
+        ApiFunction("zerocopy", "field", description="zero-copy hint"),
+        ApiFunction("ownership", "field", description="data ownership hint"),
+    ],
+)

@@ -1,0 +1,30 @@
+"""WorkflowSystem descriptor for Wilkins.
+
+Wilkins requires no task-code changes (tasks keep their native HDF5 I/O;
+LowFive intercepts it), so ``validate_task_code`` is ``None`` and the
+annotation experiment excludes the system — matching the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workflows.base import ApiRegistry, WorkflowSystem
+from repro.workflows.wilkins.surface import WILKINS_CONFIG_FIELDS
+from repro.workflows.wilkins.validator import validate_config
+
+
+@lru_cache(maxsize=1)
+def wilkins_system() -> WorkflowSystem:
+    """Build (once) the Wilkins system descriptor."""
+    return WorkflowSystem(
+        name="wilkins",
+        display_name="Wilkins",
+        kind="in-situ",
+        task_language="c",
+        config_language="yaml",
+        api=ApiRegistry("Wilkins", []),  # no task-level API: codes stay unchanged
+        config_fields=WILKINS_CONFIG_FIELDS,
+        validate_config=validate_config,
+        validate_task_code=None,
+    )

@@ -1,0 +1,264 @@
+"""ADIOS2 substrate: API, engines, XML config, validator."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkflowError
+from repro.workflows.adios2 import (
+    Adios,
+    Mode,
+    StepStatus,
+    parse_xml_config,
+    validate_config,
+    validate_task_code,
+)
+from repro.workflows.adios2.xmlconfig import AdiosConfig, IOConfig, render_xml_config
+
+
+class TestApi:
+    def test_declare_io_unique(self, fs):
+        ad = Adios(fs=fs)
+        ad.declare_io("X")
+        with pytest.raises(WorkflowError, match="already declared"):
+            ad.declare_io("X")
+
+    def test_at_io(self, fs):
+        ad = Adios(fs=fs)
+        io = ad.declare_io("X")
+        assert ad.at_io("X") is io
+        with pytest.raises(WorkflowError):
+            ad.at_io("missing")
+
+    def test_define_variable_dtype_inference(self, fs):
+        io = Adios(fs=fs).declare_io("X")
+        var = io.define_variable("x", data=np.zeros(3, dtype=np.float32))
+        assert var.dtype == "float32"
+
+    def test_duplicate_variable_rejected(self, fs):
+        io = Adios(fs=fs).declare_io("X")
+        io.define_variable("x")
+        with pytest.raises(WorkflowError):
+            io.define_variable("x")
+
+    def test_unknown_engine_rejected(self, fs):
+        io = Adios(fs=fs).declare_io("X")
+        with pytest.raises(WorkflowError, match="unknown ADIOS2 engine"):
+            io.set_engine("HDF5")  # parser knows it; runtime does not ship it
+
+
+class TestBPFileEngine:
+    def test_write_then_read_after_close(self, fs):
+        ad = Adios(fs=fs)
+        wio = ad.declare_io("W")
+        var = wio.define_variable("x", dtype="float64")
+        engine = wio.open("f.bp", Mode.WRITE)
+        for step in range(3):
+            engine.begin_step()
+            engine.put(var, np.full(4, float(step)))
+            engine.end_step()
+        engine.close()
+
+        rio = ad.declare_io("R")
+        reader = rio.open("f.bp", Mode.READ)
+        seen = []
+        while reader.begin_step() is StepStatus.OK:
+            seen.append(float(reader.get("x")[0]))
+            reader.end_step()
+        reader.close()
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_put_outside_step_rejected(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        var = wio.define_variable("x")
+        engine = wio.open("f.bp", Mode.WRITE)
+        with pytest.raises(WorkflowError, match="outside"):
+            engine.put(var, np.zeros(1))
+
+    def test_get_on_writer_rejected(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        engine = wio.open("f.bp", Mode.WRITE)
+        engine.begin_step()
+        with pytest.raises(WorkflowError, match="write-mode"):
+            engine.get("x")
+
+    def test_nested_begin_step_rejected(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        engine = wio.open("f.bp", Mode.WRITE)
+        engine.begin_step()
+        with pytest.raises(WorkflowError, match="inside an open step"):
+            engine.begin_step()
+
+    def test_close_is_idempotent_and_finalizes(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        engine = wio.open("f.bp", Mode.WRITE)
+        engine.close()
+        engine.close()
+        assert fs.open("f.bp").finalized
+
+    def test_context_manager(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        var = wio.define_variable("x")
+        with wio.open("f.bp", Mode.WRITE) as engine:
+            engine.begin_step()
+            engine.put(var, np.zeros(1))
+            engine.end_step()
+        assert fs.open("f.bp").num_steps == 1
+
+    def test_append_mode(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        var = wio.define_variable("x")
+        engine = wio.open("f.bp", Mode.WRITE)
+        engine.begin_step(); engine.put(var, 1); engine.end_step()
+        # append before finalize from another engine on the same file
+        aio = Adios(fs=fs).declare_io("A")
+        var2 = aio.define_variable("x")
+        appender = aio.open("f.bp", Mode.APPEND)
+        appender.begin_step(); appender.put(var2, 2); appender.end_step()
+        appender.close()
+        assert fs.open("f.bp").num_steps == 2
+
+
+class TestSSTEngine:
+    def test_concurrent_streaming(self, fs):
+        ad = Adios(fs=fs)
+        wio = ad.declare_io("W"); wio.set_engine("SST")
+        rio = ad.declare_io("R"); rio.set_engine("SST")
+        seen: list[float] = []
+
+        def writer():
+            var = wio.define_variable("x")
+            engine = wio.open("s.bp", Mode.WRITE)
+            for step in range(5):
+                engine.begin_step()
+                engine.put(var, float(step))
+                engine.end_step()
+            engine.close()
+
+        def reader():
+            engine = rio.open("s.bp", Mode.READ)
+            while engine.begin_step() is StepStatus.OK:
+                seen.append(engine.get("x"))
+                engine.end_step()
+            engine.close()
+
+        tr = threading.Thread(target=reader)
+        tr.start()
+        writer()
+        tr.join(10.0)
+        assert seen == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_sst_reader_only_read_mode(self, fs):
+        wio = Adios(fs=fs).declare_io("W")
+        wio.set_engine("SST")
+        with pytest.raises(WorkflowError):
+            from repro.workflows.adios2.engines import SSTWriter
+
+            SSTWriter(wio, "s.bp", Mode.READ)
+
+
+class TestXmlConfig:
+    GOOD = """<?xml version="1.0"?>
+<adios-config>
+    <io name="SimulationOutput">
+        <engine type="SST">
+            <parameter key="QueueLimit" value="1"/>
+        </engine>
+        <variable name="grid"/>
+    </io>
+</adios-config>"""
+
+    def test_parse_good(self):
+        config = parse_xml_config(self.GOOD)
+        io = config.io("SimulationOutput")
+        assert io.engine_type == "SST"
+        assert io.parameters == {"QueueLimit": "1"}
+        assert io.variables == ["grid"]
+
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_xml_config("<adios-config><io></adios-config>")
+
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError, match="root element"):
+            parse_xml_config("<config/>")
+
+    def test_unnamed_io(self):
+        with pytest.raises(ConfigError, match="missing required 'name'"):
+            parse_xml_config("<adios-config><io/></adios-config>")
+
+    def test_unknown_engine_type(self):
+        bad = self.GOOD.replace('type="SST"', 'type="Teleport"')
+        with pytest.raises(ConfigError, match="unknown engine type"):
+            parse_xml_config(bad)
+
+    def test_duplicate_io(self):
+        dup = self.GOOD.replace(
+            "</adios-config>",
+            '<io name="SimulationOutput"/></adios-config>',
+        )
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_xml_config(dup)
+
+    def test_render_roundtrip(self):
+        config = AdiosConfig(
+            ios={"X": IOConfig(name="X", engine_type="BP4",
+                               parameters={"k": "v"}, variables=["a"])}
+        )
+        reparsed = parse_xml_config(render_xml_config(config))
+        assert reparsed.io("X").engine_type == "BP4"
+        assert reparsed.io("X").parameters == {"k": "v"}
+
+    def test_adios_applies_config(self, fs):
+        ad = Adios(fs=fs, config_text=self.GOOD)
+        io = ad.declare_io("SimulationOutput")
+        assert io.engine_type == "SST"
+        assert io.parameters["QueueLimit"] == "1"
+
+
+class TestValidators:
+    def test_good_config_ok(self):
+        assert validate_config(TestXmlConfig.GOOD).ok
+
+    def test_unknown_element_flagged(self):
+        bad = TestXmlConfig.GOOD.replace("<variable", "<dataset").replace(
+            "</io>", "</io>"
+        )
+        report = validate_config(bad)
+        assert any(d.symbol == "dataset" for d in report.hallucinations())
+
+    def test_reference_task_code_ok(self):
+        from repro.core.assets import annotated_producer
+
+        report = validate_task_code(annotated_producer("adios2"))
+        assert report.ok, report.render()
+
+    def test_hallucinated_call_flagged(self):
+        from repro.core.assets import annotated_producer
+
+        bad = annotated_producer("adios2").replace("adios2_put", "adios2_write")
+        report = validate_task_code(bad)
+        symbols = {d.symbol for d in report.hallucinations()}
+        assert "adios2_write" in symbols
+
+    def test_missing_required_call_flagged(self):
+        from repro.core.assets import annotated_producer
+
+        bad = annotated_producer("adios2").replace("adios2_finalize(adios);", "")
+        report = validate_task_code(bad)
+        assert any(
+            d.code == "missing-api" and d.symbol == "adios2_finalize"
+            for d in report.diagnostics
+        )
+
+    def test_unbalanced_steps_warn(self):
+        from repro.core.assets import annotated_producer
+
+        bad = annotated_producer("adios2").replace("adios2_end_step(engine);", "")
+        report = validate_task_code(bad)
+        assert any(d.code == "structure" for d in report.warnings()) or any(
+            d.code == "missing-api" for d in report.diagnostics
+        )

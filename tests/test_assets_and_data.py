@@ -1,0 +1,155 @@
+"""Ground-truth assets and paper-number tables: internal consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assets import (
+    annotated_producer,
+    base_producer,
+    fewshot_example_config,
+    reference_config,
+)
+from repro.data import (
+    ANNOTATION_SYSTEMS,
+    CONFIG_SYSTEMS,
+    FIGURE1A,
+    FIGURE1B,
+    FIGURE1C,
+    MODELS,
+    PROMPT_VARIANTS,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE5,
+    TRANSLATION_DIRECTIONS,
+)
+from repro.errors import ConfigError
+
+
+class TestReferenceConfigs:
+    def test_wilkins_reference_validates(self):
+        from repro.workflows.wilkins import parse_wilkins_yaml, validate_config
+
+        assert validate_config(reference_config("wilkins")).ok
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        assert config.total_procs() == 5
+
+    def test_adios2_reference_validates(self):
+        from repro.workflows.adios2 import parse_xml_config, validate_config
+
+        assert validate_config(reference_config("adios2")).ok
+        config = parse_xml_config(reference_config("adios2"))
+        assert "SimulationOutput" in config.ios
+
+    def test_henson_reference_validates(self):
+        from repro.workflows.henson import parse_hwl, validate_config
+
+        assert validate_config(reference_config("henson")).ok
+        assert parse_hwl(reference_config("henson")).total_procs() == 5
+
+    def test_fewshot_examples_validate(self):
+        from repro.workflows import get_system
+
+        for system in CONFIG_SYSTEMS:
+            text = fewshot_example_config(system)
+            report = get_system(system).validate_config(text)
+            assert report.ok, (system, report.render())
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(ConfigError):
+            reference_config("parsl")
+        with pytest.raises(ConfigError):
+            fewshot_example_config("slurm")
+
+
+class TestTaskCodes:
+    def test_annotated_producers_validate(self):
+        from repro.workflows import get_system
+
+        for system in ANNOTATION_SYSTEMS:
+            report = get_system(system).validate_task_code(annotated_producer(system))
+            assert report.ok, (system, report.render())
+
+    def test_base_producers_unannotated(self):
+        c_code = base_producer("c")
+        assert "adios2_" not in c_code and "henson_" not in c_code
+        py_code = base_producer("python")
+        assert "parsl" not in py_code and "pycompss" not in py_code
+
+    def test_annotated_share_base_structure(self):
+        # the annotation should be additive: simulation body survives
+        for system, marker in (
+            ("adios2", "MPI_Reduce(&sum, &total_sum"),
+            ("henson", "MPI_Reduce(&sum, &total_sum"),
+            ("parsl", "rng.random(n)"),
+            ("pycompss", "rng.random(n)"),
+        ):
+            assert marker in annotated_producer(system), system
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(ConfigError):
+            base_producer("fortran")
+
+
+class TestPaperNumbers:
+    def test_table_coverage(self):
+        assert len(TABLE1) == len(CONFIG_SYSTEMS) * len(MODELS)
+        assert len(TABLE2) == len(ANNOTATION_SYSTEMS) * len(MODELS)
+        assert len(TABLE3) == len(TRANSLATION_DIRECTIONS) * len(MODELS)
+
+    def test_all_scores_in_range(self):
+        for table in (TABLE1, TABLE2, TABLE3):
+            for cell in table.values():
+                assert 0 <= cell.bleu <= 100 and 0 <= cell.chrf <= 100
+                assert cell.bleu_se >= 0 and cell.chrf_se >= 0
+
+    def test_figure_coverage(self):
+        assert set(FIGURE1A) == set(CONFIG_SYSTEMS)
+        assert set(FIGURE1B) == set(ANNOTATION_SYSTEMS)
+        assert set(FIGURE1C) == set(TRANSLATION_DIRECTIONS)
+        for figure in (FIGURE1A, FIGURE1B, FIGURE1C):
+            for rows in figure.values():
+                assert set(rows) == set(PROMPT_VARIANTS)
+                for values in rows.values():
+                    assert len(values) == len(MODELS)
+                    assert all(0 <= v <= 100 for v in values)
+
+    def test_table5_claims(self):
+        # few-shot beats zero-shot for every model (paper §4.5)
+        for model in MODELS:
+            assert TABLE5[model]["few-shot"].bleu > TABLE5[model]["zero-shot"].bleu
+        # Claude attains the top few-shot score
+        best = max(MODELS, key=lambda m: TABLE5[model if False else m]["few-shot"].bleu)
+        assert best == "claude-sonnet-4"
+
+    def test_table1_claims(self):
+        # ADIOS2 is the best-configured system in the published data
+        def overall(system):
+            return sum(TABLE1[(system, m)].bleu for m in MODELS) / len(MODELS)
+
+        assert overall("adios2") > overall("henson")
+        assert overall("adios2") > overall("wilkins")
+
+    def test_table5_zero_shot_matches_table1_overall(self):
+        # paper consistency: Table 5 zero-shot row repeats Table 1 Overall
+        for model in MODELS:
+            mean_t1 = sum(TABLE1[(s, model)].bleu for s in CONFIG_SYSTEMS) / 3
+            assert abs(mean_t1 - TABLE5[model]["zero-shot"].bleu) < 0.1
+
+
+class TestCaseStudyListings:
+    def test_table4_listings_are_c_code(self):
+        from repro.data.case_studies import TABLE4_GEMINI, TABLE4_LLAMA
+
+        for listing in (TABLE4_LLAMA, TABLE4_GEMINI):
+            assert "int main" in listing
+            assert "MPI_Reduce" in listing
+
+    def test_table6_zeroshot_is_yaml(self):
+        import yaml
+
+        from repro.data.case_studies import TABLE6_ZEROSHOT
+
+        doc = yaml.safe_load(TABLE6_ZEROSHOT)
+        assert "workflow" in doc  # the hallucinated root

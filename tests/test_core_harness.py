@@ -1,0 +1,144 @@
+"""Evaluation harness: samples, solvers, scorers, tasks, eval loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CodeSimilarityScorer,
+    Sample,
+    SolverChain,
+    Task,
+    evaluate,
+    few_shot_solver,
+    prompt_solver,
+)
+from repro.core.assets import fewshot_example_config, reference_config
+from repro.core.solvers import doc_context_solver, identity_solver
+from repro.errors import HarnessError, MetricError
+from repro.llm.types import GenerateConfig
+
+
+def config_sample(system: str = "wilkins", display: str = "Wilkins") -> Sample:
+    return Sample(
+        id=f"configuration/{system}",
+        input="",
+        target=reference_config(system),
+        metadata={
+            "experiment": "configuration",
+            "system": system,
+            "system_display": display,
+        },
+    )
+
+
+class TestSolvers:
+    def test_prompt_solver_renders_template(self):
+        solved = prompt_solver("original")(config_sample())
+        assert "Wilkins" in solved.input
+        assert "3-node workflow" in solved.input
+        assert solved.metadata["variant"] == "original"
+
+    def test_prompt_solver_requires_experiment(self):
+        sample = Sample(id="x", input="", target="", metadata={})
+        with pytest.raises(HarnessError, match="experiment"):
+            prompt_solver()(sample)
+
+    def test_few_shot_appends_example(self):
+        base = prompt_solver("original")(config_sample())
+        solver = few_shot_solver(fewshot_example_config("wilkins"), "Wilkins")
+        out = solver(base)
+        assert "example configuration file" in out.input
+        assert out.metadata["fewshot"] is True
+
+    def test_doc_context_prepends_vocabulary(self):
+        base = prompt_solver("original")(config_sample())
+        out = doc_context_solver("wilkins", "Wilkins")(base)
+        assert out.input.startswith("Documentation excerpt")
+        assert "inports" in out.input
+
+    def test_chain_order(self):
+        chain = SolverChain([
+            prompt_solver("original"),
+            few_shot_solver(fewshot_example_config("wilkins"), "Wilkins"),
+        ])
+        out = chain(config_sample())
+        assert out.input.index("3-node") < out.input.index("example configuration")
+
+    def test_identity_solver(self):
+        sample = config_sample()
+        assert identity_solver()(sample) is sample
+
+    def test_with_input_copies_metadata(self):
+        sample = config_sample()
+        clone = sample.with_input("new")
+        clone.metadata["extra"] = 1
+        assert "extra" not in sample.metadata
+
+
+class TestScorer:
+    def test_scores_both_metrics(self):
+        scorer = CodeSimilarityScorer()
+        score = scorer("```yaml\ntasks:\n- func: p\n```", "tasks:\n- func: p")
+        assert score["bleu"] == pytest.approx(100.0)
+        assert score["chrf"] == pytest.approx(100.0)
+        assert score.answer == "tasks:\n- func: p"
+
+    def test_chatter_stripped_before_scoring(self):
+        scorer = CodeSimilarityScorer()
+        wrapped = "Sure, here is the file.\n```\ntarget text\n```\nEnjoy!"
+        assert scorer(wrapped, "target text")["bleu"] == pytest.approx(100.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(MetricError):
+            CodeSimilarityScorer(metrics=("bleu", "rouge"))
+
+
+class TestEvaluate:
+    def test_epochs_and_aggregation(self):
+        task = Task(
+            name="t", dataset=[config_sample()], solvers=[prompt_solver("original")]
+        )
+        result = evaluate(task, "sim/claude-sonnet-4", epochs=3)
+        assert result.epochs == 3
+        assert len(result.samples[0].scores) == 3
+        agg = result.aggregate("bleu")
+        assert agg.n == 3
+        assert 0 <= agg.mean <= 100
+        # claude is deterministic: zero spread
+        assert agg.stderr == 0.0
+
+    def test_by_sample(self):
+        task = Task(name="t", dataset=[config_sample()],
+                    solvers=[prompt_solver("original")])
+        result = evaluate(task, "sim/o3", epochs=2)
+        per_sample = result.by_sample("bleu")
+        assert set(per_sample) == {"configuration/wilkins"}
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(HarnessError, match="empty dataset"):
+            Task(name="t", dataset=[])
+
+    def test_invalid_epochs(self):
+        task = Task(name="t", dataset=[config_sample()],
+                    solvers=[prompt_solver("original")])
+        with pytest.raises(HarnessError):
+            evaluate(task, "sim/o3", epochs=0)
+
+    def test_seed_equals_epoch_index(self):
+        """Two evaluations must reproduce each other epoch-for-epoch."""
+        task = Task(name="t", dataset=[config_sample()],
+                    solvers=[prompt_solver("original")])
+        a = evaluate(task, "sim/gemini-2.5-pro", epochs=3)
+        b = evaluate(task, "sim/gemini-2.5-pro", epochs=3)
+        assert a.samples[0].metric_values("bleu") == b.samples[0].metric_values("bleu")
+
+    def test_custom_generate_config(self):
+        task = Task(name="t", dataset=[config_sample()],
+                    solvers=[prompt_solver("original")])
+        result = evaluate(
+            task, "sim/llama-3.3-70b", epochs=2,
+            config=GenerateConfig(temperature=0.0, top_p=0.5),
+        )
+        values = result.samples[0].metric_values("bleu")
+        assert values[0] == values[1]  # temperature 0 => deterministic

@@ -1,0 +1,116 @@
+"""Shared dataflow executor: dependency scheduling, failure propagation."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.dataflow import DataflowExecutor
+
+
+@pytest.fixture()
+def executor():
+    ex = DataflowExecutor(max_workers=4, label="test")
+    yield ex
+    ex.shutdown()
+
+
+class TestSubmission:
+    def test_simple_result(self, executor):
+        assert executor.submit(lambda: 42).result(timeout=10) == 42
+
+    def test_args_kwargs(self, executor):
+        future = executor.submit(lambda a, b=0: a + b, (10,), {"b": 5})
+        assert future.result(timeout=10) == 15
+
+    def test_future_args_resolved(self, executor):
+        upstream = executor.submit(lambda: 7)
+        downstream = executor.submit(lambda x: x * 2, (upstream,))
+        assert downstream.result(timeout=10) == 14
+
+    def test_future_kwargs_resolved(self, executor):
+        upstream = executor.submit(lambda: 3)
+        downstream = executor.submit(lambda x=0: x + 1, (), {"x": upstream})
+        assert downstream.result(timeout=10) == 4
+
+    def test_explicit_depends_on_orders_execution(self, executor):
+        order = []
+        gate = threading.Event()
+
+        def first():
+            gate.wait(5)
+            order.append("first")
+
+        def second():
+            order.append("second")
+
+        f1 = executor.submit(first)
+        f2 = executor.submit(second, depends_on=[f1])
+        gate.set()
+        f2.result(timeout=10)
+        assert order == ["first", "second"]
+
+    def test_diamond_dependency(self, executor):
+        top = executor.submit(lambda: 1)
+        left = executor.submit(lambda x: x + 1, (top,))
+        right = executor.submit(lambda x: x + 2, (top,))
+        bottom = executor.submit(lambda a, b: a + b, (left, right))
+        assert bottom.result(timeout=10) == 5
+
+    def test_invalid_workers(self):
+        with pytest.raises(WorkflowError):
+            DataflowExecutor(max_workers=0)
+
+
+class TestFailures:
+    def test_task_exception_in_future(self, executor):
+        future = executor.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=10)
+
+    def test_dependency_failure_aborts_downstream(self, executor):
+        bad = executor.submit(lambda: 1 / 0)
+        downstream = executor.submit(lambda x: x, (bad,))
+        with pytest.raises(WorkflowError, match="dependency failed"):
+            downstream.result(timeout=10)
+
+    def test_submit_after_shutdown_rejected(self):
+        ex = DataflowExecutor(max_workers=1)
+        ex.shutdown()
+        with pytest.raises(WorkflowError, match="shut down"):
+            ex.submit(lambda: 1)
+
+
+class TestIntrospection:
+    def test_records_and_counts(self, executor):
+        f = executor.submit(lambda: 1, name="one")
+        f.result(timeout=10)
+        # allow state writeback
+        deadline = time.monotonic() + 5
+        while executor.counts()["done"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        records = executor.records()
+        assert [r.name for r in records] == ["one"]
+        assert executor.counts()["done"] == 1
+
+    def test_wait_all(self, executor):
+        futures = [executor.submit(lambda i=i: i) for i in range(8)]
+        executor.wait_all(timeout=10)
+        assert [f.result() for f in futures] == list(range(8))
+
+    def test_wait_all_propagates_nothing_on_failure(self, executor):
+        executor.submit(lambda: 1 / 0)
+        # wait_all returns even when tasks failed (exception() consumes them)
+        executor.wait_all(timeout=10)
+        assert executor.counts()["failed"] == 1
+
+    def test_dedup_dependencies(self, executor):
+        shared: Future = executor.submit(lambda: 5)
+        fut = executor.submit(
+            lambda a, b: a + b, (shared, shared), depends_on=[shared]
+        )
+        assert fut.result(timeout=10) == 10

@@ -1,0 +1,63 @@
+"""Hallucination-rate aggregation over evaluation runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments.configuration import configuration_task
+from repro.core.task import evaluate
+from repro.errors import HarnessError
+from repro.reporting.hallucinations import audit_eval
+
+
+class TestAuditEval:
+    def test_zero_shot_has_hallucinations(self):
+        task = configuration_task("wilkins")
+        result = evaluate(task, "sim/o3", epochs=2)
+        report = audit_eval(result, "wilkins")
+        assert report.trials == 2
+        assert report.total_hallucinations > 0
+        assert report.rate_per_trial > 0
+        assert 0.0 <= report.clean_fraction <= 1.0
+
+    def test_fewshot_is_clean(self):
+        task = configuration_task("wilkins", fewshot=True)
+        result = evaluate(task, "sim/o3", epochs=2)
+        report = audit_eval(result, "wilkins")
+        assert report.clean_fraction == 1.0
+        assert report.total_hallucinations == 0
+
+    def test_fewshot_beats_zeroshot(self):
+        zero = audit_eval(
+            evaluate(configuration_task("wilkins"), "sim/llama-3.3-70b", epochs=2),
+            "wilkins",
+        )
+        few = audit_eval(
+            evaluate(
+                configuration_task("wilkins", fewshot=True),
+                "sim/llama-3.3-70b",
+                epochs=2,
+            ),
+            "wilkins",
+        )
+        assert few.rate_per_trial < zero.rate_per_trial
+
+    def test_most_common_and_render(self):
+        task = configuration_task("wilkins")
+        result = evaluate(task, "sim/o3", epochs=2)
+        report = audit_eval(result, "wilkins")
+        text = report.render()
+        assert "Wilkins config" in text
+        assert isinstance(report.most_common(3), list)
+
+    def test_invalid_artifact_kind(self):
+        task = configuration_task("wilkins")
+        result = evaluate(task, "sim/o3", epochs=1)
+        with pytest.raises(HarnessError, match="unknown artifact kind"):
+            audit_eval(result, "wilkins", artifact_kind="binary")
+
+    def test_missing_validator_rejected(self):
+        task = configuration_task("wilkins")
+        result = evaluate(task, "sim/o3", epochs=1)
+        with pytest.raises(HarnessError, match="no task-code validator"):
+            audit_eval(result, "wilkins", artifact_kind="task-code")

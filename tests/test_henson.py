@@ -1,0 +1,275 @@
+"""Henson substrate: cooperative scheduler, C-flavoured API, hwl, validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkflowError
+from repro.workflows.henson import (
+    HensonRuntime,
+    Puppet,
+    parse_hwl,
+    render_hwl,
+    validate_config,
+    validate_task_code,
+)
+from repro.workflows.henson import api as henson
+
+
+class TestScheduler:
+    def test_producer_consumer_lockstep(self):
+        def producer():
+            for t in range(4):
+                henson.henson_save_int("t", t)
+                henson.henson_save_array("data", np.full(3, t, dtype=float))
+                henson.henson_yield()
+            return "done"
+
+        def consumer():
+            seen = []
+            while henson.henson_active():
+                seen.append((henson.henson_load_int("t"),
+                             float(henson.henson_load_array("data").sum())))
+                henson.henson_yield()
+            return seen
+
+        runtime = HensonRuntime(
+            [Puppet("producer", producer, driver=True), Puppet("consumer", consumer)]
+        )
+        results = runtime.run()
+        assert results["producer"] == "done"
+        assert results["consumer"] == [(0, 0.0), (1, 3.0), (2, 6.0), (3, 9.0)]
+
+    def test_yield_counts_tracked(self):
+        def p():
+            for _ in range(3):
+                henson.henson_yield()
+
+        runtime = HensonRuntime([Puppet("p", p)])
+        runtime.run()
+        assert runtime.yield_counts() == {"p": 3}
+
+    def test_three_puppets_round_robin_order(self):
+        trace: list[str] = []
+
+        def make(name, turns):
+            def puppet():
+                for _ in range(turns):
+                    trace.append(name)
+                    henson.henson_yield()
+
+            return puppet
+
+        runtime = HensonRuntime(
+            [Puppet("a", make("a", 2)), Puppet("b", make("b", 2)), Puppet("c", make("c", 2))]
+        )
+        runtime.run()
+        assert trace == ["a", "b", "c", "a", "b", "c"]
+
+    def test_first_puppet_defaults_to_driver(self):
+        def short():
+            henson.henson_yield()
+
+        def looper():
+            n = 0
+            while henson.henson_active():
+                n += 1
+                henson.henson_yield()
+            return n
+
+        runtime = HensonRuntime([Puppet("short", short), Puppet("loop", looper)])
+        results = runtime.run()
+        assert results["loop"] >= 1
+
+    def test_henson_stop(self):
+        def stopper():
+            henson.henson_yield()
+            henson.henson_stop()
+
+        def looper():
+            n = 0
+            while henson.henson_active():
+                n += 1
+                henson.henson_yield()
+            return n
+
+        runtime = HensonRuntime(
+            [Puppet("stopper", stopper, driver=True), Puppet("loop", looper)]
+        )
+        assert runtime.run()["loop"] >= 1
+
+    def test_puppet_exception_propagates(self):
+        def bad():
+            raise RuntimeError("puppet exploded")
+
+        with pytest.raises(WorkflowError, match="puppet exploded"):
+            HensonRuntime([Puppet("bad", bad)]).run()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(WorkflowError, match="duplicate"):
+            HensonRuntime([Puppet("x", lambda: None), Puppet("x", lambda: None)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkflowError):
+            HensonRuntime([])
+
+    def test_zero_copy_semantics(self):
+        """Arrays pass by reference — consumer sees producer's buffer."""
+        captured = {}
+
+        def producer():
+            arr = np.zeros(4)
+            henson.henson_save_array("shared", arr)
+            captured["arr"] = arr
+            henson.henson_yield()
+
+        def consumer():
+            loaded = henson.henson_load_array("shared")
+            loaded[0] = 42.0
+            henson.henson_yield()
+
+        HensonRuntime(
+            [Puppet("producer", producer, driver=True), Puppet("consumer", consumer)]
+        ).run()
+        assert captured["arr"][0] == 42.0
+
+
+class TestApiFunctions:
+    def test_outside_runtime_inactive(self):
+        assert henson.henson_active() is False
+        henson.henson_yield()  # no-op standalone
+
+    def test_save_outside_runtime_raises(self):
+        with pytest.raises(WorkflowError, match="outside"):
+            henson.henson_save_int("x", 1)
+
+    def test_typed_saves(self):
+        results = {}
+
+        def puppet():
+            henson.henson_save_int("i", 7)
+            henson.henson_save_float("f", 1.5)
+            henson.henson_save_double("d", 2.5)
+            henson.henson_save_size_t("s", 10)
+            henson.henson_save_pointer("p", {"k": 1})
+            results["i"] = henson.henson_load_int("i")
+            results["f"] = henson.henson_load_float("f")
+            results["d"] = henson.henson_load_double("d")
+            results["s"] = henson.henson_load_size_t("s")
+            results["p"] = henson.henson_load_pointer("p")
+            results["exists"] = henson.henson_exists("i")
+            results["missing"] = henson.henson_exists("zzz")
+
+        HensonRuntime([Puppet("t", puppet)]).run()
+        assert results == {
+            "i": 7, "f": 1.5, "d": 2.5, "s": 10, "p": {"k": 1},
+            "exists": True, "missing": False,
+        }
+
+    def test_negative_size_t_rejected(self):
+        def puppet():
+            with pytest.raises(WorkflowError):
+                henson.henson_save_size_t("s", -1)
+
+        HensonRuntime([Puppet("t", puppet)]).run()
+
+    def test_array_count_mismatch_rejected(self):
+        def puppet():
+            with pytest.raises(WorkflowError, match="count"):
+                henson.henson_save_array("a", np.zeros(3), count=5)
+
+        HensonRuntime([Puppet("t", puppet)]).run()
+
+    def test_load_missing_raises(self):
+        def puppet():
+            with pytest.raises(WorkflowError, match="no saved value"):
+                henson.henson_load_int("never")
+
+        HensonRuntime([Puppet("t", puppet)]).run()
+
+
+class TestHwl:
+    GOOD = (
+        "# comment\n"
+        "producer = ./producer grid particles on 3 procs\n"
+        "consumer1 = ./consumer1 grid on 1 procs\n"
+        "consumer2 = ./consumer2 particles\n"
+    )
+
+    def test_parse(self):
+        script = parse_hwl(self.GOOD)
+        assert [p.name for p in script.puppets] == ["producer", "consumer1", "consumer2"]
+        producer = script.puppet("producer")
+        assert producer.executable == "./producer"
+        assert producer.args == ("grid", "particles")
+        assert producer.nprocs == 3
+        assert script.puppet("consumer2").nprocs == 1  # default
+
+    def test_total_procs(self):
+        assert parse_hwl(self.GOOD).total_procs() == 5
+
+    def test_to_graph(self):
+        graph = parse_hwl(self.GOOD).to_graph()
+        assert len(graph) == 3
+        assert graph.task("producer").nprocs == 3
+
+    def test_render_roundtrip(self):
+        script = parse_hwl(self.GOOD)
+        again = parse_hwl(render_hwl(script))
+        assert [p.name for p in again.puppets] == [p.name for p in script.puppets]
+        assert again.puppet("producer").nprocs == 3
+
+    def test_bad_line(self):
+        with pytest.raises(ConfigError, match="line 1"):
+            parse_hwl("this is not an assignment")
+
+    def test_duplicate_puppet(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_hwl("a = ./x\na = ./y")
+
+    def test_empty_script(self):
+        with pytest.raises(ConfigError, match="no puppets"):
+            parse_hwl("# nothing here\n")
+
+    def test_unknown_puppet_lookup(self):
+        with pytest.raises(ConfigError):
+            parse_hwl(self.GOOD).puppet("ghost")
+
+
+class TestValidators:
+    def test_good_config(self):
+        assert validate_config(TestHwl.GOOD).ok
+
+    def test_yaml_config_rejected_as_wrong_artifact(self):
+        report = validate_config("tasks:\n- func: producer")
+        assert not report.ok
+        assert any(d.code == "structure" for d in report.errors())
+
+    def test_reference_task_code_ok(self):
+        from repro.core.assets import annotated_producer
+
+        report = validate_task_code(annotated_producer("henson"))
+        assert report.ok, report.render()
+
+    def test_paper_hallucinations_flagged(self):
+        code = "while (henson_active()) { henson_put(\"x\", 1); henson_yield(); }"
+        report = validate_task_code(code)
+        symbols = {d.symbol for d in report.hallucinations()}
+        assert "henson_put" in symbols
+
+    def test_suggestion_points_to_real_api(self):
+        report = validate_task_code("henson_save_it(\"x\", 1);")
+        hall = report.hallucinations()[0]
+        assert hall.suggestion in ("henson_save_int", "henson_save_size_t")
+
+    def test_mpi_lifetime_warning(self):
+        code = (
+            "MPI_Init(&argc, &argv);\n"
+            "while (henson_active()) { henson_save_int(\"t\", 1); "
+            "henson_save_array(\"a\", a, 4, 4, 4); henson_yield(); }\n"
+            "MPI_Finalize();"
+        )
+        report = validate_task_code(code)
+        warning_symbols = {d.symbol for d in report.warnings()}
+        assert {"MPI_Init", "MPI_Finalize"} <= warning_symbols

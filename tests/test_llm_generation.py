@@ -1,0 +1,244 @@
+"""Corruption engine, calibration, and the simulated models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assets import annotated_producer, reference_config
+from repro.errors import CalibrationError
+from repro.llm import GenerateConfig, get_model
+from repro.llm.calibration import calibrate, quality_curve
+from repro.llm.corruption import apply_ops, build_ops, shuffle_within_bands
+from repro.llm.knowledge import SystemKnowledge
+from repro.llm.profiles import ALL_PROFILES
+from repro.metrics import bleu
+from repro.utils.rng import rng_for
+from repro.utils.text import strip_markdown_chatter
+
+REF = reference_config("wilkins")
+
+
+def wilkins_knowledge() -> SystemKnowledge:
+    profile = ALL_PROFILES["o3"]()
+    return profile.knowledge_for("configuration", "wilkins")
+
+
+class TestCorruptionOps:
+    def test_zero_ops_is_identity(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        assert apply_ops(REF, ops, 0) == REF
+
+    def test_full_ops_near_worst_case(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        corrupted = apply_ops(REF, ops, len(ops))
+        assert bleu(corrupted, REF) < 25.0
+
+    def test_curve_starts_at_100(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        curve = quality_curve(REF, ops)
+        assert curve[0] == pytest.approx(100.0)
+
+    def test_curve_overall_decreasing(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        curve = quality_curve(REF, ops)
+        # not strictly monotone, but start > middle > end
+        assert curve[0] > curve[len(curve) // 2] > curve[-1]
+
+    def test_ops_deterministic_for_seed(self):
+        a = build_ops(REF, wilkins_knowledge(), seed_labels=("x",))
+        b = build_ops(REF, wilkins_knowledge(), seed_labels=("x",))
+        assert [op.describe for op in a] == [op.describe for op in b]
+
+    def test_bands_sorted(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        bands = [op.band for op in ops]
+        assert bands == sorted(bands)
+
+    def test_shuffle_preserves_bands_and_membership(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        shuffled = shuffle_within_bands(ops, rng_for("shuffle"))
+        assert [op.band for op in shuffled] == [op.band for op in ops]
+        assert sorted(op.describe for op in shuffled) == sorted(
+            op.describe for op in ops
+        )
+
+    def test_shuffle_keeps_heavy_bands_fixed(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        shuffled = shuffle_within_bands(ops, rng_for("shuffle2"))
+        heavy = [op.describe for op in ops if op.band >= 4]
+        heavy_shuffled = [op.describe for op in shuffled if op.band >= 4]
+        assert heavy == heavy_shuffled
+
+    def test_empty_knowledge_still_has_mild_ops(self):
+        ops = build_ops(REF, SystemKnowledge(), seed_labels=("t",))
+        assert len(ops) >= 3
+        assert all(op.band == 1 for op in ops)
+
+
+class TestCalibration:
+    def test_hits_targets_across_range(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        for target in (95.0, 70.0, 40.0, 20.0):
+            result = calibrate(REF, ops, target)
+            assert abs(result.achieved_bleu - target) <= 8.0
+
+    def test_target_100_is_k0(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        assert calibrate(REF, ops, 100.0).k == 0
+
+    def test_out_of_range_target(self):
+        ops = build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+        with pytest.raises(CalibrationError):
+            calibrate(REF, ops, 150.0)
+
+    def test_unreachable_target_raises(self):
+        # only mild ops: cannot reach BLEU 10
+        ops = build_ops(REF, SystemKnowledge(), seed_labels=("t",))
+        with pytest.raises(CalibrationError, match="cannot reach"):
+            calibrate(REF, ops, 10.0)
+
+
+CFG_PROMPT = (
+    "I would like to have a 3-node workflow consisting of one producer and two "
+    "consumer tasks, where producer generates grid and particles datasets, "
+    "consumer1 reads grid and consumer2 reads particles datasets. Producer "
+    "requires 3 processes, and each consumer runs on a single process. Please "
+    "provide the workflow configuration file for the Wilkins workflow system."
+)
+
+
+class TestSimulatedModels:
+    def test_deterministic_given_seed(self):
+        model = get_model("sim/o3")
+        a = model.generate(CFG_PROMPT, GenerateConfig(seed=3)).completion
+        b = model.generate(CFG_PROMPT, GenerateConfig(seed=3)).completion
+        assert a == b
+
+    def test_seeds_vary_output_for_jittery_models(self):
+        model = get_model("sim/gemini-2.5-pro")
+        outputs = {
+            model.generate(CFG_PROMPT, GenerateConfig(seed=s)).completion
+            for s in range(4)
+        }
+        assert len(outputs) > 1
+
+    def test_claude_identical_across_seeds(self):
+        model = get_model("sim/claude-sonnet-4")
+        payloads = {
+            strip_markdown_chatter(
+                model.generate(CFG_PROMPT, GenerateConfig(seed=s)).completion
+            )
+            for s in range(4)
+        }
+        assert len(payloads) == 1
+
+    def test_temperature_zero_deterministic_for_all(self):
+        for name in ("sim/gemini-2.5-pro", "sim/llama-3.3-70b"):
+            model = get_model(name)
+            payloads = {
+                strip_markdown_chatter(
+                    model.generate(
+                        CFG_PROMPT,
+                        GenerateConfig(temperature=0.0, top_p=0.95, seed=s),
+                    ).completion
+                )
+                for s in range(3)
+            }
+            assert len(payloads) == 1, name
+
+    def test_o3_ignores_sampling_params(self):
+        model = get_model("sim/o3")
+        out = model.generate(CFG_PROMPT, GenerateConfig(temperature=0.0, seed=1))
+        assert out.params_applied is False
+        # o3 still varies across seeds despite temperature=0 in the request
+        other = model.generate(CFG_PROMPT, GenerateConfig(temperature=0.0, seed=2))
+        assert isinstance(other.completion, str)
+
+    def test_usage_accounting(self):
+        out = get_model("sim/o3").generate(CFG_PROMPT, GenerateConfig(seed=0))
+        assert out.usage.input_tokens > 20
+        assert out.usage.output_tokens > 20
+        assert out.usage.total_tokens == (
+            out.usage.input_tokens + out.usage.output_tokens
+        )
+
+    def test_completion_is_fenced_with_chatter(self):
+        out = get_model("sim/gemini-2.5-pro").generate(CFG_PROMPT, GenerateConfig(seed=0))
+        assert "```" in out.completion
+        payload = strip_markdown_chatter(out.completion)
+        assert payload and "```" not in payload
+
+    def test_metadata_carries_intent(self):
+        out = get_model("sim/o3").generate(CFG_PROMPT, GenerateConfig(seed=0))
+        intent = out.metadata["intent"]
+        assert intent.experiment == "configuration"
+        assert intent.system == "wilkins"
+
+    def test_annotation_generation_scores_in_band(self):
+        prompt = (
+            "You are assisting in the development of a simple producer-consumer "
+            "workflow using the PyCOMPSs system. The producer task code is "
+            "provided below. Annotate this task code in order to use it with "
+            "the PyCOMPSs system.\n\n<code>"
+        )
+        model = get_model("sim/gemini-2.5-pro")
+        ref = annotated_producer("pycompss")
+        scores = [
+            bleu(
+                strip_markdown_chatter(
+                    model.generate(prompt, GenerateConfig(seed=s)).completion
+                ),
+                ref,
+            )
+            for s in range(3)
+        ]
+        # paper target 89.3 for this cell
+        assert 80.0 <= sum(scores) / len(scores) <= 98.0
+
+    def test_empty_prompt_rejected(self):
+        from repro.errors import GenerationError
+
+        with pytest.raises(GenerationError):
+            get_model("sim/o3").generate("   ", GenerateConfig())
+
+
+class TestProfiles:
+    def test_all_profiles_have_full_target_coverage(self):
+        from repro.data import PROMPT_VARIANTS
+
+        cells = (
+            [("configuration", s) for s in ("adios2", "henson", "wilkins")]
+            + [("annotation", s) for s in ("adios2", "henson", "pycompss", "parsl")]
+            + [
+                ("translation", ("henson", "adios2")),
+                ("translation", ("adios2", "henson")),
+                ("translation", ("parsl", "pycompss")),
+                ("translation", ("pycompss", "parsl")),
+            ]
+        )
+        for name, factory in ALL_PROFILES.items():
+            profile = factory()
+            for experiment, system_key in cells:
+                for variant in PROMPT_VARIANTS:
+                    target = profile.target_for(experiment, system_key, variant)
+                    assert 0.0 <= target <= 100.0, (name, experiment, system_key)
+
+    def test_fewshot_targets_above_zero_shot(self):
+        for factory in ALL_PROFILES.values():
+            profile = factory()
+            for system in ("adios2", "henson", "wilkins"):
+                zero = profile.target_for("configuration", system, "original")
+                few = profile.target_for("configuration", system, "original", True)
+                assert few > zero
+
+    def test_claude_has_zero_jitter(self):
+        assert ALL_PROFILES["claude-sonnet-4"]().epoch_jitter == 0.0
+
+    def test_o3_ignores_params_flag(self):
+        assert ALL_PROFILES["o3"]().ignore_sampling_params is True
+
+    def test_knowledge_fallback_is_empty(self):
+        profile = ALL_PROFILES["o3"]()
+        knowledge = profile.knowledge_for("annotation", "nonexistent-system")
+        assert knowledge.confusions == {}

@@ -1,0 +1,120 @@
+"""BLEU: identity, boundary, smoothing, brevity, corpus semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import bleu, corpus_bleu
+
+
+REF = "tasks:\n- func: producer\n  nprocs: 3\n  outports:\n  - filename: outfile.h5"
+
+
+class TestSentenceBleu:
+    def test_identity_is_100(self):
+        assert bleu(REF, REF) == pytest.approx(100.0)
+
+    def test_disjoint_is_0_unsmoothed(self):
+        score = bleu(
+            "alpha beta gamma delta", "one two three four", smooth_method="none"
+        )
+        assert score == 0.0
+
+    def test_disjoint_stays_small_with_exp_smoothing(self):
+        # exp smoothing floors zero counts, so tiny-but-nonzero is correct
+        assert bleu("alpha beta gamma delta", "one two three four") < 15.0
+
+    def test_range(self):
+        score = bleu("tasks:\n- func: writer", REF)
+        assert 0.0 <= score <= 100.0
+
+    def test_partial_overlap_midrange(self):
+        hyp = REF.replace("producer", "writer").replace("nprocs", "processes")
+        score = bleu(hyp, REF)
+        assert 10.0 < score < 90.0
+
+    def test_more_corruption_scores_lower(self):
+        mild = REF.replace("producer", "writer")
+        heavy = REF.replace("producer", "writer").replace("outports", "outputs").replace(
+            "filename", "file_name"
+        )
+        assert bleu(heavy, REF) < bleu(mild, REF)
+
+    def test_empty_hypothesis(self):
+        assert bleu("", REF) == 0.0
+
+    def test_multi_reference_takes_best_match(self):
+        refs = ["completely different text here", REF]
+        assert bleu(REF, refs) == pytest.approx(100.0)
+
+
+class TestBrevityPenalty:
+    def test_short_hypothesis_penalized(self):
+        full = " ".join(["token"] * 20)
+        half = " ".join(["token"] * 10)
+        assert bleu(half, full) < bleu(full, full)
+
+    def test_long_hypothesis_not_bp_penalized(self):
+        # precision still drops, but BP must be 1.0
+        result = corpus_bleu([REF + "\nextra: line"], [REF])
+        assert result.bp == pytest.approx(1.0)
+
+    def test_bp_formula(self):
+        result = corpus_bleu(["a b c"], ["a b c d e f"])
+        assert result.bp == pytest.approx(pow(2.718281828, 1 - 6 / 3), rel=1e-6)
+
+
+class TestSmoothing:
+    def test_exp_smoothing_gives_nonzero_for_unigram_only_match(self):
+        score = bleu("producer", "producer consumer analyzer monitor")
+        assert score > 0.0
+
+    def test_none_smoothing_gives_zero_when_higher_orders_empty(self):
+        score = bleu(
+            "producer consumer widget gadget",
+            "producer gadget consumer widget",
+            smooth_method="none",
+        )
+        # no matching 3-grams / 4-grams: geometric mean collapses to 0
+        assert score == 0.0
+
+    def test_floor_and_addk_valid(self):
+        for method in ("floor", "add-k"):
+            score = bleu("a b", "c d", smooth_method=method)
+            assert 0.0 <= score <= 100.0
+
+    def test_unknown_smoothing_raises(self):
+        with pytest.raises(MetricError):
+            bleu("a", "a", smooth_method="bogus")
+
+
+class TestCorpusBleu:
+    def test_empty_corpus_raises(self):
+        with pytest.raises(MetricError):
+            corpus_bleu([], [])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(MetricError):
+            corpus_bleu(["a"], ["a", "b"])
+
+    def test_corpus_not_mean_of_sentences(self):
+        # corpus BLEU pools counts; it is not the average of sentence scores
+        hyps = ["the cat sat on the mat quietly", "zz yy xx ww"]
+        refs = ["the cat sat on the mat quietly", "aa bb cc dd"]
+        corpus = corpus_bleu(hyps, refs).score
+        sentence_mean = (bleu(hyps[0], refs[0]) + bleu(hyps[1], refs[1])) / 2
+        assert corpus != pytest.approx(sentence_mean)
+
+    def test_format_string(self):
+        formatted = corpus_bleu([REF], [REF]).format()
+        assert "BLEU = 100.00" in formatted
+        assert "hyp_len" in formatted
+
+    def test_score_capped_at_100(self):
+        assert corpus_bleu([REF], [REF]).score <= 100.0
+
+    def test_max_order_configurable(self):
+        bigram_only = bleu("a b c d", "a b x d", max_order=2)
+        four_gram = bleu("a b c d", "a b x d", max_order=4)
+        assert bigram_only >= four_gram

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the similarity metrics.
+
+Invariants:
+
+* scores live in [0, 100] for arbitrary text pairs;
+* identity scores 100 for non-trivial text;
+* metrics are deterministic;
+* appending garbage to a hypothesis never raises;
+* single-character corruption cannot *increase* ChrF identity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import bleu, chrf
+from repro.metrics.tokenizers import tokenize_13a
+
+text = st.text(
+    alphabet=st.characters(codec="ascii", exclude_categories=("Cc", "Cs")),
+    min_size=0,
+    max_size=200,
+)
+word_text = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6), min_size=4, max_size=30
+).map(" ".join)
+
+
+@settings(max_examples=60, deadline=None)
+@given(hyp=text, ref=word_text)
+def test_bleu_bounds(hyp, ref):
+    score = bleu(hyp, ref)
+    assert 0.0 <= score <= 100.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(hyp=text, ref=word_text)
+def test_chrf_bounds(hyp, ref):
+    score = chrf(hyp, ref)
+    assert 0.0 <= score <= 100.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(ref=word_text)
+def test_identity_scores_100(ref):
+    assert abs(bleu(ref, ref) - 100.0) < 1e-6
+    assert abs(chrf(ref, ref) - 100.0) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(hyp=word_text, ref=word_text)
+def test_metrics_deterministic(hyp, ref):
+    assert bleu(hyp, ref) == bleu(hyp, ref)
+    assert chrf(hyp, ref) == chrf(hyp, ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ref=word_text, junk=st.text(alphabet="xyz!@", min_size=1, max_size=20))
+def test_appending_junk_never_beats_identity(ref, junk):
+    corrupted = ref + " " + junk
+    assert bleu(corrupted, ref) <= 100.0
+    assert chrf(corrupted, ref) <= chrf(ref, ref) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(ref=word_text)
+def test_tokenizer_roundtrip_stability(ref):
+    # tokenizing the joined token stream must be a fixed point
+    once = tokenize_13a(ref)
+    twice = tokenize_13a(" ".join(once))
+    assert once == twice
+
+
+@settings(max_examples=40, deadline=None)
+@given(ref=word_text, n=st.integers(min_value=1, max_value=3))
+def test_truncation_monotone_in_brevity(ref, n):
+    # dropping a strict prefix of words cannot beat the full hypothesis
+    words = ref.split()
+    truncated = " ".join(words[: max(1, len(words) // (n + 1))])
+    assert bleu(truncated, ref) <= bleu(ref, ref) + 1e-9

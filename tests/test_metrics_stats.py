@@ -1,0 +1,67 @@
+"""Aggregation statistics: mean, standard error, pooling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.stats import Aggregate, aggregate, mean, pool, stderr
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStderr:
+    def test_known_value(self):
+        # sample std of [1,2,3] is 1.0; stderr = 1/sqrt(3)
+        assert stderr([1.0, 2.0, 3.0]) == pytest.approx(1.0 / math.sqrt(3))
+
+    def test_single_observation_is_zero(self):
+        assert stderr([5.0]) == 0.0
+
+    def test_identical_observations_exactly_zero(self):
+        assert stderr([28.14991553857761] * 5) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stderr([])
+
+
+class TestAggregate:
+    def test_fields(self):
+        agg = aggregate([10.0, 20.0])
+        assert agg.mean == pytest.approx(15.0)
+        assert agg.n == 2
+
+    def test_render(self):
+        # sample std of [10,20] is 7.071; stderr = 7.071/sqrt(2) = 5.0
+        assert aggregate([10.0, 20.0]).render() == "15.0±5.0"
+
+    def test_render_precision(self):
+        assert aggregate([10.0, 20.0]).render(precision=2) == "15.00±5.00"
+
+
+class TestPool:
+    def test_pool_means_across_conditions(self):
+        a = Aggregate(mean=60.0, stderr=1.0, n=5)
+        b = Aggregate(mean=20.0, stderr=1.0, n=5)
+        pooled = pool([a, b])
+        assert pooled.mean == pytest.approx(40.0)
+        # overall spread reflects across-condition variance, like the paper
+        assert pooled.stderr > 1.0
+
+    def test_pool_empty_raises(self):
+        with pytest.raises(ValueError):
+            pool([])
+
+    def test_pool_single(self):
+        pooled = pool([Aggregate(mean=10.0, stderr=2.0, n=5)])
+        assert pooled.mean == 10.0
+        assert pooled.stderr == 0.0

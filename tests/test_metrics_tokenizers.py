@@ -1,0 +1,81 @@
+"""mteval-13a tokenization and n-gram utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.tokenizers import (
+    all_ngrams,
+    char_ngrams,
+    clipped_matches,
+    ngrams,
+    token_count,
+    tokenize_13a,
+)
+
+
+class TestTokenize13a:
+    def test_punctuation_separated(self):
+        assert tokenize_13a("engine.put(var)") == ["engine", ".", "put", "(", "var", ")"]
+
+    def test_decimal_numbers_kept_together(self):
+        assert "3.14" in tokenize_13a("pi is 3.14 exactly")
+
+    def test_comma_in_numbers_kept(self):
+        assert "1,000" in tokenize_13a("n = 1,000")
+
+    def test_trailing_period_split(self):
+        assert tokenize_13a("done.")[-1] == "."
+
+    def test_newlines_joined(self):
+        assert tokenize_13a("a\nb") == ["a", "b"]
+
+    def test_hyphenation_repaired(self):
+        assert tokenize_13a("work-\nflow") == ["workflow"]
+
+    def test_entities_decoded(self):
+        assert tokenize_13a("a &amp; b") == ["a", "&", "b"]
+
+    def test_digit_dash_split(self):
+        assert tokenize_13a("3-node") == ["3", "-", "node"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        grams = ngrams(["a", "b", "a", "b"], 2)
+        assert grams[("a", "b")] == 2
+        assert grams[("b", "a")] == 1
+
+    def test_order_longer_than_sequence(self):
+        assert len(ngrams(["a"], 2)) == 0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_all_ngrams_keys(self):
+        table = all_ngrams(["a", "b", "c"], 3)
+        assert set(table) == {1, 2, 3}
+
+
+class TestCharNgrams:
+    def test_whitespace_removed(self):
+        assert char_ngrams("a b", 2) == char_ngrams("ab", 2)
+
+    def test_whitespace_kept(self):
+        assert char_ngrams("a b", 2, remove_whitespace=False) != char_ngrams("ab", 2)
+
+
+class TestClippedMatches:
+    def test_clipping(self):
+        hyp = ngrams(["x", "x", "x"], 1)
+        ref = ngrams(["x"], 1)
+        assert clipped_matches(hyp, ref) == 1
+
+    def test_disjoint(self):
+        assert clipped_matches(ngrams(["a"], 1), ngrams(["b"], 1)) == 0
+
+
+class TestTokenCount:
+    def test_sums_over_texts(self):
+        assert token_count(["a b", "c"]) == 3

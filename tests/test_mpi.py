@@ -1,0 +1,220 @@
+"""Simulated MPI: point-to-point, collectives, split, launcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Status, World, mpiexec
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        result = mpiexec(prog, 2)
+        assert result[1] == {"x": 1}
+
+    def test_wildcard_source_and_status(self):
+        def prog(comm):
+            if comm.rank == 0:
+                received = []
+                for _ in range(comm.size - 1):
+                    status = Status()
+                    payload = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+                    received.append((status.source, payload))
+                return sorted(received)
+            comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        result = mpiexec(prog, 4)
+        assert result[0] == [(1, 10), (2, 20), (3, 30)]
+
+    def test_tag_matching_out_of_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert mpiexec(prog, 2)[1] == ("first", "second")
+
+    def test_recv_timeout(self):
+        def prog(comm):
+            if comm.rank == 1:
+                with pytest.raises(CommunicatorError, match="timed out"):
+                    comm.recv(source=0, timeout=0.05)
+            return True
+
+        mpiexec(prog, 2)
+
+    def test_isend_irecv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(42, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert mpiexec(prog, 2)[1] == 42
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm):
+            return comm.bcast("hello" if comm.rank == 0 else None, root=0)
+
+        assert mpiexec(prog, 4).returns == ["hello"] * 4
+
+    def test_scatter_gather_roundtrip(self):
+        def prog(comm):
+            part = comm.scatter(
+                [i * i for i in range(comm.size)] if comm.rank == 0 else None
+            )
+            return comm.gather(part, root=0)
+
+        result = mpiexec(prog, 4)
+        assert result[0] == [0, 1, 4, 9]
+        assert result[1] is None
+
+    def test_scatter_wrong_length_raises(self):
+        def prog(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError):
+                    comm.scatter([1, 2])  # size is 3
+                comm.send("unblock", dest=1)
+                comm.send("unblock", dest=2)
+            else:
+                comm.recv(source=0, timeout=5.0)
+            return True
+
+        # avoid non-root ranks waiting on a scatter that never happens
+        def safe(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommunicatorError):
+                    comm.scatter([1, 2])
+            return True
+
+        mpiexec(safe, 3)
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank)
+
+        assert mpiexec(prog, 3).returns == [[0, 1, 2]] * 3
+
+    def test_alltoall(self):
+        def prog(comm):
+            return comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+
+        result = mpiexec(prog, 3)
+        assert result[2] == ["0->2", "1->2", "2->2"]
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [(SUM, 6), (PROD, 6), (MIN, 1), (MAX, 3)],
+    )
+    def test_reduce_ops(self, op, expected):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, op=op, root=0)
+
+        result = mpiexec(prog, 3)
+        assert result[0] == expected
+        assert result[1] is None
+
+    def test_allreduce_array(self):
+        def prog(comm):
+            return comm.allreduce(np.full(4, comm.rank, dtype=float), SUM)
+
+        result = mpiexec(prog, 3)
+        for rank in range(3):
+            assert np.allclose(result[rank], 3.0)
+
+    def test_reduce_deterministic_order(self):
+        def prog(comm):
+            return comm.reduce(float(comm.rank) * 0.1, SUM, root=0)
+
+        a = mpiexec(prog, 5)[0]
+        b = mpiexec(prog, 5)[0]
+        assert a == b
+
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(5):
+                comm.barrier()
+            return comm.rank
+
+        assert mpiexec(prog, 4).returns == [0, 1, 2, 3]
+
+
+class TestSplit:
+    def test_split_renumbers(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return (sub.rank, sub.size)
+
+        result = mpiexec(prog, 5)
+        # evens: world ranks 0,2,4 -> sub ranks 0,1,2 ; odds: 1,3 -> 0,1
+        assert result[0] == (0, 3)
+        assert result[1] == (0, 2)
+        assert result[4] == (2, 3)
+
+    def test_split_isolated_collectives(self):
+        def prog(comm):
+            sub = comm.split(comm.rank % 2)
+            return sub.allreduce(1, SUM)
+
+        result = mpiexec(prog, 5)
+        assert result.returns == [3, 2, 3, 2, 3]
+
+    def test_negative_color_returns_none(self):
+        def prog(comm):
+            return comm.split(-1 if comm.rank == 0 else 0) is None
+
+        result = mpiexec(prog, 3)
+        assert result[0] is True
+        assert result[1] is False
+
+    def test_key_orders_group(self):
+        def prog(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        result = mpiexec(prog, 3)
+        assert result.returns == [2, 1, 0]
+
+
+class TestLauncher:
+    def test_returns_per_rank(self):
+        result = mpiexec(lambda comm: comm.rank * 2, 4)
+        assert result.returns == [0, 2, 4, 6]
+        assert result.nprocs == 4
+
+    def test_exception_propagates_with_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(CommunicatorError, match="rank 2"):
+            mpiexec(prog, 3)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(CommunicatorError):
+            mpiexec(lambda comm: None, 0)
+
+    def test_kwargs_forwarded(self):
+        def prog(comm, base, offset=0):
+            return base + offset + comm.rank
+
+        result = mpiexec(prog, 2, 10, offset=5)
+        assert result.returns == [15, 16]

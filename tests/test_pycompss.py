@@ -1,0 +1,208 @@
+"""PyCOMPSs substrate: @task, directions, synchronization API, validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.pycompss import (
+    FILE_IN,
+    FILE_INOUT,
+    FILE_OUT,
+    compss_barrier,
+    compss_open,
+    compss_wait_on,
+    compss_wait_on_file,
+    task,
+    validate_task_code,
+)
+
+
+class TestTaskDecorator:
+    def test_returns_future_placeholder(self, compss_runtime):
+        @task(returns=int)
+        def square(x):
+            return x * x
+
+        future = square(6)
+        assert compss_wait_on(future) == 36
+
+    def test_no_returns_gives_none(self, compss_runtime):
+        @task()
+        def fire_and_forget(x):
+            return None
+
+        assert fire_and_forget(1) is None
+        compss_barrier()
+
+    def test_multiple_returns_unpack(self, compss_runtime):
+        @task(returns=2)
+        def divmod_task(a, b):
+            return a // b, a % b
+
+        q, r = divmod_task(17, 5)
+        assert compss_wait_on(q) == 3
+        assert compss_wait_on(r) == 2
+
+    def test_future_args_create_dependencies(self, compss_runtime):
+        @task(returns=int)
+        def inc(x):
+            return x + 1
+
+        chained = inc(inc(inc(0)))
+        assert compss_wait_on(chained) == 3
+
+    def test_file_dependency_ordering(self, compss_runtime):
+        order = []
+
+        @task(fname=FILE_OUT)
+        def write(fname):
+            order.append("write")
+            compss_runtime.fs.create(fname, np.arange(5.0))
+
+        @task(fname=FILE_IN, returns=float)
+        def read(fname):
+            order.append("read")
+            return float(np.sum(compss_runtime.fs.open(fname)))
+
+        write("d.npy")
+        total = read("d.npy")
+        assert compss_wait_on(total) == 10.0
+        assert order == ["write", "read"]
+
+    def test_file_inout_chains(self, compss_runtime):
+        @task(fname=FILE_OUT)
+        def init(fname):
+            compss_runtime.fs.create(fname, [1])
+
+        @task(fname=FILE_INOUT)
+        def append(fname):
+            compss_runtime.fs.open(fname).append(2)
+
+        @task(fname=FILE_IN, returns=list)
+        def readback(fname):
+            return list(compss_runtime.fs.open(fname))
+
+        init("log")
+        append("log")
+        append("log")
+        assert compss_wait_on(readback("log")) == [1, 2, 2]
+
+    def test_invocation_records_dependencies(self, compss_runtime):
+        @task(fname=FILE_OUT)
+        def w(fname):
+            compss_runtime.fs.create(fname, 1)
+
+        @task(fname=FILE_IN, returns=int)
+        def r(fname):
+            return compss_runtime.fs.open(fname)
+
+        w("x")
+        compss_wait_on(r("x"))
+        invocations = compss_runtime.invocations()
+        assert [(i.name, i.n_deps) for i in invocations] == [("w", 0), ("r", 1)]
+
+    def test_non_direction_kwarg_rejected(self):
+        with pytest.raises(WorkflowError, match="Direction"):
+            @task(fname="FILE_OUT")  # string, not Direction
+            def bad(fname):
+                pass
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(WorkflowError, match="unknown parameters"):
+            @task(ghost=FILE_OUT)
+            def bad(fname):
+                pass
+
+    def test_file_param_must_be_path(self, compss_runtime):
+        @task(fname=FILE_OUT)
+        def w(fname):
+            pass
+
+        with pytest.raises(WorkflowError, match="path string"):
+            w(123)
+
+
+class TestSynchronizationApi:
+    def test_wait_on_passthrough(self, compss_runtime):
+        assert compss_wait_on(42) == 42
+
+    def test_wait_on_list(self, compss_runtime):
+        @task(returns=int)
+        def one():
+            return 1
+
+        values = compss_wait_on([one(), one(), 5])
+        assert values == [1, 1, 5]
+
+    def test_wait_on_empty_raises(self):
+        with pytest.raises(WorkflowError):
+            compss_wait_on()
+
+    def test_wait_on_file_returns_path(self, compss_runtime):
+        @task(fname=FILE_OUT)
+        def w(fname):
+            compss_runtime.fs.create(fname, "x")
+
+        w("a.txt")
+        assert compss_wait_on_file("a.txt") == "a.txt"
+        assert compss_runtime.fs.open("a.txt") == "x"
+
+    def test_wait_on_file_type_checked(self, compss_runtime):
+        with pytest.raises(WorkflowError, match="path strings"):
+            compss_wait_on_file(123)
+
+    def test_compss_open_read(self, compss_runtime):
+        @task(fname=FILE_OUT)
+        def w(fname):
+            compss_runtime.fs.create(fname, "content")
+
+        w("f.txt")
+        assert compss_open("f.txt") == "content"
+
+    def test_compss_open_write_handle(self, compss_runtime):
+        with compss_open("new.txt", "w") as handle:
+            handle.write("hello ")
+            handle.write("world")
+        assert compss_runtime.fs.open("new.txt") == "hello world"
+
+    def test_barrier_waits_all(self, compss_runtime):
+        done = []
+
+        @task()
+        def slow(i):
+            done.append(i)
+
+        for i in range(5):
+            slow(i)
+        compss_barrier()
+        assert sorted(done) == [0, 1, 2, 3, 4]
+
+
+class TestValidator:
+    def test_reference_ok(self):
+        from repro.core.assets import annotated_producer
+
+        report = validate_task_code(annotated_producer("pycompss"))
+        assert report.ok, report.render()
+
+    def test_missing_wait_on_file_flagged(self):
+        from repro.core.assets import annotated_producer
+
+        bad = "\n".join(
+            ln for ln in annotated_producer("pycompss").split("\n")
+            if "compss_wait_on_file" not in ln
+        )
+        report = validate_task_code(bad)
+        assert any(d.symbol == "compss_wait_on_file" for d in report.missing())
+
+    def test_hallucinated_call_flagged(self):
+        code = "@task()\ndef f(): pass\ncompss_wait_file('x')\nFILE_OUT"
+        report = validate_task_code(code)
+        assert any(d.symbol == "compss_wait_file" for d in report.hallucinations())
+
+    def test_unknown_decorator_flagged(self):
+        code = "@parallel_task\ndef f(): pass"
+        report = validate_task_code(code)
+        assert any(d.symbol == "parallel_task" for d in report.hallucinations())

@@ -1,0 +1,89 @@
+"""Reporting layer: table layout, bold markers, CSV, heatmaps, comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments.base import CellResult, ExperimentGrid
+from repro.data import Cell4, MODELS
+from repro.metrics.stats import Aggregate
+from repro.reporting import compare_with_paper, render_figure1, render_grid_table
+from repro.reporting.heatmap import render_heatmap
+from repro.utils.tables import Cell, TextTable, render_matrix
+
+
+def agg(mean: float, se: float = 0.5) -> Aggregate:
+    return Aggregate(mean=mean, stderr=se, n=5)
+
+
+def demo_grid() -> ExperimentGrid:
+    grid = ExperimentGrid("demo", row_keys=["adios2", "henson"], models=list(MODELS))
+    for i, row in enumerate(grid.row_keys):
+        for j, model in enumerate(MODELS):
+            base = 60.0 - 30 * i + j
+            grid.add(row, model, CellResult(agg(base), agg(base + 2)))
+    return grid
+
+
+class TestTextTable:
+    def test_alignment_and_title(self):
+        table = TextTable("My Title", columns=["A", "B"])
+        table.add_row("row1", [Cell(1.234, 0.5), Cell(9.0)])
+        text = table.render()
+        assert "My Title" in text
+        assert "1.2±0.5" in text and "9.0" in text
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable("T", columns=["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row("r", [Cell(1.0)])
+
+    def test_bold_marker(self):
+        assert Cell(5.0, bold=True).render() == "*5.0*"
+
+    def test_csv(self):
+        table = TextTable("T", columns=["A"])
+        table.add_row("r", [Cell(1.0)])
+        assert table.to_csv() == ",A\nr,1.0"
+
+    def test_render_matrix(self):
+        text = render_matrix("M", ["r1"], ["c1", "c2"], [[1.0, 2.0]])
+        assert "r1" in text and "2.0" in text
+
+
+class TestGridTable:
+    def test_paper_layout(self):
+        text = render_grid_table(demo_grid(), "Table X")
+        assert "ADIOS2" in text and "Henson" in text
+        assert "Overall" in text
+        assert "o3 BLEU" in text and "LLaMA-3.3-70B ChrF" in text
+
+    def test_best_markers_present(self):
+        text = render_grid_table(demo_grid(), "Table X")
+        assert "*" in text  # bold best row/model
+
+
+class TestHeatmaps:
+    def test_short_model_labels(self):
+        data = {"original": {m: 10.0 for m in MODELS}}
+        text = render_heatmap("H", data, variants=["original"])
+        for short in ("o3", "Gemini", "Claude", "LLaMA"):
+            assert short in text
+
+    def test_figure_groups_by_condition(self):
+        results = {
+            "adios2": {"original": {m: 1.0 for m in MODELS}},
+            ("adios2", "henson"): {"original": {m: 2.0 for m in MODELS}},
+        }
+        text = render_figure1(results, "F")
+        assert "ADIOS2" in text
+        assert "ADIOS2 to Henson" in text
+
+
+class TestComparison:
+    def test_delta_rendering(self):
+        measured = CellResult(agg(32.0), agg(30.0))
+        paper = Cell4(30.0, 1.5, 29.1, 1.0)
+        line = compare_with_paper(measured, paper, "cell")
+        assert "Δ+2.0" in line and "Δ+0.9" in line
+        assert "paper BLEU 30.0±1.5" in line

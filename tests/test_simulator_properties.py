@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the simulator's core invariants.
+
+These guard the properties the whole reproduction depends on:
+
+* corruption curves start at 100 and are bounded;
+* any prefix depth produces *some* artifact (never crashes, never empty);
+* calibration is idempotent and its achieved score is within tolerance;
+* seed determinism: equal (labels, depth) → equal artifact;
+* hwl and Wilkins-YAML rendering round-trips for arbitrary small configs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assets import reference_config
+from repro.llm.calibration import calibrate, quality_curve
+from repro.llm.corruption import apply_ops, build_ops
+from repro.llm.knowledge import SystemKnowledge
+from repro.llm.profiles import ALL_PROFILES
+from repro.metrics import bleu
+
+REF = reference_config("wilkins")
+KNOW = ALL_PROFILES["o3"]().knowledge_for("configuration", "wilkins")
+OPS = build_ops(REF, KNOW, seed_labels=("prop",))
+CURVE = quality_curve(REF, OPS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(k=st.integers(min_value=0, max_value=len(OPS)))
+def test_any_prefix_depth_yields_nonempty_artifact(k):
+    artifact = apply_ops(REF, OPS, k)
+    assert artifact.strip()
+    assert 0.0 <= bleu(artifact, REF) <= 100.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(k=st.integers(min_value=0, max_value=len(OPS)))
+def test_apply_ops_deterministic(k):
+    assert apply_ops(REF, OPS, k) == apply_ops(REF, OPS, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(target=st.floats(min_value=15.0, max_value=100.0))
+def test_calibration_within_tolerance(target):
+    result = calibrate(REF, OPS, target, tolerance=10.0)
+    assert abs(result.achieved_bleu - target) <= 10.0
+    assert 0 <= result.k <= len(OPS)
+
+
+@settings(max_examples=30, deadline=None)
+@given(target=st.floats(min_value=15.0, max_value=100.0))
+def test_calibration_idempotent(target):
+    a = calibrate(REF, OPS, target, tolerance=10.0)
+    b = calibrate(REF, OPS, target, tolerance=10.0)
+    assert a.k == b.k
+
+
+def test_curve_endpoints():
+    assert CURVE[0] == 100.0
+    assert CURVE[-1] < 30.0
+    assert all(0.0 <= v <= 100.0 for v in CURVE)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    labels=st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=5), min_size=1, max_size=3
+    )
+)
+def test_ops_depend_only_on_seed_labels(labels):
+    a = build_ops(REF, KNOW, seed_labels=tuple(labels))
+    b = build_ops(REF, KNOW, seed_labels=tuple(labels))
+    assert [op.describe for op in a] == [op.describe for op in b]
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties for the two serializable config formats
+# ---------------------------------------------------------------------------
+
+_name = st.text(alphabet="abcdefgh", min_size=1, max_size=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    names=st.lists(_name, min_size=1, max_size=4, unique=True),
+    nprocs=st.lists(st.integers(min_value=1, max_value=16), min_size=4, max_size=4),
+)
+def test_hwl_roundtrip(names, nprocs):
+    from repro.workflows.henson.hwl import HwlScript, PuppetSpec, parse_hwl, render_hwl
+
+    script = HwlScript(
+        puppets=[
+            PuppetSpec(name=n, executable=f"./{n}", args=("x",), nprocs=p)
+            for n, p in zip(names, nprocs)
+        ]
+    )
+    again = parse_hwl(render_hwl(script))
+    assert [p.name for p in again.puppets] == [p.name for p in script.puppets]
+    assert [p.nprocs for p in again.puppets] == [
+        p.nprocs for p in script.puppets[: len(again.puppets)]
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    consumers=st.integers(min_value=1, max_value=3),
+    nprocs=st.integers(min_value=1, max_value=8),
+)
+def test_wilkins_yaml_roundtrip(consumers, nprocs):
+    from repro.workflows.wilkins.config import (
+        DsetConfig,
+        PortConfig,
+        TaskConfig,
+        WilkinsConfig,
+        parse_wilkins_yaml,
+        render_wilkins_yaml,
+    )
+
+    dset = DsetConfig(name="/g/d", file=0, memory=1)
+    config = WilkinsConfig(
+        tasks=[
+            TaskConfig(
+                func="producer",
+                nprocs=nprocs,
+                outports=[PortConfig(filename="f.h5", dsets=[dset])],
+            )
+        ]
+        + [
+            TaskConfig(
+                func=f"consumer{i}",
+                nprocs=1,
+                inports=[PortConfig(filename="f.h5", dsets=[dset])],
+            )
+            for i in range(consumers)
+        ]
+    )
+    again = parse_wilkins_yaml(render_wilkins_yaml(config))
+    assert len(again.tasks) == consumers + 1
+    assert again.task("producer").nprocs == nprocs

@@ -1,0 +1,203 @@
+"""Storage substrate: filesystem, HDF5-like hierarchy, BP steps."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store import BPFile, BPVarInfo, H5File, SimFilesystem
+
+
+class TestSimFilesystem:
+    def test_create_open(self, fs):
+        fs.create("a.txt", "payload")
+        assert fs.open("a.txt") == "payload"
+
+    def test_open_missing_raises(self, fs):
+        with pytest.raises(StoreError, match="no such file"):
+            fs.open("missing")
+
+    def test_no_overwrite(self, fs):
+        fs.create("a", 1)
+        with pytest.raises(StoreError, match="exists"):
+            fs.create("a", 2, overwrite=False)
+
+    def test_open_or_create_atomic(self, fs):
+        first = fs.open_or_create("x", list)
+        second = fs.open_or_create("x", list)
+        assert first is second
+
+    def test_wait_for_blocks_until_created(self, fs):
+        results = []
+
+        def waiter():
+            results.append(fs.wait_for("late.h5", timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        fs.create("late.h5", "here")
+        t.join(5.0)
+        assert results == ["here"]
+
+    def test_wait_for_timeout(self, fs):
+        with pytest.raises(StoreError, match="timed out"):
+            fs.wait_for("never", timeout=0.05)
+
+    def test_listing_and_protocols(self, fs):
+        fs.create("b", 1)
+        fs.create("a", 2)
+        assert fs.listdir() == ["a", "b"]
+        assert "a" in fs
+        assert len(fs) == 2
+        assert list(fs) == ["a", "b"]
+
+    def test_remove(self, fs):
+        fs.create("a", 1)
+        fs.remove("a")
+        assert "a" not in fs
+        with pytest.raises(StoreError):
+            fs.remove("a")
+
+
+class TestH5File:
+    def test_write_read_roundtrip(self):
+        h5 = H5File("t.h5")
+        data = np.arange(6.0)
+        h5.write("/group1/grid", data, step=0)
+        ds = h5.read("/group1/grid")
+        assert np.allclose(ds.data, data)
+        assert ds.path == "/group1/grid"
+
+    def test_path_normalization(self):
+        h5 = H5File()
+        h5.write("group1/grid", np.zeros(2))
+        assert h5.exists("/group1/grid")
+
+    def test_invalid_path(self):
+        h5 = H5File()
+        with pytest.raises(StoreError):
+            h5.write("/", np.zeros(1))
+
+    def test_step_versions(self):
+        h5 = H5File()
+        for step in range(3):
+            h5.write("/d", np.full(2, step), step=step)
+        assert h5.read("/d", step=1).data[0] == 1
+        assert h5.read("/d").data[0] == 2  # latest
+        assert h5.steps_of("/d") == [0, 1, 2]
+
+    def test_missing_step_raises(self):
+        h5 = H5File()
+        h5.write("/d", np.zeros(1), step=0)
+        with pytest.raises(StoreError, match="step 5"):
+            h5.read("/d", step=5)
+
+    def test_read_when_available_blocks(self):
+        h5 = H5File()
+        out = []
+
+        def reader():
+            out.append(h5.read_when_available("/d", step=0, timeout=5.0).data[0])
+
+        t = threading.Thread(target=reader)
+        t.start()
+        h5.write("/d", np.array([7.0]), step=0)
+        t.join(5.0)
+        assert out == [7.0]
+
+    def test_read_when_available_timeout(self):
+        h5 = H5File()
+        with pytest.raises(StoreError, match="timed out"):
+            h5.read_when_available("/never", step=0, timeout=0.05)
+
+    def test_paths_sorted(self):
+        h5 = H5File()
+        h5.write("/b/y", np.zeros(1))
+        h5.write("/a/x", np.zeros(1))
+        assert h5.paths() == ["/a/x", "/b/y"]
+        assert list(h5) == ["/a/x", "/b/y"]
+
+    def test_groups(self):
+        h5 = H5File()
+        group = h5.require_group("/g1/g2")
+        assert group.path == "/g1/g2"
+        h5.write("/g1/g2/d", np.zeros(1))
+        assert "/g1/g2/d" in h5
+
+    def test_attrs(self):
+        h5 = H5File()
+        ds = h5.write("/d", np.zeros(1), attrs={"units": "m"})
+        assert ds.attrs["units"] == "m"
+
+    def test_array_protocol(self):
+        h5 = H5File()
+        ds = h5.write("/d", np.arange(3))
+        assert np.asarray(ds).sum() == 3
+
+
+class TestBPFile:
+    def _info(self, name: str) -> BPVarInfo:
+        return BPVarInfo(name=name, dtype="double")
+
+    def test_append_and_read(self):
+        bp = BPFile("o.bp")
+        bp.append_step({"x": (self._info("x"), np.arange(3))})
+        step = bp.step(0)
+        assert step.names() == ["x"]
+        assert np.allclose(step.read("x"), [0, 1, 2])
+
+    def test_missing_variable(self):
+        bp = BPFile()
+        bp.append_step({})
+        with pytest.raises(StoreError):
+            bp.step(0).read("nope")
+
+    def test_finalize_blocks_appends(self):
+        bp = BPFile()
+        bp.finalize()
+        with pytest.raises(StoreError, match="finalized"):
+            bp.append_step({})
+
+    def test_wait_for_step_end_of_stream(self):
+        bp = BPFile()
+        bp.append_step({"x": (self._info("x"), 1)})
+        bp.finalize()
+        assert bp.wait_for_step(0) is not None
+        assert bp.wait_for_step(1) is None
+
+    def test_wait_for_step_blocks(self):
+        bp = BPFile()
+        out = []
+
+        def reader():
+            out.append(bp.wait_for_step(0, timeout=5.0))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        bp.append_step({"x": (self._info("x"), 5)})
+        t.join(5.0)
+        assert out[0].read("x") == 5
+
+    def test_variables_union(self):
+        bp = BPFile()
+        bp.append_step({"a": (self._info("a"), 1)})
+        bp.append_step({"b": (self._info("b"), 2)})
+        assert bp.variables() == ["a", "b"]
+
+    def test_read_all(self):
+        bp = BPFile()
+        for v in (1, 2, 3):
+            bp.append_step({"x": (self._info("x"), v)})
+        assert bp.read_all("x") == [1, 2, 3]
+
+    def test_step_out_of_range(self):
+        bp = BPFile()
+        with pytest.raises(StoreError, match="out of range"):
+            bp.step(0)
+
+    def test_scalar_info(self):
+        info = BPVarInfo(name="t", dtype="int32")
+        assert info.is_scalar

@@ -1,0 +1,68 @@
+"""Seed derivation: stability, sensitivity, and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import choice_weighted, derive_seed, rng_for, spawn_streams
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1, "b") == derive_seed("a", 1, "b")
+
+    def test_order_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_label_sensitive(self):
+        assert derive_seed("model", 0) != derive_seed("model", 1)
+
+    def test_is_64_bit(self):
+        for labels in (("x",), ("y", 2), ("z", "w", 3)):
+            seed = derive_seed(*labels)
+            assert 0 <= seed < 2**64
+
+    def test_separator_prevents_concatenation_collision(self):
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_non_string_labels(self):
+        assert derive_seed(1, 2.5, None) == derive_seed("1", "2.5", "None")
+
+
+class TestRngFor:
+    def test_same_labels_same_stream(self):
+        a = rng_for("t", 1).random(8)
+        b = rng_for("t", 1).random(8)
+        assert np.allclose(a, b)
+
+    def test_different_labels_different_stream(self):
+        a = rng_for("t", 1).random(8)
+        b = rng_for("t", 2).random(8)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnStreams:
+    def test_count_and_independence(self):
+        streams = spawn_streams(123, 4)
+        assert len(streams) == 4
+        draws = [s.random(4).tolist() for s in streams]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert draws[i] != draws[j]
+
+
+class TestChoiceWeighted:
+    def test_zero_weights_fall_back_to_uniform(self):
+        rng = np.random.default_rng(0)
+        picks = {choice_weighted(rng, "abc", [0, 0, 0]) for _ in range(50)}
+        assert picks <= set("abc") and len(picks) > 1
+
+    def test_dominant_weight_wins(self):
+        rng = np.random.default_rng(0)
+        picks = [choice_weighted(rng, ["x", "y"], [1e9, 1e-9]) for _ in range(20)]
+        assert picks.count("x") >= 19
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            choice_weighted(np.random.default_rng(0), [], [])

@@ -1,0 +1,73 @@
+"""Code-fence extraction and chatter stripping."""
+
+from __future__ import annotations
+
+from repro.utils.text import (
+    dedent_strip,
+    extract_code_blocks,
+    extract_first_code_block,
+    indent_of,
+    line_count,
+    normalize_newlines,
+    strip_markdown_chatter,
+)
+
+
+class TestNormalizeNewlines:
+    def test_crlf(self):
+        assert normalize_newlines("a\r\nb\rc\nd") == "a\nb\nc\nd"
+
+
+class TestDedentStrip:
+    def test_removes_common_indent_and_outer_blanks(self):
+        assert dedent_strip("\n    a\n      b\n") == "a\n  b"
+
+
+class TestExtractCodeBlocks:
+    def test_single_block_with_language(self):
+        text = "prose\n```yaml\ntasks:\n- func: p\n```\nafter"
+        blocks = extract_code_blocks(text)
+        assert blocks == [("yaml", "tasks:\n- func: p")]
+
+    def test_multiple_blocks(self):
+        text = "```\none\n```\nmiddle\n```c\ntwo\n```"
+        blocks = extract_code_blocks(text)
+        assert [b[0] for b in blocks] == ["", "c"]
+
+    def test_no_blocks(self):
+        assert extract_code_blocks("just text") == []
+
+
+class TestExtractFirstCodeBlock:
+    def test_prefers_longest_block(self):
+        text = "```sh\nrun.sh\n```\n```c\nint main() { return 0; }\n```"
+        assert "int main" in extract_first_code_block(text)
+
+    def test_fallback_to_text(self):
+        assert extract_first_code_block("plain") == "plain"
+
+    def test_no_fallback(self):
+        assert extract_first_code_block("plain", fallback_to_text=False) == ""
+
+
+class TestStripMarkdownChatter:
+    def test_fenced_response(self):
+        text = "Sure, here is the config.\n```yaml\ntasks:\n- func: p\n```\nHope it helps!"
+        assert strip_markdown_chatter(text) == "tasks:\n- func: p"
+
+    def test_unfenced_chatter_prefix_removed(self):
+        text = "Sure, here is the file\ntasks:\n- func: p"
+        assert strip_markdown_chatter(text) == "tasks:\n- func: p"
+
+    def test_plain_artifact_untouched(self):
+        artifact = "tasks:\n- func: p"
+        assert strip_markdown_chatter(artifact) == artifact
+
+
+class TestLineHelpers:
+    def test_line_count_ignores_blanks(self):
+        assert line_count("a\n\n  \nb\n") == 2
+
+    def test_indent_of(self):
+        assert indent_of("    x") == "    "
+        assert indent_of("x") == ""

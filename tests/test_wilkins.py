@@ -1,0 +1,222 @@
+"""Wilkins substrate: YAML config, graph matching, runtime, validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assets import reference_config
+from repro.errors import ConfigError, WorkflowError
+from repro.workflows.wilkins import (
+    WilkinsRuntime,
+    build_graph,
+    parse_wilkins_yaml,
+    render_wilkins_yaml,
+    validate_config,
+)
+
+
+class TestConfigParsing:
+    def test_paper_reference_parses(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        assert [t.func for t in config.tasks] == ["producer", "consumer1", "consumer2"]
+        producer = config.task("producer")
+        assert producer.nprocs == 3
+        assert producer.outports[0].filename == "outfile.h5"
+        assert [d.name for d in producer.outports[0].dsets] == [
+            "/group1/grid", "/group1/particles",
+        ]
+        assert producer.outports[0].dsets[0].transport == "memory"
+
+    def test_total_procs(self):
+        assert parse_wilkins_yaml(reference_config("wilkins")).total_procs() == 5
+
+    def test_unknown_task_field(self):
+        bad = reference_config("wilkins").replace("nprocs:", "processes:")
+        with pytest.raises(ConfigError, match="unknown task field"):
+            parse_wilkins_yaml(bad)
+
+    def test_unknown_top_level(self):
+        with pytest.raises(ConfigError, match="unknown top-level"):
+            parse_wilkins_yaml("workflow: {}\ntasks:\n- func: a\n  nprocs: 1")
+
+    def test_missing_func(self):
+        with pytest.raises(ConfigError, match="missing required field 'func'"):
+            parse_wilkins_yaml("tasks:\n- nprocs: 1")
+
+    def test_duplicate_func(self):
+        with pytest.raises(ConfigError, match="duplicate task func"):
+            parse_wilkins_yaml("tasks:\n- func: a\n- func: a")
+
+    def test_port_requires_dsets(self):
+        with pytest.raises(ConfigError, match="dsets"):
+            parse_wilkins_yaml(
+                "tasks:\n- func: a\n  outports:\n  - filename: f.h5"
+            )
+
+    def test_dset_flags_validated(self):
+        with pytest.raises(ConfigError, match="file/memory"):
+            parse_wilkins_yaml(
+                "tasks:\n- func: a\n  outports:\n  - filename: f.h5\n"
+                "    dsets:\n    - name: /d\n      file: 2"
+            )
+
+    def test_both_flags_zero_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            parse_wilkins_yaml(
+                "tasks:\n- func: a\n  outports:\n  - filename: f.h5\n"
+                "    dsets:\n    - name: /d\n      file: 0\n      memory: 0"
+            )
+
+    def test_malformed_yaml(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_wilkins_yaml("tasks: [unclosed")
+
+    def test_render_roundtrip(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        again = parse_wilkins_yaml(render_wilkins_yaml(config))
+        assert [t.func for t in again.tasks] == [t.func for t in config.tasks]
+        assert again.task("producer").nprocs == 3
+
+    def test_render_matches_paper_layout(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        assert render_wilkins_yaml(config) == reference_config("wilkins")
+
+
+class TestGraphBuilding:
+    def test_three_node_links(self):
+        graph = build_graph(parse_wilkins_yaml(reference_config("wilkins")))
+        assert graph.sources() == ["producer"]
+        assert sorted(graph.sinks()) == ["consumer1", "consumer2"]
+        link = graph.producers_of("consumer1")[0]
+        assert link.dataset == "/group1/grid"
+        assert link.transport == "memory"
+
+    def test_glob_matching(self):
+        text = reference_config("wilkins").replace(
+            "- name: /group1/grid\n      file: 0\n      memory: 1\n"
+            "- func: consumer2",
+            "- name: /group1/*\n      file: 0\n      memory: 1\n"
+            "- func: consumer2",
+        )
+        graph = build_graph(parse_wilkins_yaml(text))
+        # consumer1's glob now matches both datasets
+        assert len(graph.producers_of("consumer1")) == 2
+
+    def test_unmatched_inport_rejected(self):
+        text = reference_config("wilkins").replace("/group1/particles", "/group1/mesh", 1)
+        with pytest.raises(ConfigError, match="no producer"):
+            build_graph(parse_wilkins_yaml(text))
+
+
+class TestRuntime:
+    def _library(self):
+        def producer(comm, ctx):
+            rng = np.random.default_rng(7 + comm.rank)
+            for step in range(3):
+                local = rng.random(4)
+                gathered = comm.gather(local, root=0)
+                if comm.rank == 0:
+                    ctx.write("grid", np.concatenate(gathered), step=step)
+                    ctx.write("particles", np.arange(step + 1.0), step=step)
+            return "ok"
+
+        def consumer1(comm, ctx):
+            return [float(np.sum(d)) for _s, d in ctx.steps("grid")]
+
+        def consumer2(comm, ctx):
+            return [len(d) for _s, d in ctx.steps("particles")]
+
+        return {"producer": producer, "consumer1": consumer1, "consumer2": consumer2}
+
+    def test_three_node_memory_transport(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        results = WilkinsRuntime(config, self._library()).run()
+        assert results["producer"] == "ok"
+        assert len(results["consumer1"]) == 3
+        assert results["consumer2"] == [1, 2, 3]
+
+    def test_file_transport_waits_for_close(self):
+        text = reference_config("wilkins").replace("file: 0", "file: 1").replace(
+            "memory: 1", "memory: 0"
+        )
+        config = parse_wilkins_yaml(text)
+
+        def consumer1(comm, ctx):
+            # file transport: read after producer completes
+            return float(np.sum(ctx.read("grid", step=2)))
+
+        library = self._library()
+        library["consumer1"] = consumer1
+        results = WilkinsRuntime(config, library).run()
+        assert isinstance(results["consumer1"], float)
+
+    def test_producer_runs_on_nprocs_ranks(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        sizes = []
+
+        def producer(comm, ctx):
+            sizes.append(comm.size)
+            if comm.rank == 0:
+                ctx.write("grid", np.zeros(2), step=0)
+                ctx.write("particles", np.zeros(2), step=0)
+
+        library = self._library()
+        library["producer"] = producer
+        WilkinsRuntime(config, library).run()
+        assert sizes[:3] == [3, 3, 3]
+
+    def test_missing_callable_rejected(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+        with pytest.raises(WorkflowError, match="no callables"):
+            WilkinsRuntime(config, {"producer": lambda c, x: None})
+
+    def test_task_failure_propagates(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+
+        def bad(comm, ctx):
+            raise RuntimeError("task exploded")
+
+        library = self._library()
+        library["consumer2"] = bad
+        with pytest.raises(WorkflowError, match="consumer2"):
+            WilkinsRuntime(config, library, timeout=5.0).run()
+
+    def test_unknown_dataset_in_context(self):
+        config = parse_wilkins_yaml(reference_config("wilkins"))
+
+        def bad_producer(comm, ctx):
+            ctx.write("nonexistent", np.zeros(1))
+
+        library = self._library()
+        library["producer"] = bad_producer
+        with pytest.raises(WorkflowError, match="producer"):
+            WilkinsRuntime(config, library, timeout=5.0).run()
+
+
+class TestValidator:
+    def test_reference_ok(self):
+        assert validate_config(reference_config("wilkins")).ok
+
+    def test_o3_zero_shot_schema_flagged(self):
+        from repro.data.case_studies import TABLE6_FLAGGED_FIELDS, TABLE6_ZEROSHOT
+
+        report = validate_config(TABLE6_ZEROSHOT)
+        flagged = {d.symbol for d in report.hallucinations()}
+        assert set(TABLE6_FLAGGED_FIELDS) <= flagged
+
+    def test_suggestions_point_to_real_fields(self):
+        report = validate_config("tasks:\n- func: a\n  nprocs: 1\n  inputs:\n  - x")
+        by_symbol = {d.symbol: d for d in report.hallucinations()}
+        assert by_symbol["inputs"].suggestion == "inports"
+
+    def test_task_code_rejected_as_structure_error(self):
+        report = validate_config("#include <stdio.h>\nint main() { return 0; }")
+        assert any(d.code == "structure" for d in report.errors())
+
+    def test_unparseable_yaml_still_reports_fields(self):
+        broken = "workflow:\n  tasks:\n    producer:\n      command: [unclosed"
+        report = validate_config(broken)
+        assert any(d.code == "parse-error" for d in report.errors())
+        flagged = {d.symbol for d in report.hallucinations()}
+        assert "command" in flagged or "workflow" in flagged

@@ -1,0 +1,119 @@
+"""API registries, diagnostics, validation reports, system registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows import (
+    ApiFunction,
+    ApiRegistry,
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    all_systems,
+    get_system,
+)
+from repro.workflows.validators import check_api_usage, find_line, scan_prefixed_calls
+
+
+class TestApiRegistry:
+    def make(self) -> ApiRegistry:
+        return ApiRegistry(
+            "Test",
+            [
+                ApiFunction("henson_yield", required=True),
+                ApiFunction("henson_save_int"),
+                ApiFunction("procs", "keyword"),
+            ],
+        )
+
+    def test_known(self):
+        reg = self.make()
+        assert reg.known("henson_yield")
+        assert not reg.known("henson_put")
+        assert "henson_yield" in reg
+
+    def test_names_by_kind(self):
+        reg = self.make()
+        assert reg.names("keyword") == ["procs"]
+        assert len(reg.names()) == 3
+
+    def test_required_names(self):
+        assert self.make().required_names() == ["henson_yield"]
+
+    def test_suggest(self):
+        assert self.make().suggest("henson_yeild") == "henson_yield"
+        assert self.make().suggest("zzzzz") is None
+
+    def test_len(self):
+        assert len(self.make()) == 3
+
+
+class TestValidationReport:
+    def test_ok_without_errors(self):
+        report = ValidationReport("X", "config")
+        assert report.ok
+        report.diagnostics.append(
+            Diagnostic(Severity.WARNING, "structure", "meh")
+        )
+        assert report.ok
+
+    def test_error_flips_ok(self):
+        report = ValidationReport("X", "config")
+        report.diagnostics.append(
+            Diagnostic(Severity.ERROR, "nonexistent-api", "bad", symbol="x")
+        )
+        assert not report.ok
+        assert len(report.errors()) == 1
+        assert len(report.hallucinations()) == 1
+
+    def test_render_includes_location_and_hint(self):
+        d = Diagnostic(
+            Severity.ERROR, "unknown-field", "'inputs' is wrong",
+            line=4, symbol="inputs", suggestion="inports",
+        )
+        text = d.render()
+        assert "line 4" in text and "inports" in text
+
+
+class TestScanHelpers:
+    def test_scan_prefixed_calls_lines(self):
+        text = "a\nhenson_put(x);\nhenson_yield();"
+        calls = scan_prefixed_calls(text, r"henson_\w+")
+        assert ("henson_put", 2) in calls
+        assert ("henson_yield", 3) in calls
+
+    def test_check_api_usage_flags_and_requires(self):
+        reg = ApiRegistry("T", [ApiFunction("henson_yield", required=True)])
+        diags = check_api_usage(
+            "henson_put();", reg, r"henson_\w+", required=["henson_yield"]
+        )
+        codes = {d.code for d in diags}
+        assert codes == {"nonexistent-api", "missing-api"}
+
+    def test_find_line(self):
+        assert find_line("a\nb\nc", "b") == 2
+        assert find_line("a", "z") is None
+
+
+class TestSystemRegistry:
+    def test_all_five(self):
+        names = [s.name for s in all_systems()]
+        assert names == ["adios2", "henson", "parsl", "pycompss", "wilkins"]
+
+    def test_aliases_and_case(self):
+        assert get_system("ADIOS").name == "adios2"
+        assert get_system("Parsl_sim").name == "parsl"
+
+    def test_unknown_raises(self):
+        with pytest.raises(WorkflowError, match="unknown workflow system"):
+            get_system("airflow")
+
+    def test_exclusion_semantics_match_paper(self):
+        # configuration: PyCOMPSs/Parsl excluded; annotation: Wilkins excluded
+        assert not get_system("parsl").supports_configuration
+        assert not get_system("pycompss").supports_configuration
+        assert not get_system("wilkins").supports_annotation
+        assert get_system("adios2").supports_configuration
+        assert get_system("adios2").supports_annotation

@@ -1,0 +1,116 @@
+"""Workflow graph: construction, queries, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflows.graph import DataLink, TaskSpec, WorkflowGraph, linear_pipeline
+
+
+def three_node() -> WorkflowGraph:
+    g = WorkflowGraph()
+    g.add_task(TaskSpec("producer", nprocs=3))
+    g.add_task(TaskSpec("consumer1"))
+    g.add_task(TaskSpec("consumer2"))
+    g.add_link(DataLink("producer", "consumer1", "grid", transport="memory"))
+    g.add_link(DataLink("producer", "consumer2", "particles", transport="memory"))
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        g = WorkflowGraph()
+        g.add_task(TaskSpec("a"))
+        with pytest.raises(WorkflowError, match="duplicate"):
+            g.add_task(TaskSpec("a"))
+
+    def test_link_unknown_task_rejected(self):
+        g = WorkflowGraph()
+        g.add_task(TaskSpec("a"))
+        with pytest.raises(WorkflowError, match="unknown task"):
+            g.add_link(DataLink("a", "ghost", "d"))
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(WorkflowError):
+            TaskSpec("a", nprocs=0)
+
+    def test_invalid_transport(self):
+        with pytest.raises(WorkflowError, match="transport"):
+            DataLink("a", "b", "d", transport="carrier-pigeon")
+
+
+class TestQueries:
+    def test_sources_sinks(self):
+        g = three_node()
+        assert g.sources() == ["producer"]
+        assert g.sinks() == ["consumer1", "consumer2"]
+
+    def test_producers_consumers_of(self):
+        g = three_node()
+        assert [l.dataset for l in g.consumers_of("producer")] == ["grid", "particles"]
+        assert [l.producer for l in g.producers_of("consumer1")] == ["producer"]
+
+    def test_total_procs(self):
+        assert three_node().total_procs() == 5
+
+    def test_datasets(self):
+        assert three_node().datasets() == ["grid", "particles"]
+
+    def test_contains_len(self):
+        g = three_node()
+        assert "producer" in g
+        assert len(g) == 3
+
+    def test_task_lookup_missing(self):
+        with pytest.raises(WorkflowError):
+            three_node().task("nope")
+
+
+class TestTopology:
+    def test_dag_and_order(self):
+        g = three_node()
+        assert g.is_dag()
+        order = g.topological_order()
+        assert order.index("producer") < order.index("consumer1")
+
+    def test_cycle_detected(self):
+        g = WorkflowGraph()
+        g.add_task(TaskSpec("a"))
+        g.add_task(TaskSpec("b"))
+        g.add_link(DataLink("a", "b", "x"))
+        g.add_link(DataLink("b", "a", "y"))
+        assert not g.is_dag()
+        with pytest.raises(WorkflowError, match="cycle"):
+            g.topological_order()
+
+    def test_validate_disconnected(self):
+        g = WorkflowGraph()
+        g.add_task(TaskSpec("a"))
+        g.add_task(TaskSpec("b"))
+        with pytest.raises(WorkflowError, match="not connected"):
+            g.validate()
+
+    def test_validate_duplicate_link(self):
+        g = WorkflowGraph()
+        g.add_task(TaskSpec("a"))
+        g.add_task(TaskSpec("b"))
+        g.add_link(DataLink("a", "b", "d"))
+        g.add_link(DataLink("a", "b", "d"))
+        with pytest.raises(WorkflowError, match="duplicate link"):
+            g.validate()
+
+    def test_validate_empty(self):
+        with pytest.raises(WorkflowError, match="no tasks"):
+            WorkflowGraph().validate()
+
+    def test_valid_three_node_passes(self):
+        three_node().validate()
+
+
+class TestLinearPipeline:
+    def test_shape(self):
+        g = linear_pipeline(["a", "b", "c"])
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+        assert g.topological_order() == ["a", "b", "c"]
