@@ -1,0 +1,142 @@
+"""Runtime scaling — executors and result cache on a fixed sweep.
+
+Times the Table 1-shaped sweep (4 models × 3 systems × 2 epochs = 24
+generations) under every executor, twice over:
+
+* against the **offline simulator** (CPU-bound; threads mostly overlap
+  its numpy sections under the GIL, so gains are modest) — reported for
+  the perf trajectory, not asserted;
+* against a **latency provider** that wraps each simulated model with a
+  fixed per-call delay, the regime a real API endpoint lives in — here
+  the threaded executor must be ≥ 2× faster than serial;
+* and with a **warm result cache**, which must skip the model layer
+  entirely (zero new generations) while producing identical results.
+
+Numbers land in ``benchmarks/output/runtime_scaling.txt`` so future PRs
+have a perf trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiments.configuration import (
+    CONFIGURATION_SYSTEMS,
+    configuration_task,
+)
+from repro.data import MODELS
+from repro.llm.api import get_model, register_model
+from repro.runtime import (
+    InMemoryResultCache,
+    MpiShardExecutor,
+    Plan,
+    SerialExecutor,
+    ThreadedExecutor,
+    run,
+)
+
+EPOCHS = 2
+API_LATENCY_S = 0.15  # per-call delay of the simulated network endpoint
+
+
+class _LatencyProvider:
+    """A simulated-model wrapper that costs a fixed delay per call."""
+
+    def __init__(self, inner, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+        self.name = f"apisim/{inner.name.split('/', 1)[1]}"
+
+    def generate(self, messages, config):
+        time.sleep(self._delay)
+        return self._inner.generate(messages, config)
+
+
+def _register_latency_models() -> None:
+    for model in MODELS:
+        inner = get_model(f"sim/{model}").provider
+        register_model(
+            f"apisim/{model}",
+            lambda inner=inner: _LatencyProvider(inner, API_LATENCY_S),
+        )
+
+
+def _sweep_plan(namespace: str) -> Plan:
+    plan = Plan(f"scaling/{namespace}")
+    for system in CONFIGURATION_SYSTEMS:
+        task = configuration_task(system)
+        for model in MODELS:
+            plan.add_eval(task, f"{namespace}/{model}", epochs=EPOCHS)
+    return plan
+
+
+def _timed(namespace: str, executor, cache=None):
+    plan = _sweep_plan(namespace)
+    started = time.perf_counter()
+    outcome = run(plan, executor=executor, cache=cache)
+    return time.perf_counter() - started, outcome
+
+
+def bench_runtime_scaling(report):
+    _register_latency_models()
+    # warm the per-cell calibration caches so every timing below measures
+    # steady-state generation, not one-off calibration
+    run(_sweep_plan("sim"))
+
+    executors = [
+        ("serial", SerialExecutor()),
+        ("threads-8", ThreadedExecutor(8)),
+        ("mpi-4", MpiShardExecutor(4)),
+    ]
+
+    lines = [
+        "runtime scaling — 4 models x 3 systems x 2 epochs (24 generations)",
+        f"simulated API latency: {API_LATENCY_S * 1000:.0f} ms/call",
+        "",
+        f"{'executor':<12} {'sim (CPU-bound)':>16} {'apisim (latency)':>17} "
+        f"{'apisim warm cache':>18}",
+    ]
+    sim_times: dict[str, float] = {}
+    api_times: dict[str, float] = {}
+    baseline_results = None
+    for label, executor in executors:
+        sim_times[label], _ = _timed("sim", executor)
+
+        cache = InMemoryResultCache()
+        api_times[label], cold = _timed("apisim", executor, cache=cache)
+        warm_time, warm = _timed("apisim", executor, cache=cache)
+
+        assert cold.stats.generated == 24 - cold.stats.deduplicated
+        assert warm.stats.generated == 0, "warm cache must skip the model layer"
+        assert warm.stats.cache_hits == warm.stats.total_units - warm.stats.deduplicated
+        scores = sorted(
+            (uid, r.score["bleu"]) for uid, r in warm.results.items()
+        )
+        if baseline_results is None:
+            baseline_results = scores
+        else:
+            assert scores == baseline_results, (
+                f"{label} results differ from serial"
+            )
+
+        lines.append(
+            f"{label:<12} {sim_times[label] * 1000:>13.0f} ms "
+            f"{api_times[label] * 1000:>14.0f} ms {warm_time * 1000:>15.0f} ms"
+        )
+
+    threaded_speedup = api_times["serial"] / api_times["threads-8"]
+    mpi_speedup = api_times["serial"] / api_times["mpi-4"]
+    lines += [
+        "",
+        f"latency-bound speedup vs serial: threads-8 {threaded_speedup:.1f}x, "
+        f"mpi-4 {mpi_speedup:.1f}x",
+        f"CPU-bound (GIL) speedup vs serial: threads-8 "
+        f"{sim_times['serial'] / sim_times['threads-8']:.1f}x, mpi-4 "
+        f"{sim_times['serial'] / sim_times['mpi-4']:.1f}x",
+    ]
+    report("runtime_scaling", "\n".join(lines))
+
+    assert threaded_speedup >= 2.0, (
+        f"threaded executor should be >= 2x faster than serial on a "
+        f"latency-bound sweep, got {threaded_speedup:.2f}x"
+    )

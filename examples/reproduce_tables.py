@@ -1,10 +1,13 @@
 """Regenerate every table and figure of the paper in one run.
 
 Prints Tables 1/2/3/5 with paper-vs-measured deltas and the three
-Figure 1 heatmap groups.  ``--fast`` uses 2 trials per cell instead of
-the paper's 5 (roughly 4x faster, same shapes).
+Figure 1 heatmap groups.  All sweeps route through the parallel
+evaluation runtime: ``--executor`` picks the backend and one shared
+result cache spans the whole run, so e.g. the Figure 1 ``original``
+rows reuse the epoch-0 generations already produced for Tables 1-3.
 
 Usage:  python examples/reproduce_tables.py [--fast]
+            [--executor {serial,threads,mpi}] [--workers N]
 """
 
 from __future__ import annotations
@@ -26,29 +29,53 @@ from repro.reporting import (
     render_figure1,
     render_grid_table,
 )
+from repro.runtime import (
+    InMemoryResultCache,
+    MpiShardExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+
+
+def make_executor(name: str, workers: int):
+    if name == "threads":
+        return ThreadedExecutor(max_workers=workers)
+    if name == "mpi":
+        return MpiShardExecutor(nprocs=workers)
+    return SerialExecutor()
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="2 trials per cell")
+    parser.add_argument(
+        "--executor", choices=("serial", "threads", "mpi"), default="serial",
+        help="runtime execution backend (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="thread count / MPI rank count for parallel executors",
+    )
     args = parser.parse_args()
     epochs = 2 if args.fast else 5
 
+    executor = make_executor(args.executor, args.workers)
+    cache = InMemoryResultCache()
     started = time.perf_counter()
 
-    grid1 = run_configuration(epochs=epochs)
+    grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache)
     print(render_grid_table(grid1, "Table 1: workflow configuration"))
     print()
 
-    grid2 = run_annotation(epochs=epochs)
+    grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache)
     print(render_grid_table(grid2, "Table 2: task code annotation"))
     print()
 
-    grid3 = run_translation(epochs=epochs)
+    grid3 = run_translation(epochs=epochs, executor=executor, cache=cache)
     print(render_grid_table(grid3, "Table 3: task code translation"))
     print()
 
-    comparison = run_fewshot(epochs=epochs)
+    comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache)
     print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
     print()
 
@@ -57,7 +84,9 @@ def main() -> None:
         ("annotation", "Figure 1(b): annotation"),
         ("translation", "Figure 1(c): translation"),
     ):
-        results = run_prompt_sensitivity(experiment, epochs=1)
+        results = run_prompt_sensitivity(
+            experiment, epochs=1, executor=executor, cache=cache
+        )
         print(render_figure1(results, title))
         print()
 
@@ -73,7 +102,8 @@ def main() -> None:
                                  f"T3 {direction[0]}->{direction[1]}/{model}"))
 
     print(f"\ntotal time: {time.perf_counter() - started:.1f}s "
-          f"({epochs} trial(s) per table cell)")
+          f"({epochs} trial(s) per table cell, executor={args.executor}, "
+          f"{len(cache)} cached generations)")
 
 
 if __name__ == "__main__":

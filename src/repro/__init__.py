@@ -7,6 +7,9 @@ Public surface (stable):
   offline :class:`~repro.llm.simulated.SimulatedModel` provider.
 * :mod:`repro.core` — the evaluation harness (tasks, solvers, scorers,
   ``evaluate``) and the paper's experiment builders.
+* :mod:`repro.runtime` — the parallel evaluation runtime: sweeps flatten
+  into work-unit plans executed on pluggable executors (serial, thread
+  pool, MPI shards) behind a content-addressed result cache.
 * :mod:`repro.workflows` — executable mini-implementations of ADIOS2,
   Henson, Parsl, PyCOMPSs and Wilkins, each with an API-surface validator.
 * :mod:`repro.mpi`, :mod:`repro.store` — the simulated MPI and storage

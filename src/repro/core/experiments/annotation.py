@@ -10,10 +10,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.assets import annotated_producer, base_producer
-from repro.core.experiments.base import ExperimentGrid, cell_from_eval
+from repro.core.experiments.base import ExperimentGrid, run_grid_sweep
 from repro.core.samples import Sample
 from repro.core.solvers import prompt_solver
-from repro.core.task import DEFAULT_EPOCHS, Task, evaluate
+from repro.core.task import DEFAULT_EPOCHS, Task
 from repro.data import MODELS
 from repro.errors import HarnessError
 from repro.workflows import get_system
@@ -53,14 +53,16 @@ def run_annotation(
     *,
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
+    executor=None,
+    cache=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 2 grid."""
-    grid = ExperimentGrid(
-        name="annotation", row_keys=list(systems), models=list(models)
+    return run_grid_sweep(
+        "annotation",
+        systems,
+        models,
+        lambda system: annotation_task(system, variant=variant),
+        epochs=epochs,
+        executor=executor,
+        cache=cache,
     )
-    for system in systems:
-        task = annotation_task(system, variant=variant)
-        for model in models:
-            result = evaluate(task, f"sim/{model}", epochs=epochs)
-            grid.add(system, model, cell_from_eval(result))
-    return grid

@@ -1,9 +1,9 @@
-"""Shared result containers for experiment sweeps."""
+"""Shared result containers and sweep plumbing for experiments."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 from repro.errors import HarnessError
 from repro.metrics.stats import Aggregate, pool
@@ -40,6 +40,15 @@ class ExperimentGrid:
             ) from None
 
     def add(self, row: Hashable, model: str, result: CellResult) -> None:
+        if row not in self.row_keys:
+            raise HarnessError(
+                f"grid {self.name!r} has no row {row!r}; rows: {list(self.row_keys)}"
+            )
+        if model not in self.models:
+            raise HarnessError(
+                f"grid {self.name!r} has no model {model!r}; "
+                f"models: {list(self.models)}"
+            )
         self.cells[(row, model)] = result
 
     def overall_by_model(self) -> dict[str, CellResult]:
@@ -93,3 +102,35 @@ def cell_from_eval(result) -> CellResult:
         bleu=result.aggregate("bleu"),
         chrf=result.aggregate("chrf"),
     )
+
+
+def run_grid_sweep(
+    name: str,
+    rows: Sequence[Hashable],
+    models: Sequence[str],
+    task_for_row: Callable[[Hashable], object],
+    *,
+    epochs: int,
+    executor=None,
+    cache=None,
+) -> ExperimentGrid:
+    """Plan and run a rows × models sweep through the runtime.
+
+    The shared body of the grid-shaped experiment runners: one
+    :class:`~repro.runtime.plan.Plan` over all cells (so a parallel
+    executor sees the whole sweep at once), one run, one grid.
+    """
+    # imported here: repro.runtime builds on repro.core
+    from repro.runtime import Plan, run
+
+    plan = Plan(name)
+    specs = {}
+    for row in rows:
+        task = task_for_row(row)
+        for model in models:
+            specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
+    outcome = run(plan, executor=executor, cache=cache)
+    grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
+    for (row, model), spec in specs.items():
+        grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))
+    return grid

@@ -11,10 +11,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.assets import fewshot_example_config, reference_config
-from repro.core.experiments.base import CellResult, ExperimentGrid, cell_from_eval
+from repro.core.experiments.base import ExperimentGrid, run_grid_sweep
 from repro.core.samples import Sample
 from repro.core.solvers import few_shot_solver, prompt_solver
-from repro.core.task import DEFAULT_EPOCHS, Task, evaluate
+from repro.core.task import DEFAULT_EPOCHS, Task
 from repro.data import MODELS
 from repro.errors import HarnessError
 from repro.workflows import get_system
@@ -63,14 +63,16 @@ def run_configuration(
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
     fewshot: bool = False,
+    executor=None,
+    cache=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 1 grid."""
-    grid = ExperimentGrid(
-        name="configuration", row_keys=list(systems), models=list(models)
+    return run_grid_sweep(
+        "configuration",
+        systems,
+        models,
+        lambda system: configuration_task(system, variant=variant, fewshot=fewshot),
+        epochs=epochs,
+        executor=executor,
+        cache=cache,
     )
-    for system in systems:
-        task = configuration_task(system, variant=variant, fewshot=fewshot)
-        for model in models:
-            result = evaluate(task, f"sim/{model}", epochs=epochs)
-            grid.add(system, model, cell_from_eval(result))
-    return grid

@@ -2,7 +2,9 @@
 
 The workflow-configuration experiment repeated with the original prompt
 augmented by an example 2-node configuration; results are averaged over
-the three configuration systems, as in the paper.
+the three configuration systems, as in the paper.  Both shot modes are
+emitted into one runtime plan, so a parallel executor sees the whole
+2 × systems × models sweep at once.
 """
 
 from __future__ import annotations
@@ -10,14 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.experiments.base import CellResult
+from repro.core.experiments.base import CellResult, cell_from_eval
 from repro.core.experiments.configuration import (
     CONFIGURATION_SYSTEMS,
-    run_configuration,
+    configuration_task,
 )
 from repro.core.task import DEFAULT_EPOCHS
 from repro.data import MODELS
 from repro.metrics.stats import pool
+from repro.runtime import Plan, run
 
 
 @dataclass
@@ -44,15 +47,28 @@ def run_fewshot(
     systems: Sequence[str] = CONFIGURATION_SYSTEMS,
     *,
     epochs: int = DEFAULT_EPOCHS,
+    executor=None,
+    cache=None,
 ) -> FewshotComparison:
     """Run both shot modes and average over the configuration systems."""
-    zero_grid = run_configuration(models, systems, epochs=epochs, fewshot=False)
-    few_grid = run_configuration(models, systems, epochs=epochs, fewshot=True)
+    plan = Plan("fewshot")
+    specs = {}
+    for fewshot in (False, True):
+        for system in systems:
+            task = configuration_task(system, fewshot=fewshot)
+            for model in models:
+                specs[(fewshot, system, model)] = plan.add_eval(
+                    task, f"sim/{model}", epochs=epochs
+                )
+    outcome = run(plan, executor=executor, cache=cache)
 
-    def averaged(grid) -> dict[str, CellResult]:
+    def averaged(fewshot: bool) -> dict[str, CellResult]:
         out: dict[str, CellResult] = {}
         for model in models:
-            cells = [grid.cell(system, model) for system in systems]
+            cells = [
+                cell_from_eval(outcome.eval_result(specs[(fewshot, system, model)]))
+                for system in systems
+            ]
             out[model] = CellResult(
                 bleu=pool(c.bleu for c in cells),
                 chrf=pool(c.chrf for c in cells),
@@ -61,6 +77,6 @@ def run_fewshot(
 
     return FewshotComparison(
         models=list(models),
-        zero_shot=averaged(zero_grid),
-        few_shot=averaged(few_grid),
+        zero_shot=averaged(False),
+        few_shot=averaged(True),
     )

@@ -15,9 +15,9 @@ from repro.core.experiments.configuration import (
     configuration_task,
 )
 from repro.core.experiments.translation import translation_task
-from repro.core.task import evaluate
 from repro.data import MODELS, PROMPT_VARIANTS, TRANSLATION_DIRECTIONS
 from repro.errors import HarnessError
+from repro.runtime import Plan, run
 
 
 def _conditions(experiment: str) -> Sequence[Hashable]:
@@ -46,6 +46,8 @@ def run_prompt_sensitivity(
     variants: Sequence[str] = PROMPT_VARIANTS,
     conditions: Sequence[Hashable] | None = None,
     epochs: int = 1,
+    executor=None,
+    cache=None,
 ) -> dict[Hashable, dict[str, dict[str, float]]]:
     """Sweep conditions × variants × models.
 
@@ -53,15 +55,25 @@ def run_prompt_sensitivity(
     of one Figure 1 sub-plot per condition.
     """
     conditions = list(conditions if conditions is not None else _conditions(experiment))
-    out: dict[Hashable, dict[str, dict[str, float]]] = {}
+    plan = Plan(f"prompt_sensitivity/{experiment}")
+    specs = {}
     for condition in conditions:
-        per_variant: dict[str, dict[str, float]] = {}
         for variant in variants:
             task = _task(experiment, condition, variant)
-            per_model: dict[str, float] = {}
             for model in models:
-                result = evaluate(task, f"sim/{model}", epochs=epochs)
-                per_model[model] = result.aggregate("bleu").mean
-            per_variant[variant] = per_model
-        out[condition] = per_variant
+                specs[(condition, variant, model)] = plan.add_eval(
+                    task, f"sim/{model}", epochs=epochs
+                )
+    outcome = run(plan, executor=executor, cache=cache)
+    out: dict[Hashable, dict[str, dict[str, float]]] = {}
+    for condition in conditions:
+        out[condition] = {
+            variant: {
+                model: outcome.eval_result(specs[(condition, variant, model)])
+                .aggregate("bleu")
+                .mean
+                for model in models
+            }
+            for variant in variants
+        }
     return out

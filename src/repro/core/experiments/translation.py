@@ -10,10 +10,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.assets import annotated_producer
-from repro.core.experiments.base import ExperimentGrid, cell_from_eval
+from repro.core.experiments.base import ExperimentGrid, run_grid_sweep
 from repro.core.samples import Sample
 from repro.core.solvers import prompt_solver
-from repro.core.task import DEFAULT_EPOCHS, Task, evaluate
+from repro.core.task import DEFAULT_EPOCHS, Task
 from repro.data import MODELS, TRANSLATION_DIRECTIONS
 from repro.errors import HarnessError
 from repro.workflows import get_system
@@ -54,14 +54,16 @@ def run_translation(
     *,
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
+    executor=None,
+    cache=None,
 ) -> ExperimentGrid:
     """Sweep models × directions; returns the Table 3 grid."""
-    grid = ExperimentGrid(
-        name="translation", row_keys=list(directions), models=list(models)
+    return run_grid_sweep(
+        "translation",
+        list(directions),
+        models,
+        lambda direction: translation_task(*direction, variant=variant),
+        epochs=epochs,
+        executor=executor,
+        cache=cache,
     )
-    for source, target in directions:
-        task = translation_task(source, target, variant=variant)
-        for model in models:
-            result = evaluate(task, f"sim/{model}", epochs=epochs)
-            grid.add((source, target), model, cell_from_eval(result))
-    return grid

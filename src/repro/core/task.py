@@ -1,9 +1,13 @@
-"""Task definition and the evaluation loop.
+"""Task definition and the evaluation entry point.
 
 :func:`evaluate` runs every sample of a task through the solver chain,
 queries the model once per epoch (epoch index = GenerateConfig seed, the
 paper repeats 5 times), scores each completion, and aggregates
-``mean ± standard error`` per sample and per metric.
+``mean ± standard error`` per sample and per metric.  Since the runtime
+refactor it is a thin wrapper over :mod:`repro.runtime`: it builds a
+one-task :class:`~repro.runtime.plan.Plan` and accepts the runtime's
+``executor``/``cache`` knobs, so a single evaluation parallelises and
+caches exactly like a full sweep.
 
 The paper's decoding settings are the defaults: temperature 0.2 and
 top_p 0.95 — applied "to all models except o3", which the provider layer
@@ -17,9 +21,9 @@ from typing import Sequence
 
 from repro.core.samples import Sample
 from repro.core.scorers import CodeSimilarityScorer, Score
-from repro.core.solvers import Solver, SolverChain
+from repro.core.solvers import Solver
 from repro.errors import HarnessError
-from repro.llm.api import Model, get_model
+from repro.llm.api import Model
 from repro.llm.types import GenerateConfig
 from repro.metrics.stats import Aggregate, aggregate
 
@@ -81,40 +85,18 @@ def evaluate(
     *,
     epochs: int = DEFAULT_EPOCHS,
     config: GenerateConfig | None = None,
+    executor=None,
+    cache=None,
 ) -> EvalResult:
-    """Run ``task`` against ``model`` for ``epochs`` repeated trials."""
-    if isinstance(model, str):
-        model = get_model(model)
-    if epochs <= 0:
-        raise HarnessError(f"epochs must be positive, got {epochs}")
-    base_config = config or PAPER_GENERATE_CONFIG
-    chain = SolverChain(list(task.solvers))
+    """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
-    results: list[SampleResult] = []
-    for sample in task.dataset:
-        solved = chain(sample)
-        scores: list[Score] = []
-        completions: list[str] = []
-        for epoch in range(epochs):
-            epoch_config = GenerateConfig(
-                temperature=base_config.temperature,
-                top_p=base_config.top_p,
-                max_tokens=base_config.max_tokens,
-                seed=epoch,
-            )
-            output = model.generate(solved.input, epoch_config)
-            score = task.scorer(output.completion, solved.target)
-            scores.append(score)
-            completions.append(output.completion)
-        results.append(
-            SampleResult(
-                sample=solved, prompt=solved.input,
-                scores=scores, completions=completions,
-            )
-        )
-    return EvalResult(
-        task_name=task.name,
-        model_name=model.name,
-        epochs=epochs,
-        samples=results,
-    )
+    ``executor`` selects the runtime execution backend (serial by
+    default) and ``cache`` an optional result cache; see
+    :mod:`repro.runtime`.
+    """
+    # imported here: repro.runtime builds on this module's data types
+    from repro.runtime import Plan, run
+
+    plan = Plan(f"evaluate/{task.name}")
+    spec = plan.add_eval(task, model, epochs=epochs, config=config)
+    return run(plan, executor=executor, cache=cache).eval_result(spec)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
-from repro.errors import UnknownModelError
+from repro.errors import ModelError, UnknownModelError
 from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput
 
 
@@ -68,6 +68,34 @@ def register_model(name: str, factory: Callable[[], ModelAPI]) -> None:
     with _lock:
         _registry[name] = factory
         _instances.pop(name, None)
+
+
+def register_instance(provider: ModelAPI) -> None:
+    """Register a live provider under its own name (idempotent for the
+    same instance).
+
+    Lets a caller hand an unregistered provider instance to the harness
+    (``evaluate(task, Model(MyProvider()))``): the runtime resolves
+    models by name, so the instance must be reachable through the
+    registry.  A name already bound to a *different* provider raises
+    :class:`~repro.errors.ModelError` instead of silently rerouting
+    every existing reference to that name.
+    """
+    _ensure_builtin_models()
+    with _lock:
+        if provider.name in _registry:
+            current = _instances.get(provider.name)
+            if current is None:
+                current = _instances[provider.name] = _registry[provider.name]()
+            if current is not provider:
+                raise ModelError(
+                    f"model name {provider.name!r} is already registered to a "
+                    "different provider; pick a unique name or use "
+                    "register_model() to overwrite explicitly"
+                )
+            return
+        _registry[provider.name] = lambda: provider
+        _instances[provider.name] = provider
 
 
 def get_model(name: str) -> Model:

@@ -25,6 +25,7 @@ fields, which is the paper's §4.5 finding.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import Future
 from typing import Sequence
 
 from repro.core.assets import annotated_producer, reference_config
@@ -51,7 +52,10 @@ class SimulatedModel:
         self.profile = profile
         self.name = f"sim/{profile.name}"
         self._lock = threading.Lock()
-        self._cell_cache: dict[tuple, tuple[list[CorruptionOp], CalibrationResult]] = {}
+        # key -> Future so concurrent callers of the same cell compute once
+        self._cell_cache: dict[
+            tuple, Future[tuple[list[CorruptionOp], CalibrationResult]]
+        ] = {}
 
     # -- ModelAPI ------------------------------------------------------------
 
@@ -97,9 +101,31 @@ class SimulatedModel:
             intent.fewshot,
             intent.doccontext,
         )
+        # publish a Future under the lock before computing, so concurrent
+        # callers of the same cell wait for one calibration instead of
+        # duplicating it (calibration is the expensive step)
         with self._lock:
-            if key in self._cell_cache:
-                return self._cell_cache[key]
+            future = self._cell_cache.get(key)
+            if future is not None:
+                owned = False
+            else:
+                future = self._cell_cache[key] = Future()
+                owned = True
+        if not owned:
+            return future.result()
+        try:
+            cell = self._calibrate_cell(intent, key)
+        except BaseException as exc:
+            with self._lock:
+                self._cell_cache.pop(key, None)
+            future.set_exception(exc)
+            raise
+        future.set_result(cell)
+        return cell
+
+    def _calibrate_cell(
+        self, intent: Intent, key: tuple
+    ) -> tuple[list[CorruptionOp], CalibrationResult]:
         reference = self.reference_for(intent)
         knowledge = self.profile.knowledge_for(intent.experiment, intent.cell_system)
         if intent.fewshot:
@@ -134,8 +160,6 @@ class SimulatedModel:
             )
             target = (target + few) / 2.0
         result = calibrate(reference, ops, target)
-        with self._lock:
-            self._cell_cache[key] = (ops, result)
         return ops, result
 
     def _generate_payload(self, intent: Intent, config: GenerateConfig) -> str:

@@ -6,11 +6,13 @@ from repro.reporting.tables import (
     compare_with_paper,
     render_fewshot_table,
     render_grid_table,
+    reproduce_table,
 )
 
 __all__ = [
     "render_grid_table",
     "render_fewshot_table",
+    "reproduce_table",
     "compare_with_paper",
     "render_heatmap",
     "render_figure1",

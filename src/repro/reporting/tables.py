@@ -3,16 +3,23 @@
 Each renderer takes measured results and emits monospace text with
 ``BLEU / ChrF`` column pairs per model, an Overall row and column, and
 bold markers (``*...*``) on the best model and best condition — the same
-conventions the paper uses.
+conventions the paper uses.  :func:`reproduce_table` is the one-call
+entry point: it runs the underlying sweep through the parallel runtime
+(``executor``/``cache`` knobs included) and renders the result.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
 
+from repro.core.experiments.annotation import run_annotation
 from repro.core.experiments.base import CellResult, ExperimentGrid
-from repro.core.experiments.fewshot import FewshotComparison
+from repro.core.experiments.configuration import run_configuration
+from repro.core.experiments.fewshot import FewshotComparison, run_fewshot
+from repro.core.experiments.translation import run_translation
+from repro.core.task import DEFAULT_EPOCHS
 from repro.data import MODEL_LABELS, Cell4
+from repro.errors import HarnessError
 from repro.utils.tables import TextTable
 
 
@@ -86,6 +93,39 @@ def render_fewshot_table(comparison: FewshotComparison, title: str) -> str:
             cells += [cell.bleu.render(), cell.chrf.render()]
         table.add_row(approach, cells)
     return table.render()
+
+
+_TABLE_RUNNERS = {
+    "table1": (run_configuration, "Table 1: workflow configuration"),
+    "table2": (run_annotation, "Table 2: task code annotation"),
+    "table3": (run_translation, "Table 3: task code translation"),
+    "table5": (run_fewshot, "Table 5: few-shot vs zero-shot (configuration)"),
+}
+
+
+def reproduce_table(
+    which: str,
+    *,
+    epochs: int = DEFAULT_EPOCHS,
+    executor=None,
+    cache=None,
+) -> str:
+    """Run one of the paper's tables through the runtime and render it.
+
+    ``which`` is one of ``table1``/``table2``/``table3``/``table5``;
+    ``executor`` and ``cache`` are forwarded to
+    :func:`repro.runtime.run` via the experiment runner.
+    """
+    try:
+        runner, title = _TABLE_RUNNERS[which]
+    except KeyError:
+        raise HarnessError(
+            f"unknown table {which!r}; available: {sorted(_TABLE_RUNNERS)}"
+        ) from None
+    result = runner(epochs=epochs, executor=executor, cache=cache)
+    if isinstance(result, FewshotComparison):
+        return render_fewshot_table(result, title)
+    return render_grid_table(result, title)
 
 
 def compare_with_paper(

@@ -1,0 +1,59 @@
+"""Parallel evaluation runtime: plan → schedule → execute → cache.
+
+The runtime decouples *what* a sweep evaluates from *how* the model
+calls run.  Experiments build a :class:`~repro.runtime.plan.Plan` of
+immutable :class:`~repro.runtime.units.WorkUnit`\\ s (one per task ×
+sample × model × epoch, seed included), and :func:`~repro.runtime.runner.run`
+executes it on a pluggable :class:`~repro.runtime.executors.Executor`
+with an optional content-addressed
+:class:`~repro.runtime.cache.ResultCache` in front of the model layer.
+
+Every executor yields bit-identical results because all randomness is
+derived from unit content, never from execution order.
+
+Quickstart::
+
+    from repro.core.experiments import run_configuration
+    from repro.runtime import InMemoryResultCache, ThreadedExecutor
+
+    cache = InMemoryResultCache()
+    grid = run_configuration(executor=ThreadedExecutor(8), cache=cache)
+    rerun = run_configuration(executor=ThreadedExecutor(8), cache=cache)
+    # rerun performed zero model generations and is bit-identical
+"""
+
+from repro.runtime.cache import (
+    FilesystemResultCache,
+    InMemoryResultCache,
+    ResultCache,
+)
+from repro.runtime.executors import (
+    Executor,
+    MpiShardExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    generate_unit,
+)
+from repro.runtime.plan import EvalSpec, Plan
+from repro.runtime.runner import RunResult, RunStats, run
+from repro.runtime.units import Generation, UnitResult, WorkUnit, generation_key
+
+__all__ = [
+    "Plan",
+    "EvalSpec",
+    "WorkUnit",
+    "Generation",
+    "UnitResult",
+    "generation_key",
+    "generate_unit",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "MpiShardExecutor",
+    "ResultCache",
+    "InMemoryResultCache",
+    "FilesystemResultCache",
+    "run",
+    "RunResult",
+    "RunStats",
+]

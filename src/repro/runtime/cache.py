@@ -1,0 +1,112 @@
+"""Content-addressed result cache for generations.
+
+Keys come from :func:`repro.runtime.units.generation_key` — (prompt hash,
+model, generate config, seed) — so a hit is guaranteed to be the exact
+completion the model would have produced, and repeated sweeps (the
+Overall rows, the sensitivity figures re-running the ``original``
+variant, warm benchmark reruns) skip the model layer entirely.
+
+Two backends:
+
+* :class:`InMemoryResultCache` — a thread-safe dict, scoped to the
+  process; the default choice inside one script run;
+* :class:`FilesystemResultCache` — stores each generation as one entry
+  of a :class:`repro.store.filesystem.SimFilesystem` namespace, so a
+  cache can share the simulated storage substrate with workflow runs
+  (and several experiments can share one namespace).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.store.filesystem import SimFilesystem
+
+from repro.runtime.units import Generation
+
+
+@runtime_checkable
+class ResultCache(Protocol):
+    """What a cache backend must implement."""
+
+    def get(self, key: str) -> Generation | None:  # pragma: no cover - protocol
+        ...
+
+    def put(self, generation: Generation) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class InMemoryResultCache:
+    """Thread-safe process-local cache."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, Generation] = {}
+
+    def get(self, key: str) -> Generation | None:
+        with self._lock:
+            gen = self._entries.get(key)
+        return gen.as_cached() if gen is not None else None
+
+    def put(self, generation: Generation) -> None:
+        with self._lock:
+            self._entries[generation.key] = generation
+
+    def put_many(self, generations: Iterable[Generation]) -> None:
+        with self._lock:
+            for gen in generations:
+                self._entries[gen.key] = gen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InMemoryResultCache(entries={len(self)})"
+
+
+class FilesystemResultCache:
+    """Cache backed by a simulated filesystem namespace.
+
+    Each generation is stored as one "file" under ``prefix/<key>``; the
+    namespace's own locking makes lookups and inserts atomic.  Pass a
+    private :class:`SimFilesystem` for isolation, or share one with
+    other components (the default process-wide namespace via
+    :func:`repro.store.filesystem.default_filesystem`).
+    """
+
+    def __init__(
+        self, fs: SimFilesystem | None = None, *, prefix: str = "resultcache"
+    ) -> None:
+        self._fs = fs if fs is not None else SimFilesystem()
+        self._prefix = prefix
+
+    @property
+    def fs(self) -> SimFilesystem:
+        return self._fs
+
+    def _path(self, key: str) -> str:
+        return f"{self._prefix}/{key}"
+
+    def get(self, key: str) -> Generation | None:
+        path = self._path(key)
+        if not self._fs.exists(path):
+            return None
+        gen: Generation = self._fs.open(path)
+        return gen.as_cached()
+
+    def put(self, generation: Generation) -> None:
+        self._fs.create(self._path(generation.key), generation)
+
+    def __len__(self) -> int:
+        return sum(1 for name in self._fs if name.startswith(f"{self._prefix}/"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._fs.exists(self._path(key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FilesystemResultCache(prefix={self._prefix!r}, entries={len(self)})"

@@ -1,0 +1,141 @@
+"""Pluggable executors: how a batch of work units reaches the model layer.
+
+All executors consume units whose seeds travel *inside* the unit
+(``WorkUnit.config.seed``), so execution order is irrelevant and every
+executor produces bit-identical generations:
+
+* :class:`SerialExecutor` — the reference implementation, one call at a
+  time in plan order (exactly what the hand-rolled loops used to do);
+* :class:`ThreadedExecutor` — a ``concurrent.futures`` thread pool; the
+  win is large for latency-bound providers (real API endpoints), modest
+  for the CPU-bound offline simulator under the GIL;
+* :class:`MpiShardExecutor` — shards units round-robin across simulated
+  :mod:`repro.mpi` ranks and gathers generations at the root, the same
+  SPMD decomposition a real-MPI deployment would use.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import HarnessError
+from repro.llm.api import get_model
+from repro.runtime.units import Generation, WorkUnit
+
+
+def generate_unit(unit: WorkUnit) -> Generation:
+    """Run one unit's model call; pure function of the unit's content."""
+    output = get_model(unit.model).generate(unit.prompt, unit.config)
+    return Generation(
+        key=unit.key,
+        model=unit.model,
+        completion=output.completion,
+        usage=output.usage,
+    )
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """What an execution backend must implement.
+
+    ``execute`` receives units with pairwise-distinct generation keys
+    (the runner deduplicates and consults the cache first) and returns
+    one generation per key.
+    """
+
+    def execute(
+        self, units: Sequence[WorkUnit]
+    ) -> dict[str, Generation]:  # pragma: no cover - protocol
+        ...
+
+
+class SerialExecutor:
+    """One generation at a time, in plan order (the determinism baseline)."""
+
+    def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
+        return {unit.key: generate_unit(unit) for unit in units}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ThreadedExecutor:
+    """Fan units out over a thread pool.
+
+    Suited to providers that block on I/O (network endpoints); the
+    offline simulator is CPU-bound, where threads mostly help by
+    overlapping its numpy sections.
+    """
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers <= 0:
+            raise HarnessError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+
+    def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
+        if not units:
+            return {}
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(units)),
+            thread_name_prefix="repro-exec",
+        ) as pool:
+            generations = pool.map(generate_unit, units)
+            return {gen.key: gen for gen in generations}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadedExecutor(max_workers={self.max_workers})"
+
+
+class MpiShardExecutor:
+    """Shard units across simulated MPI ranks; gather at the root.
+
+    Each rank executes ``units[rank::nprocs]`` serially and the root
+    merges the per-rank shards via ``comm.gather`` — the standard SPMD
+    decomposition, runnable unchanged on a real communicator.
+    """
+
+    def __init__(self, nprocs: int = 4, *, timeout: float = 300.0) -> None:
+        if nprocs <= 0:
+            raise HarnessError(f"nprocs must be positive, got {nprocs}")
+        self.nprocs = nprocs
+        self.timeout = timeout
+
+    def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
+        if not units:
+            return {}
+        from repro.mpi.launcher import mpiexec
+
+        units = list(units)
+
+        def rank_main(comm):
+            shard = units[comm.rank :: comm.size]
+            local = {unit.key: generate_unit(unit) for unit in shard}
+            shards = comm.gather(local, root=0)
+            if comm.rank != 0:
+                return {}
+            merged: dict[str, Generation] = {}
+            for part in shards:
+                merged.update(part)
+            return merged
+
+        from repro.errors import CommunicatorError
+
+        try:
+            launch = mpiexec(
+                rank_main,
+                min(self.nprocs, len(units)),
+                timeout=self.timeout,
+                comm_timeout=self.timeout,
+            )
+        except CommunicatorError as exc:
+            # a rank failure wraps the provider's exception; unwrap it so
+            # all executors surface the same exception types (genuine
+            # communicator timeouts/deadlocks have no cause and re-raise)
+            if exc.__cause__ is not None:
+                raise exc.__cause__
+            raise
+        return launch[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MpiShardExecutor(nprocs={self.nprocs})"

@@ -1,0 +1,149 @@
+"""Plans: flatten a sweep into work units before anything executes.
+
+Experiments do not loop over ``model.generate`` themselves any more; they
+describe their sweep to a :class:`Plan` — one :meth:`Plan.add_eval` call
+per (task, model) cell — and hand the plan to
+:func:`repro.runtime.run`.  Planning is cheap and deterministic: solver
+chains run here (prompt rendering), epochs expand into per-seed
+:class:`~repro.runtime.units.WorkUnit`\\ s, and each ``add_eval`` returns
+an :class:`EvalSpec` handle with which the caller retrieves its
+reassembled :class:`~repro.core.task.EvalResult` after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.samples import Sample
+from repro.core.solvers import SolverChain
+from repro.core.task import (
+    DEFAULT_EPOCHS,
+    PAPER_GENERATE_CONFIG,
+    EvalResult,
+    SampleResult,
+    Task,
+)
+from repro.errors import HarnessError
+from repro.llm.api import Model, get_model, register_instance
+from repro.llm.types import GenerateConfig
+
+from repro.runtime.units import UnitResult, WorkUnit
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """Handle for one (task, model) evaluation inside a plan.
+
+    ``sample_units`` maps each solved sample to the uids of its per-epoch
+    units, in epoch order — everything needed to reassemble an
+    :class:`~repro.core.task.EvalResult` from unit results.
+    """
+
+    task_name: str
+    model_name: str
+    epochs: int
+    sample_units: tuple[tuple[Sample, tuple[str, ...]], ...]
+
+    def assemble(self, results: Mapping[str, UnitResult]) -> EvalResult:
+        """Rebuild the eval result this spec describes from unit results."""
+        samples: list[SampleResult] = []
+        for sample, uids in self.sample_units:
+            try:
+                per_epoch = [results[uid] for uid in uids]
+            except KeyError as missing:
+                raise HarnessError(
+                    f"run is missing unit {missing} for task {self.task_name!r}; "
+                    "was the plan executed by repro.runtime.run?"
+                ) from None
+            samples.append(
+                SampleResult(
+                    sample=sample,
+                    prompt=sample.input,
+                    scores=[r.score for r in per_epoch],
+                    completions=[r.completion for r in per_epoch],
+                )
+            )
+        return EvalResult(
+            task_name=self.task_name,
+            model_name=self.model_name,
+            epochs=self.epochs,
+            samples=samples,
+        )
+
+
+@dataclass
+class Plan:
+    """An immutable-once-run collection of work units plus their sweeps."""
+
+    name: str
+    _units: list[WorkUnit] = field(default_factory=list, repr=False)
+    _specs: list[EvalSpec] = field(default_factory=list, repr=False)
+
+    def add_eval(
+        self,
+        task: Task,
+        model: Model | str,
+        *,
+        epochs: int = DEFAULT_EPOCHS,
+        config: GenerateConfig | None = None,
+    ) -> EvalSpec:
+        """Expand ``task × model × epochs`` into work units; return a handle."""
+        if epochs <= 0:
+            raise HarnessError(f"epochs must be positive, got {epochs}")
+        if isinstance(model, str):
+            model = get_model(model)
+        else:
+            # units reference models by name, so a caller-supplied instance
+            # must be reachable through the registry at execution time
+            register_instance(model.provider)
+        base = config or PAPER_GENERATE_CONFIG
+        chain = SolverChain(list(task.solvers))
+
+        sample_units: list[tuple[Sample, tuple[str, ...]]] = []
+        for sample in task.dataset:
+            solved = chain(sample)
+            uids: list[str] = []
+            for epoch in range(epochs):
+                epoch_config = GenerateConfig(
+                    temperature=base.temperature,
+                    top_p=base.top_p,
+                    max_tokens=base.max_tokens,
+                    seed=epoch,
+                )
+                uid = f"u{len(self._units)}:{task.name}:{solved.id}:{model.name}:{epoch}"
+                self._units.append(
+                    WorkUnit(
+                        uid=uid,
+                        task_name=task.name,
+                        sample=solved,
+                        model=model.name,
+                        config=epoch_config,
+                        scorer=task.scorer,
+                    )
+                )
+                uids.append(uid)
+            sample_units.append((solved, tuple(uids)))
+
+        spec = EvalSpec(
+            task_name=task.name,
+            model_name=model.name,
+            epochs=epochs,
+            sample_units=tuple(sample_units),
+        )
+        self._specs.append(spec)
+        return spec
+
+    @property
+    def units(self) -> Sequence[WorkUnit]:
+        return tuple(self._units)
+
+    @property
+    def specs(self) -> Sequence[EvalSpec]:
+        return tuple(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Plan({self.name!r}, units={len(self._units)}, evals={len(self._specs)})"

@@ -1,0 +1,111 @@
+"""The runtime entry point: plan → (cache, dedup) → executor → results.
+
+:func:`run` is the single funnel every evaluation in the repository goes
+through.  It looks each work unit up in the result cache, deduplicates
+identical generations within the run, hands only the genuinely new units
+to the executor, re-scores every unit against its own target, and
+reassembles the plan's evaluation results.  :class:`RunStats` records
+how much work the model layer actually did, which is what the cache and
+scaling tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.task import EvalResult
+from repro.errors import HarnessError
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executors import Executor, SerialExecutor
+from repro.runtime.plan import EvalSpec, Plan
+from repro.runtime.units import Generation, UnitResult
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """How one run's units were satisfied."""
+
+    total_units: int
+    generated: int  # units that reached the executor (new model calls)
+    cache_hits: int  # units satisfied from the result cache
+    deduplicated: int  # units coalesced onto an identical in-run generation
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total_units if self.total_units else 0.0
+
+
+@dataclass
+class RunResult:
+    """Executed plan: per-unit results plus reassembly helpers."""
+
+    plan: Plan
+    results: Mapping[str, UnitResult]
+    stats: RunStats
+
+    def eval_result(self, spec: EvalSpec) -> EvalResult:
+        """The :class:`EvalResult` for one ``add_eval`` handle."""
+        return spec.assemble(self.results)
+
+    def __getitem__(self, uid: str) -> UnitResult:
+        return self.results[uid]
+
+
+def run(
+    plan: Plan,
+    *,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+) -> RunResult:
+    """Execute every unit of ``plan`` and score it against its target.
+
+    Results are independent of the executor choice: seeds live inside
+    the units, and generations are keyed by content, so serial, threaded
+    and MPI-shard execution (and any mix of cold/warm cache) produce
+    bit-identical output.
+    """
+    executor = executor or SerialExecutor()
+    units = plan.units
+
+    generations: dict[str, Generation] = {}
+    pending = []  # first unit per generation key that missed the cache
+    cache_hits = 0
+    for unit in units:
+        if unit.key in generations:
+            continue
+        hit = cache.get(unit.key) if cache is not None else None
+        if hit is not None:
+            generations[unit.key] = hit
+            cache_hits += 1
+        else:
+            generations[unit.key] = None  # claimed; filled after execution
+            pending.append(unit)
+
+    if pending:
+        produced = executor.execute(pending)
+        missing = [u.uid for u in pending if u.key not in produced]
+        if missing:
+            raise HarnessError(
+                f"executor {executor!r} returned no generation for units {missing}"
+            )
+        generations.update(produced)
+        if cache is not None:
+            for unit in pending:
+                cache.put(produced[unit.key])
+
+    results: dict[str, UnitResult] = {}
+    for unit in units:
+        gen = generations[unit.key]
+        score = unit.scorer(gen.completion, unit.target)
+        results[unit.uid] = UnitResult(uid=unit.uid, generation=gen, score=score)
+
+    unique_keys = len(generations)
+    stats = RunStats(
+        total_units=len(units),
+        generated=len(pending),
+        cache_hits=cache_hits,
+        deduplicated=len(units) - unique_keys,
+    )
+    return RunResult(plan=plan, results=results, stats=stats)

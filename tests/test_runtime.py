@@ -1,0 +1,373 @@
+"""Parallel evaluation runtime: plans, executors, cache, determinism."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.experiments import (
+    CellResult,
+    ExperimentGrid,
+    run_configuration,
+    run_prompt_sensitivity,
+)
+from repro.core.experiments.configuration import configuration_task
+from repro.core.task import evaluate
+from repro.data.prompts import get_template
+from repro.errors import HarnessError
+from repro.llm.api import get_model
+from repro.llm.intent import analyze_prompt
+from repro.llm.simulated import SimulatedModel
+from repro.metrics.stats import Aggregate
+from repro.runtime import (
+    FilesystemResultCache,
+    InMemoryResultCache,
+    MpiShardExecutor,
+    Plan,
+    SerialExecutor,
+    ThreadedExecutor,
+    generation_key,
+    run,
+)
+from repro.llm.types import GenerateConfig
+from repro.store import SimFilesystem
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "threaded": lambda: ThreadedExecutor(max_workers=6),
+    "mpi": lambda: MpiShardExecutor(nprocs=3),
+}
+
+
+def small_sweep(executor=None, cache=None) -> ExperimentGrid:
+    return run_configuration(
+        models=["o3", "llama-3.3-70b"],
+        systems=["adios2", "wilkins"],
+        epochs=2,
+        executor=executor,
+        cache=cache,
+    )
+
+
+class TestPlan:
+    def test_add_eval_expands_units(self):
+        plan = Plan("p")
+        task = configuration_task("wilkins")
+        spec = plan.add_eval(task, "sim/o3", epochs=3)
+        assert len(plan) == 3
+        assert spec.epochs == 3
+        assert [u.epoch for u in plan.units] == [0, 1, 2]
+        # solver chain already ran: the prompt is rendered
+        assert "Wilkins" in plan.units[0].prompt
+
+    def test_uids_unique_even_for_identical_cells(self):
+        plan = Plan("p")
+        task = configuration_task("wilkins")
+        plan.add_eval(task, "sim/o3", epochs=2)
+        plan.add_eval(task, "sim/o3", epochs=2)
+        uids = [u.uid for u in plan.units]
+        assert len(set(uids)) == 4
+        # ...but the generation keys coincide pairwise (same content)
+        keys = {u.key for u in plan.units}
+        assert len(keys) == 2
+
+    def test_invalid_epochs(self):
+        plan = Plan("p")
+        with pytest.raises(HarnessError, match="epochs"):
+            plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=0)
+
+    def test_generation_key_sensitivity(self):
+        base = GenerateConfig(seed=0)
+        key = generation_key("prompt", "sim/o3", base)
+        assert key == generation_key("prompt", "sim/o3", GenerateConfig(seed=0))
+        assert key != generation_key("prompt!", "sim/o3", base)
+        assert key != generation_key("prompt", "sim/claude-sonnet-4", base)
+        assert key != generation_key("prompt", "sim/o3", GenerateConfig(seed=1))
+        assert key != generation_key(
+            "prompt", "sim/o3", GenerateConfig(temperature=0.7, seed=0)
+        )
+
+
+class TestExecutorEquivalence:
+    """Serial, threaded and MPI-shard execution must be bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_grid(self):
+        return small_sweep(SerialExecutor())
+
+    @pytest.mark.parametrize("name", ["threaded", "mpi"])
+    def test_grid_identical_to_serial(self, serial_grid, name):
+        grid = small_sweep(EXECUTORS[name]())
+        assert grid.cells == serial_grid.cells
+
+    @pytest.mark.parametrize("name", ["serial", "threaded", "mpi"])
+    def test_prompt_sensitivity_identical(self, name):
+        result = run_prompt_sensitivity(
+            "configuration",
+            models=["o3"],
+            variants=["original", "detailed"],
+            conditions=["wilkins"],
+            epochs=1,
+            executor=EXECUTORS[name](),
+        )
+        reference = run_prompt_sensitivity(
+            "configuration",
+            models=["o3"],
+            variants=["original", "detailed"],
+            conditions=["wilkins"],
+            epochs=1,
+        )
+        assert result == reference
+
+    def test_run_stats_account_every_unit(self):
+        plan = Plan("p")
+        task = configuration_task("wilkins")
+        plan.add_eval(task, "sim/o3", epochs=2)
+        outcome = run(plan, executor=ThreadedExecutor(4))
+        assert outcome.stats.total_units == 2
+        assert outcome.stats.generated == 2
+        assert outcome.stats.cache_hits == 0
+        assert outcome.stats.deduplicated == 0
+
+    def test_in_run_deduplication(self):
+        plan = Plan("p")
+        task = configuration_task("wilkins")
+        plan.add_eval(task, "sim/o3", epochs=2)
+        plan.add_eval(task, "sim/o3", epochs=2)  # identical generations
+        outcome = run(plan)
+        assert outcome.stats.total_units == 4
+        assert outcome.stats.generated == 2
+        assert outcome.stats.deduplicated == 2
+
+    def test_broken_executor_is_detected(self):
+        class LossyExecutor:
+            def execute(self, units):
+                return {}
+
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        with pytest.raises(HarnessError, match="no generation"):
+            run(plan, executor=LossyExecutor())
+
+
+def count_generates(monkeypatch) -> list:
+    """Instrument SimulatedModel.generate with a call recorder."""
+    calls = []
+    real = SimulatedModel.generate
+
+    def recording(self, messages, config):
+        calls.append((self.name, config.seed))
+        return real(self, messages, config)
+
+    monkeypatch.setattr(SimulatedModel, "generate", recording)
+    return calls
+
+
+class TestResultCache:
+    @pytest.mark.parametrize("backend", ["memory", "filesystem"])
+    def test_warm_cache_identical_and_zero_generations(self, backend, monkeypatch):
+        cache = (
+            InMemoryResultCache()
+            if backend == "memory"
+            else FilesystemResultCache(SimFilesystem())
+        )
+        cold = small_sweep(cache=cache)
+        calls = count_generates(monkeypatch)
+        warm = small_sweep(cache=cache)
+        assert calls == [], "warm cache rerun must not call the model"
+        assert warm.cells == cold.cells
+
+    def test_cache_shared_across_executors(self):
+        cache = InMemoryResultCache()
+        cold = small_sweep(SerialExecutor(), cache=cache)
+        warm = small_sweep(MpiShardExecutor(2), cache=cache)
+        assert warm.cells == cold.cells
+
+    def test_cache_shared_across_sweeps(self, monkeypatch):
+        # the sensitivity sweep's `original` variant at epoch 0 reuses the
+        # table sweep's generations — the cross-experiment cache case
+        cache = InMemoryResultCache()
+        run_configuration(
+            models=["o3"], systems=["wilkins"], epochs=1, cache=cache
+        )
+        calls = count_generates(monkeypatch)
+        run_prompt_sensitivity(
+            "configuration",
+            models=["o3"],
+            variants=["original"],
+            conditions=["wilkins"],
+            epochs=1,
+            cache=cache,
+        )
+        assert calls == []
+
+    def test_filesystem_backend_roundtrip(self):
+        fs = SimFilesystem()
+        cache = FilesystemResultCache(fs, prefix="gen")
+        assert cache.get("missing") is None
+        task = configuration_task("wilkins")
+        plan = Plan("p")
+        plan.add_eval(task, "sim/o3", epochs=1)
+        run(plan, cache=cache)
+        key = plan.units[0].key
+        assert key in cache
+        assert f"gen/{key}" in fs.listdir()
+        hit = cache.get(key)
+        assert hit is not None and hit.cached
+
+    def test_stats_hit_rate(self):
+        cache = InMemoryResultCache()
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=2)
+        assert run(plan, cache=cache).stats.hit_rate == 0.0
+        plan2 = Plan("p2")
+        plan2.add_eval(configuration_task("wilkins"), "sim/o3", epochs=2)
+        stats = run(plan2, cache=cache).stats
+        assert stats.hit_rate == 1.0
+        assert stats.generated == 0
+
+
+class TestEvaluateRouting:
+    """core.task.evaluate is a thin wrapper over the runtime now."""
+
+    def test_evaluate_accepts_unregistered_model_instance(self):
+        from repro.llm.api import Model
+        from repro.llm.types import ModelOutput, ModelUsage
+
+        class EchoProvider:
+            # unique name: the model registry is process-global and
+            # test_llm_core.py already registers "custom/echo"
+            name = "custom/echo-runtime"
+
+            def generate(self, messages, config):
+                return ModelOutput(
+                    model=self.name,
+                    completion=f"```\n{messages[-1].content[:10]}\n```",
+                    usage=ModelUsage(1, 1),
+                )
+
+        task = configuration_task("wilkins")
+        result = evaluate(task, Model(EchoProvider()), epochs=2)
+        assert result.model_name == "custom/echo-runtime"
+        assert len(result.samples[0].completions) == 2
+
+    def test_conflicting_instance_name_rejected(self):
+        from repro.errors import ModelError
+        from repro.llm.api import Model
+
+        class Impostor:
+            name = "sim/o3"  # collides with the builtin registration
+
+            def generate(self, messages, config):  # pragma: no cover
+                raise AssertionError("must never be called")
+
+        plan = Plan("p")
+        with pytest.raises(ModelError, match="already registered"):
+            plan.add_eval(configuration_task("wilkins"), Model(Impostor()), epochs=1)
+
+    def test_registered_instance_passes_through(self):
+        # the exact instance fetched from the registry is accepted as-is
+        task = configuration_task("wilkins")
+        model = get_model("sim/o3")
+        result = evaluate(task, model, epochs=1)
+        assert result.model_name == "sim/o3"
+
+
+class TestExecutorErrors:
+    """Provider exceptions surface identically on every executor."""
+
+    @pytest.mark.parametrize("name", ["serial", "threaded", "mpi"])
+    def test_provider_error_propagates(self, name):
+        from repro.core.scorers import CodeSimilarityScorer
+        from repro.core.task import Task
+        from repro.core.samples import Sample
+        from repro.errors import GenerationError
+
+        # an empty prompt makes SimulatedModel raise GenerationError
+        task = Task(
+            name="broken",
+            dataset=[Sample(id="s", input="", target="x")],
+            solvers=[],
+            scorer=CodeSimilarityScorer(),
+        )
+        plan = Plan("p")
+        plan.add_eval(task, "sim/o3", epochs=1)
+        with pytest.raises(GenerationError, match="empty prompt"):
+            run(plan, executor=EXECUTORS[name]())
+
+    def test_evaluate_accepts_executor_and_cache(self):
+        task = configuration_task("wilkins")
+        cache = InMemoryResultCache()
+        a = evaluate(task, "sim/o3", epochs=2, cache=cache)
+        b = evaluate(task, "sim/o3", epochs=2, executor=ThreadedExecutor(2),
+                     cache=cache)
+        assert a.aggregate("bleu") == b.aggregate("bleu")
+        assert [s.completions for s in a.samples] == [
+            s.completions for s in b.samples
+        ]
+
+    def test_evaluate_matches_legacy_shape(self):
+        task = configuration_task("wilkins")
+        result = evaluate(task, "sim/o3", epochs=3)
+        assert result.epochs == 3
+        assert result.model_name == "sim/o3"
+        assert len(result.samples) == 1
+        assert len(result.samples[0].scores) == 3
+
+
+class TestGridValidation:
+    def test_add_unknown_row_raises(self):
+        grid = ExperimentGrid("g", row_keys=["a"], models=["m"])
+        cell = CellResult(
+            Aggregate(50.0, 0.0, 1), Aggregate(50.0, 0.0, 1)
+        )
+        with pytest.raises(HarnessError, match="no row"):
+            grid.add("b", "m", cell)
+
+    def test_add_unknown_model_raises(self):
+        grid = ExperimentGrid("g", row_keys=["a"], models=["m"])
+        cell = CellResult(
+            Aggregate(50.0, 0.0, 1), Aggregate(50.0, 0.0, 1)
+        )
+        with pytest.raises(HarnessError, match="no model"):
+            grid.add("a", "nope", cell)
+
+
+class TestCalibrationRace:
+    def test_concurrent_cell_calibrates_once(self, monkeypatch):
+        import repro.llm.simulated as simulated
+
+        counter = {"n": 0}
+        real = simulated.calibrate
+
+        def slow_calibrate(*args, **kwargs):
+            counter["n"] += 1
+            time.sleep(0.05)  # widen the check-then-compute window
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(simulated, "calibrate", slow_calibrate)
+
+        profile = get_model("sim/o3").provider.profile
+        model = SimulatedModel(profile)
+        prompt = get_template("configuration", "original").body.format(
+            system="Wilkins"
+        )
+        intent = analyze_prompt(prompt)
+
+        barrier = threading.Barrier(8)
+        cells = []
+
+        def hammer():
+            barrier.wait()
+            cells.append(model._cell(intent))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert counter["n"] == 1, "concurrent callers must calibrate once"
+        assert all(c == cells[0] for c in cells)
