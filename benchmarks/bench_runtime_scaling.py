@@ -3,6 +3,10 @@
 Times the Table 1-shaped sweep (4 models × 3 systems × 2 epochs = 24
 generations) under every executor, twice over:
 
+* a **cold-cache serial sweep** against freshly constructed simulated
+  models, so the timing includes per-cell calibration — the number the
+  compiled-metrics engine is measured by (reported for the perf
+  trajectory);
 * against the **offline simulator** (CPU-bound; threads mostly overlap
   its numpy sections under the GIL, so gains are modest) — reported for
   the perf trajectory, not asserted;
@@ -61,6 +65,18 @@ def _register_latency_models() -> None:
         )
 
 
+def _register_cold_models() -> None:
+    """Fresh SimulatedModel instances: nothing calibrated, nothing compiled."""
+    from repro.llm.profiles import ALL_PROFILES
+    from repro.llm.simulated import SimulatedModel
+
+    for model in MODELS:
+        register_model(
+            f"coldsim/{model}",
+            lambda m=model: SimulatedModel(ALL_PROFILES[m]()),
+        )
+
+
 def _sweep_plan(namespace: str) -> Plan:
     plan = Plan(f"scaling/{namespace}")
     for system in CONFIGURATION_SYSTEMS:
@@ -79,6 +95,11 @@ def _timed(namespace: str, executor, cache=None):
 
 def bench_runtime_scaling(report):
     _register_latency_models()
+    # cold-cache serial sweep: freshly registered models, so the timing
+    # includes every per-cell calibration (the metrics-engine hot path)
+    _register_cold_models()
+    cold_serial_time, _ = _timed("coldsim", SerialExecutor())
+
     # warm the per-cell calibration caches so every timing below measures
     # steady-state generation, not one-off calibration
     run(_sweep_plan("sim"))
@@ -92,6 +113,8 @@ def bench_runtime_scaling(report):
     lines = [
         "runtime scaling — 4 models x 3 systems x 2 epochs (24 generations)",
         f"simulated API latency: {API_LATENCY_S * 1000:.0f} ms/call",
+        f"cold-cache serial sweep (incl. calibration): "
+        f"{cold_serial_time * 1000:.0f} ms",
         "",
         f"{'executor':<12} {'sim (CPU-bound)':>16} {'apisim (latency)':>17} "
         f"{'apisim warm cache':>18}",

@@ -4,6 +4,13 @@
 the code artifact from the model's markdown response, compare against the
 reference with BLEU and ChrF (sacrebleu-equivalent implementations),
 report both on the 0..100 scale.
+
+Scoring goes through the compiled-metrics engine
+(:mod:`repro.metrics.compiled`): the target is compiled once per
+distinct reference text (LRU-shared process-wide) and each completion is
+scored against the precompiled statistics — numerically identical to the
+plain :func:`~repro.metrics.bleu` / :func:`~repro.metrics.chrf` calls it
+replaces, several times faster on repeated targets.
 """
 
 from __future__ import annotations
@@ -13,11 +20,24 @@ from typing import Callable
 
 from repro.errors import MetricError
 from repro.metrics import bleu, chrf
+from repro.metrics.compiled import (
+    CompiledReference,
+    bleu_compiled,
+    chrf_compiled,
+    compile_reference,
+)
 from repro.utils.text import strip_markdown_chatter
 
+# reference implementations (kept for audits and equivalence tests)
 _METRIC_FNS: dict[str, Callable[[str, str], float]] = {
     "bleu": bleu,
     "chrf": chrf,
+}
+
+# the hot-path implementations actually used for scoring
+_COMPILED_FNS: dict[str, Callable[[str, CompiledReference], float]] = {
+    "bleu": bleu_compiled,
+    "chrf": chrf_compiled,
 }
 
 
@@ -46,7 +66,24 @@ class CodeSimilarityScorer:
                 f"unknown metric(s) {unknown}; available: {sorted(_METRIC_FNS)}"
             )
 
+    @property
+    def fingerprint(self) -> tuple:
+        """Stable identity for score memoization (see ``runtime.score_key``).
+
+        Two scorer instances with the same metric tuple and the same
+        extractor *object* produce identical scores, so they share
+        score-cache entries across plans and runs.  The extractor
+        callable itself is part of the key (not its name: distinct
+        lambdas share a ``__qualname__`` but are different functions),
+        and the reference the key holds keeps it alive while cached.
+        """
+        # tuple() because metrics may legally be passed as a list
+        return ("code-similarity", tuple(self.metrics), self.extractor)
+
     def __call__(self, completion: str, target: str) -> Score:
         answer = self.extractor(completion)
-        values = {name: float(_METRIC_FNS[name](answer, target)) for name in self.metrics}
+        compiled = compile_reference(target)
+        values = {
+            name: float(_COMPILED_FNS[name](answer, compiled)) for name in self.metrics
+        }
         return Score(values=values, answer=answer)

@@ -1,10 +1,14 @@
 """Calibration: choose the corruption depth that hits a target score.
 
 Given an ordered operator sequence, the quality curve ``BLEU(k)`` for
-``k = 0..N`` is computed once (the artifacts are small, so this is a few
-milliseconds) and the k with minimum ``|BLEU(k) − target|`` is selected.
-A straight scan is used instead of bisection because the curve is only
-*approximately* monotone — individual operators vary in impact.
+``k = 0..N`` is evaluated through an incremental :class:`QualityCurve`:
+prefix ``k`` is built by applying *one* operator to prefix ``k-1``
+(O(N) total op applications, versus O(N²) when every prefix replays
+from scratch), and every depth is scored once against a precompiled
+reference (:mod:`repro.metrics.compiled`) and memoized.  The k with
+minimum ``|BLEU(k) − target|`` is selected by a straight scan rather
+than bisection because the curve is only *approximately* monotone —
+individual operators vary in impact.
 
 Results are cached per (reference, ops identity, target) by the caller;
 this module stays pure.
@@ -12,11 +16,12 @@ this module stays pure.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import CalibrationError
-from repro.llm.corruption import CorruptionOp, apply_ops
-from repro.metrics import bleu
+from repro.llm.corruption import CorruptionOp, apply_ops  # noqa: F401 (re-export)
+from repro.metrics.compiled import CompiledReference, bleu_compiled, compile_reference
 
 
 @dataclass(frozen=True)
@@ -33,9 +38,101 @@ class CalibrationResult:
         return abs(self.achieved_bleu - self.target_bleu)
 
 
+class QualityCurve:
+    """Incrementally evaluated ``BLEU(k)`` over corruption prefixes.
+
+    The curve extends lazily: asking for depth ``k`` applies only the
+    operators beyond the deepest prefix built so far, and each depth's
+    text and score are memoized.  A windowed search followed by a full
+    scan (the ``local_recalibrate`` fallback) therefore never re-applies
+    an operator or re-scores a depth.  Corruption operators never mutate
+    their input line lists, so prefix states can be retained safely.
+    """
+
+    __slots__ = ("reference", "ops", "compiled", "_states", "_texts", "_scores",
+                 "_lock", "scores_computed")
+
+    def __init__(
+        self,
+        reference: str,
+        ops: list[CorruptionOp],
+        *,
+        compiled: CompiledReference | None = None,
+    ) -> None:
+        self.reference = reference
+        self.ops = ops
+        self.compiled = compiled if compiled is not None else compile_reference(reference)
+        self._states: list[list[str]] = [reference.split("\n")]
+        self._texts: dict[int, str] = {0: reference}
+        self._scores: dict[int, float] = {}
+        self._lock = threading.Lock()  # guards the _states extension
+        self.scores_computed = 0  # instrumentation for benches and tests
+
+    def __len__(self) -> int:
+        """Number of depths on the curve (k = 0..len(ops))."""
+        return len(self.ops) + 1
+
+    def text(self, k: int) -> str:
+        """The artifact at depth ``k`` — identical to ``apply_ops(ref, ops, k)``.
+
+        Thread-safe: curve objects are published process-wide inside the
+        simulator's cached cells, so the lazy prefix extension is locked
+        (the memoized-text fast path stays lock-free).
+        """
+        k = max(0, min(k, len(self.ops)))
+        text = self._texts.get(k)
+        if text is None:
+            with self._lock:
+                while len(self._states) <= k:
+                    j = len(self._states)
+                    self._states.append(self.ops[j - 1].apply(self._states[j - 1]))
+                text = self._texts[k] = "\n".join(self._states[k])
+        return text
+
+    def score(self, k: int) -> float:
+        """Memoized ``BLEU(text(k), reference)``."""
+        score = self._scores.get(k)
+        if score is None:
+            score = self._scores[k] = bleu_compiled(self.text(k), self.compiled)
+            self.scores_computed += 1
+        return score
+
+    def scores(self) -> list[float]:
+        """The full curve, depths 0..len(ops)."""
+        return [self.score(k) for k in range(len(self))]
+
+    def compact(self, keep: tuple[int, ...] = ()) -> None:
+        """Release retained prefix states and texts, keeping only ``keep``.
+
+        A calibrated cell lives for the whole process but only ever
+        re-reads the text at its calibrated depth; dropping the other
+        N prefix strings and line-list states frees ~N copies of the
+        artifact per cell.  Memoized *scores* (a handful of floats) are
+        kept, and any depth's text can still be rebuilt on demand.
+        """
+        kept = {k: self.text(k) for k in keep}
+        with self._lock:
+            self._states = [self.reference.split("\n")]
+            self._texts = {0: self.reference, **kept}
+
+    def best(self, target: float, lo: int = 0, hi: int | None = None) -> tuple[int, float]:
+        """(k, error) minimising ``|score(k) − target|`` over ``[lo, hi]``.
+
+        Ties break toward the lowest depth, matching the historical
+        straight-scan behaviour.
+        """
+        hi = len(self.ops) if hi is None else min(hi, len(self.ops))
+        best_k, best_err = lo, float("inf")
+        for k in range(lo, hi + 1):
+            err = abs(self.score(k) - target)
+            if err < best_err:
+                best_k, best_err = k, err
+        return best_k, best_err
+
+
 def quality_curve(reference: str, ops: list[CorruptionOp]) -> list[float]:
     """``BLEU(apply_ops(reference, ops, k), reference)`` for k = 0..len(ops)."""
-    return [bleu(apply_ops(reference, ops, k), reference) for k in range(len(ops) + 1)]
+    return QualityCurve(reference, ops).scores()
 
 
 def local_recalibrate(
@@ -45,6 +142,7 @@ def local_recalibrate(
     *,
     center: int,
     window: int = 8,
+    curve: QualityCurve | None = None,
 ) -> int:
     """Re-pick the best depth in a window around ``center``.
 
@@ -53,19 +151,21 @@ def local_recalibrate(
     different mix, so the achieved score drifts; a cheap local search
     around the calibrated depth re-centres each trial on the target
     before jitter is applied.
+
+    Pass the trial's :class:`QualityCurve` as ``curve`` to reuse its
+    prefix states and memoized scores (the fallback full scan then skips
+    every depth the window search already evaluated).
     """
+    if curve is None:
+        curve = QualityCurve(reference, ops)
     lo = max(0, center - window)
     hi = min(len(ops), center + window)
-    best_k, best_err = center, float("inf")
-    for k in range(lo, hi + 1):
-        err = abs(bleu(apply_ops(reference, ops, k), reference) - target_bleu)
-        if err < best_err:
-            best_k, best_err = k, err
+    best_k, best_err = curve.best(target_bleu, lo, hi)
     if best_err > 6.0:
         # the shuffle moved the target region outside the window (small op
         # sets shift a lot); fall back to a full scan of this epoch's curve
-        for k, score in enumerate(quality_curve(reference, ops)):
-            err = abs(score - target_bleu)
+        for k in range(len(curve)):
+            err = abs(curve.score(k) - target_bleu)
             if err < best_err:
                 best_k, best_err = k, err
     return best_k
@@ -77,8 +177,13 @@ def calibrate(
     target_bleu: float,
     *,
     tolerance: float = 8.0,
+    curve: QualityCurve | None = None,
 ) -> CalibrationResult:
     """Pick the operator-prefix length whose BLEU is closest to the target.
+
+    ``curve`` lets a caller hand in a pre-built :class:`QualityCurve`
+    (and keep it for later reuse — the simulator's per-cell calibration
+    does this so the deterministic generation path never re-applies ops).
 
     Raises :class:`CalibrationError` when the closest achievable score is
     farther than ``tolerance`` points from the target — that signals the
@@ -87,18 +192,20 @@ def calibrate(
     """
     if not 0.0 <= target_bleu <= 100.0:
         raise CalibrationError(f"target BLEU out of range: {target_bleu}")
-    curve = quality_curve(reference, ops)
-    best_k = min(range(len(curve)), key=lambda k: abs(curve[k] - target_bleu))
+    if curve is None:
+        curve = QualityCurve(reference, ops)
+    scores = curve.scores()
+    best_k, _ = curve.best(target_bleu)
     result = CalibrationResult(
         k=best_k,
-        achieved_bleu=curve[best_k],
+        achieved_bleu=scores[best_k],
         target_bleu=target_bleu,
-        curve=tuple(curve),
+        curve=tuple(scores),
     )
     if result.error > tolerance:
         raise CalibrationError(
             f"cannot reach BLEU {target_bleu:.1f}: closest achievable is "
             f"{result.achieved_bleu:.1f} at k={best_k} "
-            f"(curve range {min(curve):.1f}..{max(curve):.1f})"
+            f"(curve range {min(scores):.1f}..{max(scores):.1f})"
         )
     return result

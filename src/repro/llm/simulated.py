@@ -26,15 +26,19 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.core.assets import annotated_producer, reference_config
 from repro.errors import GenerationError
 from repro.llm import tokenizer
-from repro.llm.calibration import CalibrationResult, calibrate, local_recalibrate
+from repro.llm.calibration import (
+    CalibrationResult,
+    QualityCurve,
+    calibrate,
+    local_recalibrate,
+)
 from repro.llm.corruption import (
     CorruptionOp,
-    apply_ops,
     build_ops,
     shuffle_within_bands,
 )
@@ -42,7 +46,24 @@ from repro.llm.intent import Intent, analyze_prompt
 from repro.llm.knowledge import ModelProfile
 from repro.llm.sampling import sample_jitter
 from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput, ModelUsage
+from repro.metrics.compiled import CompiledReference, compile_reference
 from repro.utils.rng import rng_for
+
+
+class CalibratedCell(NamedTuple):
+    """Everything one experiment cell computes exactly once.
+
+    The compiled reference and the calibration-pass quality curve travel
+    with the cell so later generations never re-tokenize the reference
+    (every trial's recalibration scores against ``compiled``) and the
+    deterministic path never re-applies operators (``curve.text(k)``
+    returns the memoized prefix).
+    """
+
+    ops: list[CorruptionOp]
+    calib: CalibrationResult
+    curve: QualityCurve
+    compiled: CompiledReference
 
 
 class SimulatedModel:
@@ -53,9 +74,7 @@ class SimulatedModel:
         self.name = f"sim/{profile.name}"
         self._lock = threading.Lock()
         # key -> Future so concurrent callers of the same cell compute once
-        self._cell_cache: dict[
-            tuple, Future[tuple[list[CorruptionOp], CalibrationResult]]
-        ] = {}
+        self._cell_cache: dict[tuple, Future[CalibratedCell]] = {}
 
     # -- ModelAPI ------------------------------------------------------------
 
@@ -93,7 +112,7 @@ class SimulatedModel:
             return annotated_producer(intent.target)
         raise GenerationError(f"unknown experiment {intent.experiment!r}")
 
-    def _cell(self, intent: Intent) -> tuple[list[CorruptionOp], CalibrationResult]:
+    def _cell(self, intent: Intent) -> CalibratedCell:
         key = (
             intent.experiment,
             intent.cell_system,
@@ -123,10 +142,9 @@ class SimulatedModel:
         future.set_result(cell)
         return cell
 
-    def _calibrate_cell(
-        self, intent: Intent, key: tuple
-    ) -> tuple[list[CorruptionOp], CalibrationResult]:
+    def _calibrate_cell(self, intent: Intent, key: tuple) -> CalibratedCell:
         reference = self.reference_for(intent)
+        compiled = compile_reference(reference)
         knowledge = self.profile.knowledge_for(intent.experiment, intent.cell_system)
         if intent.fewshot:
             # an in-context example demonstrably suppresses schema invention:
@@ -159,32 +177,40 @@ class SimulatedModel:
                 intent.experiment, intent.cell_system, intent.variant, True
             )
             target = (target + few) / 2.0
-        result = calibrate(reference, ops, target)
-        return ops, result
+        curve = QualityCurve(reference, ops, compiled=compiled)
+        result = calibrate(reference, ops, target, curve=curve)
+        # the cell is cached for the process lifetime but only the
+        # calibrated depth's text is ever read again: drop the rest
+        curve.compact(keep=(result.k,))
+        return CalibratedCell(ops, result, curve, compiled)
 
     def _generate_payload(self, intent: Intent, config: GenerateConfig) -> str:
-        ops, calib = self._cell(intent)
-        reference = self.reference_for(intent)
+        cell = self._cell(intent)
+        reference = cell.curve.reference
         temperature, top_p = self._effective_sampling(config)
         rng = rng_for(self.name, intent.experiment, intent.cell_system,
                       intent.variant, intent.fewshot, intent.doccontext,
                       config.seed)
         if self.profile.epoch_jitter <= 0 or temperature == 0:
-            # deterministic decoding: identical artifact every trial
-            return apply_ops(reference, ops, calib.k)
+            # deterministic decoding: identical artifact every trial — the
+            # calibration pass already built this prefix, so reuse it
+            return cell.curve.text(cell.calib.k)
         # trial-to-trial variation: perturb the competence target by a few
         # points (sampled with real temperature/top_p decoding math), then
         # re-pick the depth on this trial's shuffled operator order
-        epoch_ops = shuffle_within_bands(ops, rng)
+        epoch_ops = shuffle_within_bands(cell.ops, rng)
         jitter_points = sample_jitter(
             rng,
             scale=self.profile.epoch_jitter,
             temperature=temperature,
             top_p=top_p,
         )
-        target = min(100.0, max(0.0, calib.target_bleu + jitter_points))
-        k = local_recalibrate(reference, epoch_ops, target, center=calib.k)
-        return apply_ops(reference, epoch_ops, k)
+        target = min(100.0, max(0.0, cell.calib.target_bleu + jitter_points))
+        epoch_curve = QualityCurve(reference, epoch_ops, compiled=cell.compiled)
+        k = local_recalibrate(
+            reference, epoch_ops, target, center=cell.calib.k, curve=epoch_curve
+        )
+        return epoch_curve.text(k)
 
     def _effective_sampling(self, config: GenerateConfig) -> tuple[float, float]:
         if self.profile.ignore_sampling_params:
@@ -217,7 +243,7 @@ class SimulatedModel:
 
     def calibration_for(self, intent: Intent) -> CalibrationResult:
         """Expose the calibrated depth/score for a cell (diagnostics)."""
-        return self._cell(intent)[1]
+        return self._cell(intent).calib
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimulatedModel({self.name!r})"

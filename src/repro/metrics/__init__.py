@@ -10,10 +10,20 @@ offline) but follow the sacrebleu definitions:
 
 Scores are returned in the 0..100 range, matching how the paper reports
 them ("multiplied by a factor of 100").
+
+For hot paths that score many hypotheses against one reference, use the
+numerically identical compiled variants: :func:`compile_reference` once,
+then :func:`bleu_compiled` / :func:`chrf_compiled` per hypothesis.
 """
 
 from repro.metrics.bleu import BleuScore, bleu, corpus_bleu
 from repro.metrics.chrf import ChrfScore, chrf, corpus_chrf
+from repro.metrics.compiled import (
+    CompiledReference,
+    bleu_compiled,
+    chrf_compiled,
+    compile_reference,
+)
 from repro.metrics.stats import Aggregate, aggregate, mean, stderr
 from repro.metrics.tokenizers import char_ngrams, ngrams, tokenize_13a
 
@@ -24,6 +34,10 @@ __all__ = [
     "ChrfScore",
     "chrf",
     "corpus_chrf",
+    "CompiledReference",
+    "compile_reference",
+    "bleu_compiled",
+    "chrf_compiled",
     "Aggregate",
     "aggregate",
     "mean",

@@ -109,7 +109,9 @@ def _compute_score(
             else:
                 precisions[n] = 100.0 * counts[n] / totals[n]
 
-    if effective_order == 0 or sys_len == 0:
+    if effective_order == 0 or sys_len == 0 or ref_len == 0:
+        # sys_len == 0: nothing was produced; ref_len == 0: nothing to
+        # match, so smoothing must not fabricate a positive score
         bp = 0.0 if sys_len == 0 else _brevity_penalty(sys_len, ref_len)
         return BleuScore(0.0, precisions, bp, sys_len, ref_len, counts, totals)
 

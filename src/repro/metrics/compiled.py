@@ -1,0 +1,156 @@
+"""Precompiled references: tokenize once, score many.
+
+Every calibrated cell and every scored unit compares hundreds of
+hypotheses against the *same* reference artifact.  The plain
+:func:`~repro.metrics.bleu.bleu` / :func:`~repro.metrics.chrf.chrf`
+entry points re-tokenize and re-count that reference on every call —
+pure waste on the hot path.  :class:`CompiledReference` does the work
+once (13a tokens, per-order token n-gram counters, per-order character
+n-gram counters) and :func:`bleu_compiled` / :func:`chrf_compiled`
+score a hypothesis against it.
+
+Both compiled scorers run the *same arithmetic in the same order* as
+the reference implementations (they share ``_compute_score`` /
+``_fscore``), so results are numerically identical — property-tested to
+1e-9 in ``tests/test_metrics_compiled.py``, and in practice bit-equal.
+
+:func:`compile_reference` is LRU-cached by reference text, so scorer
+instances, calibration cells and benches that share an artifact also
+share one compiled object.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+
+from repro.errors import MetricError
+from repro.metrics.bleu import DEFAULT_MAX_ORDER, _compute_score
+from repro.metrics.chrf import DEFAULT_BETA, DEFAULT_CHAR_ORDER, _fscore
+from repro.metrics.tokenizers import (
+    char_ngrams,
+    clipped_matches,
+    ngrams,
+    tokenize_13a_cached,
+)
+
+
+class CompiledReference:
+    """One reference artifact with all metric statistics precomputed lazily.
+
+    Counters are filled on first use per (order, options) and shared by
+    every subsequent scoring call.  Fills are idempotent, so concurrent
+    access from executor threads is safe without a lock.
+    """
+
+    __slots__ = ("text", "_tokens", "_token_ngrams", "_char_grams", "_char_totals")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._tokens: tuple[str, ...] | None = None
+        self._token_ngrams: dict[int, Counter] = {}
+        self._char_grams: dict[tuple[int, bool], Counter] = {}
+        self._char_totals: dict[tuple[int, bool], int] = {}
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        if self._tokens is None:
+            self._tokens = tokenize_13a_cached(self.text)
+        return self._tokens
+
+    @property
+    def ref_len(self) -> int:
+        return len(self.tokens)
+
+    def token_ngrams(self, order: int) -> Counter:
+        """Token ``order``-gram multiset (computed once per order)."""
+        grams = self._token_ngrams.get(order)
+        if grams is None:
+            grams = self._token_ngrams[order] = ngrams(self.tokens, order)
+        return grams
+
+    def char_grams(self, order: int, remove_whitespace: bool = True) -> Counter:
+        """Character ``order``-gram multiset (computed once per options)."""
+        key = (order, remove_whitespace)
+        grams = self._char_grams.get(key)
+        if grams is None:
+            grams = self._char_grams[key] = char_ngrams(
+                self.text, order, remove_whitespace=remove_whitespace
+            )
+        return grams
+
+    def char_total(self, order: int, remove_whitespace: bool = True) -> int:
+        """Total character ``order``-gram count (the chrF recall denominator)."""
+        key = (order, remove_whitespace)
+        total = self._char_totals.get(key)
+        if total is None:
+            total = self._char_totals[key] = sum(
+                self.char_grams(order, remove_whitespace).values()
+            )
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledReference({self.text[:32]!r}..., ref_len={self.ref_len})"
+
+
+@lru_cache(maxsize=512)
+def compile_reference(text: str) -> CompiledReference:
+    """The shared :class:`CompiledReference` for ``text`` (LRU by content)."""
+    return CompiledReference(text)
+
+
+def bleu_compiled(
+    hypothesis: str,
+    reference: CompiledReference | str,
+    *,
+    max_order: int = DEFAULT_MAX_ORDER,
+    smooth_method: str = "exp",
+    smooth_value: float | None = None,
+) -> float:
+    """Sentence BLEU against a precompiled reference.
+
+    Numerically identical to ``bleu(hypothesis, reference.text, ...)``:
+    the clipped-match counting and score combination are the exact same
+    code path, only the reference-side statistics come precomputed.
+    """
+    if smooth_method not in ("exp", "floor", "add-k", "none"):
+        raise MetricError(f"unknown BLEU smoothing method: {smooth_method!r}")
+    ref = compile_reference(reference) if isinstance(reference, str) else reference
+    hyp_tokens = tokenize_13a_cached(hypothesis)
+    sys_len = len(hyp_tokens)
+
+    counts: list[int] = []
+    totals: list[int] = []
+    for order in range(1, max_order + 1):
+        hyp_grams = ngrams(hyp_tokens, order) if sys_len >= order else Counter()
+        counts.append(clipped_matches(hyp_grams, ref.token_ngrams(order)))
+        totals.append(max(sys_len - order + 1, 0))
+    return _compute_score(
+        counts, totals, sys_len, ref.ref_len, smooth_method, smooth_value, max_order
+    ).score
+
+
+def chrf_compiled(
+    hypothesis: str,
+    reference: CompiledReference | str,
+    *,
+    char_order: int = DEFAULT_CHAR_ORDER,
+    beta: float = DEFAULT_BETA,
+    remove_whitespace: bool = True,
+) -> float:
+    """Sentence chrF against a precompiled reference.
+
+    Numerically identical to ``chrf(hypothesis, reference.text, ...)``
+    (single-reference path: the best-reference loop is trivial).
+    """
+    ref = compile_reference(reference) if isinstance(reference, str) else reference
+    per_order_f: list[float] = []
+    for order in range(1, char_order + 1):
+        hyp_grams = char_ngrams(hypothesis, order, remove_whitespace=remove_whitespace)
+        hyp_count = sum(hyp_grams.values())
+        ref_count = ref.char_total(order, remove_whitespace)
+        if hyp_count == 0 and ref_count == 0:
+            continue
+        matches = clipped_matches(hyp_grams, ref.char_grams(order, remove_whitespace))
+        per_order_f.append(_fscore(matches, hyp_count, ref_count, beta))
+    return 100.0 * (sum(per_order_f) / len(per_order_f)) if per_order_f else 0.0

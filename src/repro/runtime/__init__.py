@@ -26,6 +26,7 @@ from repro.runtime.cache import (
     FilesystemResultCache,
     InMemoryResultCache,
     ResultCache,
+    ScoreCache,
 )
 from repro.runtime.executors import (
     Executor,
@@ -35,7 +36,7 @@ from repro.runtime.executors import (
     generate_unit,
 )
 from repro.runtime.plan import EvalSpec, Plan
-from repro.runtime.runner import RunResult, RunStats, run
+from repro.runtime.runner import RunResult, RunStats, run, score_key
 from repro.runtime.units import Generation, UnitResult, WorkUnit, generation_key
 
 __all__ = [
@@ -53,6 +54,8 @@ __all__ = [
     "ResultCache",
     "InMemoryResultCache",
     "FilesystemResultCache",
+    "ScoreCache",
+    "score_key",
     "run",
     "RunResult",
     "RunStats",

@@ -14,13 +14,19 @@ Two backends:
   of a :class:`repro.store.filesystem.SimFilesystem` namespace, so a
   cache can share the simulated storage substrate with workflow runs
   (and several experiments can share one namespace).
+
+:class:`ScoreCache` sits on the other side of the executor: it memoizes
+*scores* by (generation key, target hash, scorer fingerprint) so cache
+hits and deduplicated units skip the metric work too.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Protocol, runtime_checkable
+from collections import OrderedDict
+from typing import Hashable, Iterable, Protocol, runtime_checkable
 
+from repro.errors import HarnessError
 from repro.store.filesystem import SimFilesystem
 
 from repro.runtime.units import Generation
@@ -110,3 +116,47 @@ class FilesystemResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FilesystemResultCache(prefix={self._prefix!r}, entries={len(self)})"
+
+
+class ScoreCache:
+    """Bounded LRU memo of unit scores.
+
+    Keyed by (generation key, target hash, scorer fingerprint) — see
+    :func:`repro.runtime.runner.score_key` — so deduplicated units and
+    warm-result-cache reruns never re-score an identical
+    (completion, target) pair.  A fresh per-run instance is created by
+    :func:`repro.runtime.runner.run` when none is passed; hand one cache
+    to several runs to keep scores warm across a multi-plan sweep.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize <= 0:
+            raise HarnessError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def get(self, key: Hashable) -> object | None:
+        with self._lock:
+            score = self._entries.get(key)
+            if score is not None:
+                self._entries.move_to_end(key)
+        return score
+
+    def put(self, key: Hashable, score: object) -> None:
+        with self._lock:
+            self._entries[key] = score
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoreCache(entries={len(self)}, maxsize={self.maxsize})"

@@ -17,6 +17,7 @@ executor produces bit-identical generations:
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.errors import HarnessError
@@ -61,27 +62,53 @@ class SerialExecutor:
 
 
 class ThreadedExecutor:
-    """Fan units out over a thread pool.
+    """Fan units out over a persistent thread pool.
 
     Suited to providers that block on I/O (network endpoints); the
     offline simulator is CPU-bound, where threads mostly help by
     overlapping its numpy sections.
+
+    The pool is created lazily on the first ``execute`` and reused by
+    every subsequent call, so multi-plan sweeps stop paying thread-pool
+    startup and teardown per run.  Call :meth:`close` (or use the
+    executor as a context manager) to release the worker threads; a
+    closed executor transparently re-creates its pool if used again.
     """
 
     def __init__(self, max_workers: int = 8) -> None:
         if max_workers <= 0:
             raise HarnessError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-exec",
+                )
+            return self._pool
 
     def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
         if not units:
             return {}
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(units)),
-            thread_name_prefix="repro-exec",
-        ) as pool:
-            generations = pool.map(generate_unit, units)
-            return {gen.key: gen for gen in generations}
+        generations = self._ensure_pool().map(generate_unit, units)
+        return {gen.key: gen for gen in generations}
+
+    def close(self) -> None:
+        """Shut the pool down and join its worker threads (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadedExecutor(max_workers={self.max_workers})"

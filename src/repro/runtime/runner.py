@@ -3,24 +3,57 @@
 :func:`run` is the single funnel every evaluation in the repository goes
 through.  It looks each work unit up in the result cache, deduplicates
 identical generations within the run, hands only the genuinely new units
-to the executor, re-scores every unit against its own target, and
-reassembles the plan's evaluation results.  :class:`RunStats` records
-how much work the model layer actually did, which is what the cache and
-scaling tests assert on.
+to the executor, scores every unit against its own target behind a
+:class:`~repro.runtime.cache.ScoreCache` (identical (generation, target,
+scorer) triples are scored once), and reassembles the plan's evaluation
+results.  :class:`RunStats` records how much work the model layer *and*
+the metric layer actually did, which is what the cache and scaling tests
+assert on.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Hashable, Mapping
 
 from repro.core.task import EvalResult
 from repro.errors import HarnessError
 
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import ResultCache, ScoreCache
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.plan import EvalSpec, Plan
-from repro.runtime.units import Generation, UnitResult
+from repro.runtime.units import Generation, UnitResult, WorkUnit
+
+
+def score_key(unit: WorkUnit, target_hash: str) -> Hashable:
+    """Memoization key for one unit's score.
+
+    (generation key, target hash, scorer fingerprint): the generation
+    key pins the completion, the target hash pins what it is compared
+    against, and the scorer fingerprint pins *how* — two tasks sharing
+    a prompt and target but scoring differently never collide.  Scorers
+    may expose a ``fingerprint`` attribute; otherwise the scorer object
+    itself is the fingerprint (the key's reference keeps it alive, so
+    its identity cannot be recycled while cached).  Unhashable
+    fingerprint-less scorers fall back to ``id()`` — such a scorer must
+    outlive any :class:`~repro.runtime.cache.ScoreCache` shared across
+    runs.
+    """
+    scorer: Callable = unit.scorer
+    fingerprint = getattr(scorer, "fingerprint", None)
+    if fingerprint is not None:
+        try:
+            hash(fingerprint)
+        except TypeError:
+            fingerprint = None  # unusable fingerprint: key on the scorer itself
+    if fingerprint is None:
+        try:
+            hash(scorer)
+            fingerprint = scorer
+        except TypeError:
+            fingerprint = id(scorer)
+    return (unit.key, target_hash, fingerprint)
 
 
 @dataclass(frozen=True)
@@ -31,6 +64,8 @@ class RunStats:
     generated: int  # units that reached the executor (new model calls)
     cache_hits: int  # units satisfied from the result cache
     deduplicated: int  # units coalesced onto an identical in-run generation
+    scores_computed: int = 0  # scorer invocations (score-cache misses)
+    score_hits: int = 0  # units whose score came from the score cache
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +93,7 @@ def run(
     *,
     executor: Executor | None = None,
     cache: ResultCache | None = None,
+    score_cache: ScoreCache | None = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
 
@@ -65,8 +101,12 @@ def run(
     the units, and generations are keyed by content, so serial, threaded
     and MPI-shard execution (and any mix of cold/warm cache) produce
     bit-identical output.
+
+    ``score_cache`` memoizes scores across runs; when omitted, a fresh
+    per-run cache still collapses the metric work of deduplicated units.
     """
     executor = executor or SerialExecutor()
+    score_cache = score_cache if score_cache is not None else ScoreCache()
     units = plan.units
 
     generations: dict[str, Generation] = {}
@@ -96,9 +136,23 @@ def run(
                 cache.put(produced[unit.key])
 
     results: dict[str, UnitResult] = {}
+    target_hashes: dict[str, str] = {}  # per-run memo of target digests
+    scores_computed = score_hits = 0
     for unit in units:
         gen = generations[unit.key]
-        score = unit.scorer(gen.completion, unit.target)
+        target_hash = target_hashes.get(unit.target)
+        if target_hash is None:
+            target_hash = target_hashes[unit.target] = hashlib.sha256(
+                unit.target.encode("utf-8")
+            ).hexdigest()
+        skey = score_key(unit, target_hash)
+        score = score_cache.get(skey)
+        if score is None:
+            score = unit.scorer(gen.completion, unit.target)
+            score_cache.put(skey, score)
+            scores_computed += 1
+        else:
+            score_hits += 1
         results[unit.uid] = UnitResult(uid=unit.uid, generation=gen, score=score)
 
     unique_keys = len(generations)
@@ -107,5 +161,7 @@ def run(
         generated=len(pending),
         cache_hits=cache_hits,
         deduplicated=len(units) - unique_keys,
+        scores_computed=scores_computed,
+        score_hits=score_hits,
     )
     return RunResult(plan=plan, results=results, stats=stats)

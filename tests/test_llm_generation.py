@@ -8,7 +8,12 @@ import pytest
 from repro.core.assets import annotated_producer, reference_config
 from repro.errors import CalibrationError
 from repro.llm import GenerateConfig, get_model
-from repro.llm.calibration import calibrate, quality_curve
+from repro.llm.calibration import (
+    QualityCurve,
+    calibrate,
+    local_recalibrate,
+    quality_curve,
+)
 from repro.llm.corruption import apply_ops, build_ops, shuffle_within_bands
 from repro.llm.knowledge import SystemKnowledge
 from repro.llm.profiles import ALL_PROFILES
@@ -74,6 +79,89 @@ class TestCorruptionOps:
         ops = build_ops(REF, SystemKnowledge(), seed_labels=("t",))
         assert len(ops) >= 3
         assert all(op.band == 1 for op in ops)
+
+
+class TestQualityCurve:
+    """The incremental curve must match the from-scratch construction."""
+
+    def _ops(self):
+        return build_ops(REF, wilkins_knowledge(), seed_labels=("t",))
+
+    def test_texts_match_apply_ops_at_every_depth(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        for k in range(len(ops) + 1):
+            assert curve.text(k) == apply_ops(REF, ops, k)
+
+    def test_scores_match_naive_curve_bitwise(self):
+        ops = self._ops()
+        naive = [bleu(apply_ops(REF, ops, k), REF) for k in range(len(ops) + 1)]
+        assert QualityCurve(REF, ops).scores() == naive
+
+    def test_depth_clamping_matches_apply_ops(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        assert curve.text(-3) == REF
+        assert curve.text(len(ops) + 10) == apply_ops(REF, ops, len(ops))
+
+    def test_scores_memoized(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        curve.score(5)
+        curve.score(5)
+        curve.score(3)
+        assert curve.scores_computed == 2
+
+    def test_best_breaks_ties_toward_lowest_depth(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        k, err = curve.best(curve.score(4), lo=0, hi=len(ops))
+        assert curve.score(k) == curve.score(4)
+        assert k <= 4
+        assert err == 0.0
+
+    def test_local_recalibrate_matches_naive_window_search(self):
+        ops = self._ops()
+        target = 70.0
+        center = calibrate(REF, ops, target).k
+        for trial in range(6):
+            epoch_ops = shuffle_within_bands(ops, rng_for("recal", trial))
+            # the pre-engine implementation: score every window depth from
+            # scratch, with the historical full-scan fallback
+            lo, hi = max(0, center - 8), min(len(epoch_ops), center + 8)
+            best_k, best_err = center, float("inf")
+            for k in range(lo, hi + 1):
+                err = abs(bleu(apply_ops(REF, epoch_ops, k), REF) - target)
+                if err < best_err:
+                    best_k, best_err = k, err
+            if best_err > 6.0:
+                for k, score in enumerate(quality_curve(REF, epoch_ops)):
+                    err = abs(score - target)
+                    if err < best_err:
+                        best_k, best_err = k, err
+            got = local_recalibrate(REF, epoch_ops, target, center=center)
+            assert got == best_k, f"trial {trial}"
+
+    def test_compact_keeps_depths_and_rebuilds_the_rest(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        expected = {k: curve.text(k) for k in (0, 7, len(ops))}
+        curve.compact(keep=(7,))
+        assert curve._texts == {0: REF, 7: expected[7]}
+        assert len(curve._states) == 1
+        # non-kept depths rebuild on demand, identically
+        assert curve.text(len(ops)) == expected[len(ops)]
+        assert curve.text(7) == expected[7]
+
+    def test_local_recalibrate_reuses_supplied_curve(self):
+        ops = self._ops()
+        curve = QualityCurve(REF, ops)
+        k = local_recalibrate(REF, ops, 70.0, center=10, curve=curve)
+        computed = curve.scores_computed
+        assert computed > 0
+        # a second search over the same window re-scores nothing
+        assert local_recalibrate(REF, ops, 70.0, center=10, curve=curve) == k
+        assert curve.scores_computed == computed
 
 
 class TestCalibration:

@@ -26,6 +26,7 @@ from repro.runtime import (
     InMemoryResultCache,
     MpiShardExecutor,
     Plan,
+    ScoreCache,
     SerialExecutor,
     ThreadedExecutor,
     generation_key,
@@ -140,6 +141,28 @@ class TestExecutorEquivalence:
         assert outcome.stats.total_units == 4
         assert outcome.stats.generated == 2
         assert outcome.stats.deduplicated == 2
+        # deduplicated units share score-cache entries: 2 computed, 2 hits
+        assert outcome.stats.scores_computed == 2
+        assert outcome.stats.score_hits == 2
+
+    def test_scores_identical_to_reference_metrics(self):
+        # the compiled-metrics scoring path must agree with the plain
+        # reference implementations on every scored unit
+        from repro.metrics import bleu as ref_bleu, chrf as ref_chrf
+
+        plan = Plan("p")
+        for system in ("wilkins", "adios2"):
+            plan.add_eval(configuration_task(system), "sim/o3", epochs=2)
+        outcome = run(plan)
+        targets = {u.uid: u.target for u in plan.units}
+        for uid, result in outcome.results.items():
+            answer, target = result.score.answer, targets[uid]
+            assert result.score["bleu"] == pytest.approx(
+                ref_bleu(answer, target), abs=1e-9
+            )
+            assert result.score["chrf"] == pytest.approx(
+                ref_chrf(answer, target), abs=1e-9
+            )
 
     def test_broken_executor_is_detected(self):
         class LossyExecutor:
@@ -227,6 +250,141 @@ class TestResultCache:
         stats = run(plan2, cache=cache).stats
         assert stats.hit_rate == 1.0
         assert stats.generated == 0
+
+
+class TestScoreCache:
+    def test_multi_epoch_warm_rerun_hits_score_cache(self):
+        # multi-epoch plan, warm result cache, shared score cache: the
+        # rerun re-scores nothing and its EvalResults are unchanged
+        cache = InMemoryResultCache()
+        scores = ScoreCache()
+        plan = Plan("p")
+        task = configuration_task("wilkins")
+        spec = plan.add_eval(task, "sim/gemini-2.5-pro", epochs=3)
+        cold = run(plan, cache=cache, score_cache=scores)
+        assert cold.stats.scores_computed == 3
+        assert cold.stats.score_hits == 0
+
+        plan2 = Plan("p2")
+        spec2 = plan2.add_eval(task, "sim/gemini-2.5-pro", epochs=3)
+        warm = run(plan2, cache=cache, score_cache=scores)
+        assert warm.stats.generated == 0
+        assert warm.stats.score_hits > 0
+        assert warm.stats.score_hits == 3
+        assert warm.stats.scores_computed == 0
+        a, b = cold.eval_result(spec), warm.eval_result(spec2)
+        assert a.aggregate("bleu") == b.aggregate("bleu")
+        assert a.aggregate("chrf") == b.aggregate("chrf")
+
+    def test_stats_account_every_unit(self):
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=2)
+        stats = run(plan).stats
+        assert stats.scores_computed + stats.score_hits == stats.total_units
+
+    def test_scorer_fingerprint_separates_different_scorers(self):
+        from repro.core.scorers import CodeSimilarityScorer
+        from repro.runtime import score_key
+
+        class FakeUnit:
+            key = "k"
+            target = "t"
+
+        a, b = FakeUnit(), FakeUnit()
+        a.scorer = CodeSimilarityScorer(metrics=("bleu",))
+        b.scorer = CodeSimilarityScorer(metrics=("bleu", "chrf"))
+        assert score_key(a, "h") != score_key(b, "h")
+        # equal-config scorer instances share entries
+        b.scorer = CodeSimilarityScorer(metrics=("bleu",))
+        assert score_key(a, "h") == score_key(b, "h")
+
+    def test_list_metrics_scorer_still_scores(self):
+        # metrics passed as a list (legal pre-engine) must not produce an
+        # unhashable score-cache key
+        from repro.core.samples import Sample
+        from repro.core.scorers import CodeSimilarityScorer
+        from repro.core.task import Task
+
+        task = Task(
+            name="list-metrics",
+            dataset=[Sample(id="s", input="Provide the workflow configuration "
+                            "file for the Wilkins workflow system.", target="x: 1")],
+            solvers=[],
+            scorer=CodeSimilarityScorer(metrics=["bleu"]),
+        )
+        plan = Plan("p")
+        plan.add_eval(task, "sim/o3", epochs=2)
+        outcome = run(plan)
+        assert outcome.stats.scores_computed == 2
+
+    def test_unhashable_fingerprint_falls_back_to_scorer_identity(self):
+        from repro.runtime import score_key
+
+        class Weird:
+            fingerprint = ["not", "hashable"]
+
+            def __call__(self, completion, target):  # pragma: no cover
+                raise AssertionError
+
+        class FakeUnit:
+            key = "k"
+            target = "t"
+            scorer = Weird()
+
+        key = score_key(FakeUnit(), "h")
+        hash(key)  # must be usable as a dict key
+        assert key[2] is FakeUnit.scorer
+
+    def test_eviction_bounds_the_cache(self):
+        cache = ScoreCache(maxsize=2)
+        for i in range(5):
+            cache.put(("k", i), i)
+        assert len(cache) == 2
+        assert cache.get(("k", 4)) == 4
+        assert cache.get(("k", 0)) is None
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(HarnessError, match="maxsize"):
+            ScoreCache(maxsize=0)
+
+
+class TestThreadedExecutorPool:
+    def test_pool_persists_across_executes(self):
+        executor = ThreadedExecutor(2)
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        run(plan, executor=executor)
+        pool = executor._pool
+        assert pool is not None
+        plan2 = Plan("p2")
+        plan2.add_eval(configuration_task("adios2"), "sim/o3", epochs=1)
+        run(plan2, executor=executor)
+        assert executor._pool is pool, "execute() must reuse the lazy pool"
+        executor.close()
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_reopenable(self):
+        executor = ThreadedExecutor(2)
+        executor.close()  # close before first use is a no-op
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        first = run(plan, executor=executor)
+        executor.close()
+        executor.close()
+        # a closed executor transparently re-creates its pool
+        again = run(plan, executor=executor)
+        a = sorted((uid, r.score["bleu"]) for uid, r in first.results.items())
+        b = sorted((uid, r.score["bleu"]) for uid, r in again.results.items())
+        assert a == b
+        executor.close()
+
+    def test_context_manager_closes_pool(self):
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        with ThreadedExecutor(2) as executor:
+            run(plan, executor=executor)
+            assert executor._pool is not None
+        assert executor._pool is None
 
 
 class TestEvaluateRouting:
