@@ -13,7 +13,6 @@ configuration that passes validation.
 
 from __future__ import annotations
 
-from repro.core.experiments.configuration import configuration_task
 from repro.core.repair import RepairLoop
 from repro.core.samples import Sample
 from repro.core.solvers import doc_context_solver, few_shot_solver, prompt_solver

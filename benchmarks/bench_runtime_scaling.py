@@ -1,4 +1,4 @@
-"""Runtime scaling — executors and result cache on a fixed sweep.
+"""Runtime scaling — executors, schedulers and result cache on a fixed sweep.
 
 Times the Table 1-shaped sweep (4 models × 3 systems × 2 epochs = 24
 generations) under every executor, twice over:
@@ -12,9 +12,18 @@ generations) under every executor, twice over:
   the perf trajectory, not asserted;
 * against a **latency provider** that wraps each simulated model with a
   fixed per-call delay, the regime a real API endpoint lives in — here
-  the threaded executor must be ≥ 2× faster than serial;
+  the threaded executor must be ≥ 2× faster than serial, and the async
+  executor must be at least as fast as the threaded one (event-loop
+  concurrency is a cheap integer, so it runs more calls in flight than
+  a same-cost thread pool); the batched executor pays the provider
+  round-trip once per *model group* instead of once per call;
 * and with a **warm result cache**, which must skip the model layer
   entirely (zero new generations) while producing identical results.
+
+A final section compares plan-order dispatch against the adaptive
+longest-expected-unit-first scheduler on a heterogeneous-latency sweep
+(one slow provider, three fast ones) — the regime where dispatch order
+shapes the makespan tail.
 
 Numbers land in ``benchmarks/output/runtime_scaling.txt`` so future PRs
 have a perf trajectory to compare against.
@@ -31,6 +40,9 @@ from repro.core.experiments.configuration import (
 from repro.data import MODELS
 from repro.llm.api import get_model, register_model
 from repro.runtime import (
+    AdaptiveScheduler,
+    AsyncExecutor,
+    BatchingExecutor,
     InMemoryResultCache,
     MpiShardExecutor,
     Plan,
@@ -41,19 +53,30 @@ from repro.runtime import (
 
 EPOCHS = 2
 API_LATENCY_S = 0.15  # per-call delay of the simulated network endpoint
+SLOW_MODEL_LATENCY_S = 0.6  # the straggler provider of the hetero sweep
+FAST_MODEL_LATENCY_S = 0.02
 
 
 class _LatencyProvider:
-    """A simulated-model wrapper that costs a fixed delay per call."""
+    """A simulated-model wrapper that costs a fixed delay per call.
 
-    def __init__(self, inner, delay: float) -> None:
+    The batched entry point pays the delay **once per batch** — the
+    whole point of a real batch endpoint is amortizing the round-trip —
+    then defers to the inner model's native ``generate_batch``.
+    """
+
+    def __init__(self, inner, delay: float, namespace: str = "apisim") -> None:
         self._inner = inner
         self._delay = delay
-        self.name = f"apisim/{inner.name.split('/', 1)[1]}"
+        self.name = f"{namespace}/{inner.name.split('/', 1)[1]}"
 
     def generate(self, messages, config):
         time.sleep(self._delay)
         return self._inner.generate(messages, config)
+
+    def generate_batch(self, requests):
+        time.sleep(self._delay)  # one round-trip for the whole group
+        return self._inner.generate_batch(requests)
 
 
 def _register_latency_models() -> None:
@@ -62,6 +85,19 @@ def _register_latency_models() -> None:
         register_model(
             f"apisim/{model}",
             lambda inner=inner: _LatencyProvider(inner, API_LATENCY_S),
+        )
+
+
+def _register_hetero_models() -> None:
+    """One slow provider (o3) among three fast ones."""
+    for model in MODELS:
+        inner = get_model(f"sim/{model}").provider
+        delay = SLOW_MODEL_LATENCY_S if model == "o3" else FAST_MODEL_LATENCY_S
+        register_model(
+            f"hetsim/{model}",
+            lambda inner=inner, delay=delay: _LatencyProvider(
+                inner, delay, namespace="hetsim"
+            ),
         )
 
 
@@ -77,19 +113,19 @@ def _register_cold_models() -> None:
         )
 
 
-def _sweep_plan(namespace: str) -> Plan:
+def _sweep_plan(namespace: str, models=MODELS) -> Plan:
     plan = Plan(f"scaling/{namespace}")
     for system in CONFIGURATION_SYSTEMS:
         task = configuration_task(system)
-        for model in MODELS:
+        for model in models:
             plan.add_eval(task, f"{namespace}/{model}", epochs=EPOCHS)
     return plan
 
 
-def _timed(namespace: str, executor, cache=None):
-    plan = _sweep_plan(namespace)
+def _timed(namespace: str, executor, cache=None, scheduler=None, models=MODELS):
+    plan = _sweep_plan(namespace, models=models)
     started = time.perf_counter()
-    outcome = run(plan, executor=executor, cache=cache)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
     return time.perf_counter() - started, outcome
 
 
@@ -108,11 +144,14 @@ def bench_runtime_scaling(report):
         ("serial", SerialExecutor()),
         ("threads-8", ThreadedExecutor(8)),
         ("mpi-4", MpiShardExecutor(4)),
+        ("async-16", AsyncExecutor(16)),
+        ("batched", BatchingExecutor(4)),
     ]
 
     lines = [
         "runtime scaling — 4 models x 3 systems x 2 epochs (24 generations)",
-        f"simulated API latency: {API_LATENCY_S * 1000:.0f} ms/call",
+        f"simulated API latency: {API_LATENCY_S * 1000:.0f} ms/call "
+        "(batched: one per model group)",
         f"cold-cache serial sweep (incl. calibration): "
         f"{cold_serial_time * 1000:.0f} ms",
         "",
@@ -149,17 +188,54 @@ def bench_runtime_scaling(report):
 
     threaded_speedup = api_times["serial"] / api_times["threads-8"]
     mpi_speedup = api_times["serial"] / api_times["mpi-4"]
+    async_speedup = api_times["serial"] / api_times["async-16"]
+    batched_speedup = api_times["serial"] / api_times["batched"]
     lines += [
         "",
         f"latency-bound speedup vs serial: threads-8 {threaded_speedup:.1f}x, "
-        f"mpi-4 {mpi_speedup:.1f}x",
+        f"mpi-4 {mpi_speedup:.1f}x, async-16 {async_speedup:.1f}x, "
+        f"batched {batched_speedup:.1f}x",
         f"CPU-bound (GIL) speedup vs serial: threads-8 "
         f"{sim_times['serial'] / sim_times['threads-8']:.1f}x, mpi-4 "
         f"{sim_times['serial'] / sim_times['mpi-4']:.1f}x",
+    ]
+
+    # adaptive scheduling: a straggler provider among fast ones; the
+    # longest-expected-first order is learned online, so the first
+    # adaptive run doubles as training and the second one is measured
+    _register_hetero_models()
+    hetero_models = [m for m in MODELS if m != "o3"] + ["o3"]  # straggler last
+    plan_time, _ = _timed(
+        "hetsim", ThreadedExecutor(4), models=hetero_models
+    )
+    scheduler = AdaptiveScheduler()
+    _timed("hetsim", ThreadedExecutor(4), scheduler=scheduler,
+           models=hetero_models)  # training pass
+    adaptive_time, _ = _timed(
+        "hetsim", ThreadedExecutor(4), scheduler=scheduler,
+        models=hetero_models,
+    )
+    lines += [
+        "",
+        "adaptive scheduling — hetero latency "
+        f"(o3 {SLOW_MODEL_LATENCY_S * 1000:.0f} ms/call, others "
+        f"{FAST_MODEL_LATENCY_S * 1000:.0f} ms/call), threads-4:",
+        f"  plan order:      {plan_time * 1000:>6.0f} ms",
+        f"  adaptive (LPT):  {adaptive_time * 1000:>6.0f} ms "
+        "(longest-expected-unit first, cost model trained online)",
     ]
     report("runtime_scaling", "\n".join(lines))
 
     assert threaded_speedup >= 2.0, (
         f"threaded executor should be >= 2x faster than serial on a "
         f"latency-bound sweep, got {threaded_speedup:.2f}x"
+    )
+    assert api_times["async-16"] <= api_times["threads-8"] * 1.05, (
+        f"async executor should match or beat the threaded executor on a "
+        f"latency-bound sweep, got async {api_times['async-16'] * 1000:.0f} ms "
+        f"vs threaded {api_times['threads-8'] * 1000:.0f} ms"
+    )
+    assert batched_speedup >= 2.0, (
+        f"batched generation should be >= 2x faster than serial on a "
+        f"latency-bound sweep, got {batched_speedup:.2f}x"
     )

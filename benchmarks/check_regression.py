@@ -1,0 +1,125 @@
+"""Bench-regression gate: fail CI when the metrics hot path gets slower.
+
+Compares a freshly written ``BENCH_metrics.json`` (produced by
+``bench_metrics_hotpath.py``, in CI under ``REPRO_BENCH_SMOKE=1``)
+against the committed baseline and exits non-zero if any timing
+regresses beyond the threshold (default 2x).
+
+CI runners and developer machines differ in absolute speed, so raw
+wall-clock comparisons across machines flake.  The gate therefore
+compares **hardware-normalized timings**: each fast-path timing divided
+by the naive-baseline timing measured *in the same run on the same
+machine* (``quality_curve_ms / naive_quality_curve_ms`` and
+``local_recalibrate_ms_per_trial / naive_...``).  A >2x regression in
+the normalized cost means the engine genuinely lost ground against the
+reference implementation it is measured by, wherever the run happened.
+Raw timings are still printed for the log, and ``--strict`` adds an
+absolute wall-clock check for same-machine comparisons.
+
+Usage:
+    python benchmarks/check_regression.py \\
+        [--baseline benchmarks/baseline/metrics_smoke.json] \\
+        [--fresh BENCH_metrics.json] [--threshold 2.0] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline" / "metrics_smoke.json"
+DEFAULT_FRESH = REPO_ROOT / "BENCH_metrics.json"
+
+# (label, fast-timing field, normalizing naive field)
+TRACKED = (
+    ("quality_curve", "quality_curve_ms", "naive_quality_curve_ms"),
+    (
+        "local_recalibrate",
+        "local_recalibrate_ms_per_trial",
+        "naive_local_recalibrate_ms_per_trial",
+    ),
+)
+
+
+def load_results(path: pathlib.Path) -> tuple[dict[str, dict], dict]:
+    """(results keyed by artifact, full payload) from one metrics file."""
+    payload = json.loads(path.read_text())
+    return {entry["artifact"]: entry for entry in payload["results"]}, payload
+
+
+def check(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
+          threshold: float, strict: bool) -> int:
+    for path, role in ((baseline_path, "baseline"), (fresh_path, "fresh")):
+        if not path.exists():
+            print(f"check_regression: missing {role} file {path}", file=sys.stderr)
+            return 2
+    baseline, base_payload = load_results(baseline_path)
+    fresh, fresh_payload = load_results(fresh_path)
+    if base_payload.get("smoke") != fresh_payload.get("smoke"):
+        print(
+            f"check_regression: mode mismatch (baseline smoke="
+            f"{base_payload.get('smoke')}, fresh smoke="
+            f"{fresh_payload.get('smoke')}); timings are not comparable",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures: list[str] = []
+    for artifact, base in sorted(baseline.items()):
+        entry = fresh.get(artifact)
+        if entry is None:
+            # a vanished artifact is an unmonitored timing, not a pass
+            failures.append(f"{artifact} missing from fresh run")
+            print(f"  {artifact}: missing from fresh run [REGRESSED]")
+            continue
+        for label, fast_field, naive_field in TRACKED:
+            base_norm = base[fast_field] / max(base[naive_field], 1e-9)
+            fresh_norm = entry[fast_field] / max(entry[naive_field], 1e-9)
+            ratio = fresh_norm / max(base_norm, 1e-9)
+            verdict = "REGRESSED" if ratio > threshold else "ok"
+            print(
+                f"  {artifact}/{label}: normalized {base_norm:.4f} -> "
+                f"{fresh_norm:.4f} ({ratio:.2f}x, raw "
+                f"{base[fast_field]:.2f} -> {entry[fast_field]:.2f} ms) "
+                f"[{verdict}]"
+            )
+            if ratio > threshold:
+                failures.append(f"{artifact}/{label} normalized {ratio:.2f}x")
+            if strict:
+                raw_ratio = entry[fast_field] / max(base[fast_field], 1e-9)
+                if raw_ratio > threshold:
+                    failures.append(
+                        f"{artifact}/{label} raw wall-clock {raw_ratio:.2f}x"
+                    )
+
+    if failures:
+        print(
+            f"check_regression: {len(failures)} timing(s) regressed more "
+            f"than {threshold}x vs {baseline_path.name}:", file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"check_regression: no timing regressed more than {threshold}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--fresh", type=pathlib.Path, default=DEFAULT_FRESH)
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also gate on raw wall-clock (same-machine comparisons only)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.baseline, args.fresh, args.threshold, args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

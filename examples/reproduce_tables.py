@@ -7,7 +7,8 @@ result cache spans the whole run, so e.g. the Figure 1 ``original``
 rows reuse the epoch-0 generations already produced for Tables 1-3.
 
 Usage:  python examples/reproduce_tables.py [--fast]
-            [--executor {serial,threads,mpi}] [--workers N]
+            [--executor {serial,threads,mpi,async,batched}] [--workers N]
+            [--scheduler {plan,adaptive}]
 """
 
 from __future__ import annotations
@@ -30,6 +31,9 @@ from repro.reporting import (
     render_grid_table,
 )
 from repro.runtime import (
+    AdaptiveScheduler,
+    AsyncExecutor,
+    BatchingExecutor,
     InMemoryResultCache,
     MpiShardExecutor,
     SerialExecutor,
@@ -42,6 +46,10 @@ def make_executor(name: str, workers: int):
         return ThreadedExecutor(max_workers=workers)
     if name == "mpi":
         return MpiShardExecutor(nprocs=workers)
+    if name == "async":
+        return AsyncExecutor(max_concurrency=workers)
+    if name == "batched":
+        return BatchingExecutor(group_concurrency=workers)
     return SerialExecutor()
 
 
@@ -49,33 +57,45 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="2 trials per cell")
     parser.add_argument(
-        "--executor", choices=("serial", "threads", "mpi"), default="serial",
+        "--executor",
+        choices=("serial", "threads", "mpi", "async", "batched"),
+        default="serial",
         help="runtime execution backend (default: serial)",
     )
     parser.add_argument(
         "--workers", type=int, default=8,
-        help="thread count / MPI rank count for parallel executors",
+        help="thread / MPI rank / async in-flight / batch group count",
+    )
+    parser.add_argument(
+        "--scheduler", choices=("plan", "adaptive"), default="plan",
+        help="dispatch order: plan order, or longest-expected-unit first "
+             "(learned online across the tables)",
     )
     args = parser.parse_args()
     epochs = 2 if args.fast else 5
 
     executor = make_executor(args.executor, args.workers)
+    scheduler = AdaptiveScheduler() if args.scheduler == "adaptive" else None
     cache = InMemoryResultCache()
     started = time.perf_counter()
 
-    grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache)
+    grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
+                              scheduler=scheduler)
     print(render_grid_table(grid1, "Table 1: workflow configuration"))
     print()
 
-    grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache)
+    grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
+                              scheduler=scheduler)
     print(render_grid_table(grid2, "Table 2: task code annotation"))
     print()
 
-    grid3 = run_translation(epochs=epochs, executor=executor, cache=cache)
+    grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
+                              scheduler=scheduler)
     print(render_grid_table(grid3, "Table 3: task code translation"))
     print()
 
-    comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache)
+    comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
+                              scheduler=scheduler)
     print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
     print()
 
@@ -85,7 +105,8 @@ def main() -> None:
         ("translation", "Figure 1(c): translation"),
     ):
         results = run_prompt_sensitivity(
-            experiment, epochs=1, executor=executor, cache=cache
+            experiment, epochs=1, executor=executor, cache=cache,
+            scheduler=scheduler,
         )
         print(render_figure1(results, title))
         print()

@@ -55,6 +55,7 @@ def run_annotation(
     variant: str = "original",
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 2 grid."""
     return run_grid_sweep(
@@ -65,4 +66,5 @@ def run_annotation(
         epochs=epochs,
         executor=executor,
         cache=cache,
+        scheduler=scheduler,
     )

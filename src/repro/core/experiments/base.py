@@ -113,6 +113,7 @@ def run_grid_sweep(
     epochs: int,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> ExperimentGrid:
     """Plan and run a rows × models sweep through the runtime.
 
@@ -129,7 +130,7 @@ def run_grid_sweep(
         task = task_for_row(row)
         for model in models:
             specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
-    outcome = run(plan, executor=executor, cache=cache)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
     grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
     for (row, model), spec in specs.items():
         grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))

@@ -65,6 +65,7 @@ def run_configuration(
     fewshot: bool = False,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 1 grid."""
     return run_grid_sweep(
@@ -75,4 +76,5 @@ def run_configuration(
         epochs=epochs,
         executor=executor,
         cache=cache,
+        scheduler=scheduler,
     )

@@ -49,6 +49,7 @@ def run_fewshot(
     epochs: int = DEFAULT_EPOCHS,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> FewshotComparison:
     """Run both shot modes and average over the configuration systems."""
     plan = Plan("fewshot")
@@ -60,7 +61,7 @@ def run_fewshot(
                 specs[(fewshot, system, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
 
     def averaged(fewshot: bool) -> dict[str, CellResult]:
         out: dict[str, CellResult] = {}

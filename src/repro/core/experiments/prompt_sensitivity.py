@@ -48,6 +48,7 @@ def run_prompt_sensitivity(
     epochs: int = 1,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> dict[Hashable, dict[str, dict[str, float]]]:
     """Sweep conditions × variants × models.
 
@@ -64,7 +65,7 @@ def run_prompt_sensitivity(
                 specs[(condition, variant, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
     out: dict[Hashable, dict[str, dict[str, float]]] = {}
     for condition in conditions:
         out[condition] = {

@@ -56,6 +56,7 @@ def run_translation(
     variant: str = "original",
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> ExperimentGrid:
     """Sweep models × directions; returns the Table 3 grid."""
     return run_grid_sweep(
@@ -66,4 +67,5 @@ def run_translation(
         epochs=epochs,
         executor=executor,
         cache=cache,
+        scheduler=scheduler,
     )

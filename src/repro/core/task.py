@@ -87,16 +87,19 @@ def evaluate(
     config: GenerateConfig | None = None,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> EvalResult:
     """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
     ``executor`` selects the runtime execution backend (serial by
-    default) and ``cache`` an optional result cache; see
-    :mod:`repro.runtime`.
+    default), ``cache`` an optional result cache, and ``scheduler`` the
+    dispatch-order policy; see :mod:`repro.runtime`.
     """
     # imported here: repro.runtime builds on this module's data types
     from repro.runtime import Plan, run
 
     plan = Plan(f"evaluate/{task.name}")
     spec = plan.add_eval(task, model, epochs=epochs, config=config)
-    return run(plan, executor=executor, cache=cache).eval_result(spec)
+    return run(
+        plan, executor=executor, cache=cache, scheduler=scheduler
+    ).eval_result(spec)

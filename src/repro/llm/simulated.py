@@ -45,7 +45,13 @@ from repro.llm.corruption import (
 from repro.llm.intent import Intent, analyze_prompt
 from repro.llm.knowledge import ModelProfile
 from repro.llm.sampling import sample_jitter
-from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput, ModelUsage
+from repro.llm.types import (
+    BatchRequest,
+    ChatMessage,
+    GenerateConfig,
+    ModelOutput,
+    ModelUsage,
+)
 from repro.metrics.compiled import CompiledReference, compile_reference
 from repro.utils.rng import rng_for
 
@@ -81,10 +87,43 @@ class SimulatedModel:
     def generate(
         self, messages: Sequence[ChatMessage], config: GenerateConfig
     ) -> ModelOutput:
+        prompt = self._prompt_of(messages)
+        intent = analyze_prompt(prompt)
+        return self._complete(prompt, intent, config)
+
+    def generate_batch(
+        self, requests: Sequence[BatchRequest]
+    ) -> list[ModelOutput]:
+        """Native batched generation (one "round-trip" for the group).
+
+        The batch amortizes per-request overhead the way a real batching
+        endpoint amortizes the network round-trip: each distinct prompt
+        is intent-analyzed once for the whole group (per-cell
+        calibration is already memoized by :meth:`_cell`).  Outputs are
+        bit-identical to per-request :meth:`generate` calls.
+        """
+        prepared: list[tuple[str, Intent, GenerateConfig]] = []
+        intents: dict[str, Intent] = {}
+        for messages, config in requests:
+            prompt = self._prompt_of(messages)
+            intent = intents.get(prompt)
+            if intent is None:
+                intent = intents[prompt] = analyze_prompt(prompt)
+            prepared.append((prompt, intent, config))
+        return [
+            self._complete(prompt, intent, config)
+            for prompt, intent, config in prepared
+        ]
+
+    def _prompt_of(self, messages: Sequence[ChatMessage]) -> str:
         prompt = "\n\n".join(m.content for m in messages if m.role != "assistant")
         if not prompt.strip():
             raise GenerationError(f"{self.name}: empty prompt")
-        intent = analyze_prompt(prompt)
+        return prompt
+
+    def _complete(
+        self, prompt: str, intent: Intent, config: GenerateConfig
+    ) -> ModelOutput:
         payload = self._generate_payload(intent, config)
         completion = self._decorate(payload, intent, config)
         usage = ModelUsage(
@@ -112,14 +151,18 @@ class SimulatedModel:
             return annotated_producer(intent.target)
         raise GenerationError(f"unknown experiment {intent.experiment!r}")
 
-    def _cell(self, intent: Intent) -> CalibratedCell:
-        key = (
+    @staticmethod
+    def _cell_key(intent: Intent) -> tuple:
+        return (
             intent.experiment,
             intent.cell_system,
             intent.variant,
             intent.fewshot,
             intent.doccontext,
         )
+
+    def _cell(self, intent: Intent) -> CalibratedCell:
+        key = self._cell_key(intent)
         # publish a Future under the lock before computing, so concurrent
         # callers of the same cell wait for one calibration instead of
         # duplicating it (calibration is the expensive step)

@@ -8,7 +8,7 @@ choices out, token usage accounted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Sequence
 
 Role = Literal["system", "user", "assistant"]
 
@@ -67,6 +67,10 @@ class ModelUsage:
     @property
     def total_tokens(self) -> int:
         return self.input_tokens + self.output_tokens
+
+
+# one request of a batched generation call: (messages, decoding config)
+BatchRequest = tuple[Sequence["ChatMessage"], "GenerateConfig"]
 
 
 @dataclass

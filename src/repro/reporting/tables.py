@@ -109,11 +109,12 @@ def reproduce_table(
     epochs: int = DEFAULT_EPOCHS,
     executor=None,
     cache=None,
+    scheduler=None,
 ) -> str:
     """Run one of the paper's tables through the runtime and render it.
 
     ``which`` is one of ``table1``/``table2``/``table3``/``table5``;
-    ``executor`` and ``cache`` are forwarded to
+    ``executor``, ``cache`` and ``scheduler`` are forwarded to
     :func:`repro.runtime.run` via the experiment runner.
     """
     try:
@@ -122,7 +123,7 @@ def reproduce_table(
         raise HarnessError(
             f"unknown table {which!r}; available: {sorted(_TABLE_RUNNERS)}"
         ) from None
-    result = runner(epochs=epochs, executor=executor, cache=cache)
+    result = runner(epochs=epochs, executor=executor, cache=cache, scheduler=scheduler)
     if isinstance(result, FewshotComparison):
         return render_fewshot_table(result, title)
     return render_grid_table(result, title)

@@ -6,22 +6,30 @@ immutable :class:`~repro.runtime.units.WorkUnit`\\ s (one per task ×
 sample × model × epoch, seed included), and :func:`~repro.runtime.runner.run`
 executes it on a pluggable :class:`~repro.runtime.executors.Executor`
 with an optional content-addressed
-:class:`~repro.runtime.cache.ResultCache` in front of the model layer.
+:class:`~repro.runtime.cache.ResultCache` in front of the model layer
+and a pluggable :class:`~repro.runtime.schedule.Scheduler` picking the
+dispatch order.
 
-Every executor yields bit-identical results because all randomness is
-derived from unit content, never from execution order.
+Every executor and scheduler yields bit-identical results because all
+randomness is derived from unit content, never from execution order.
 
 Quickstart::
 
     from repro.core.experiments import run_configuration
-    from repro.runtime import InMemoryResultCache, ThreadedExecutor
+    from repro.runtime import AdaptiveScheduler, AsyncExecutor, InMemoryResultCache
 
     cache = InMemoryResultCache()
-    grid = run_configuration(executor=ThreadedExecutor(8), cache=cache)
-    rerun = run_configuration(executor=ThreadedExecutor(8), cache=cache)
+    scheduler = AdaptiveScheduler()  # learns per-model cost online
+    grid = run_configuration(
+        executor=AsyncExecutor(16), cache=cache, scheduler=scheduler
+    )
+    rerun = run_configuration(
+        executor=AsyncExecutor(16), cache=cache, scheduler=scheduler
+    )
     # rerun performed zero model generations and is bit-identical
 """
 
+from repro.runtime.batching import BatchingExecutor, group_units_by_model
 from repro.runtime.cache import (
     FilesystemResultCache,
     InMemoryResultCache,
@@ -29,14 +37,22 @@ from repro.runtime.cache import (
     ScoreCache,
 )
 from repro.runtime.executors import (
+    AsyncExecutor,
     Executor,
     MpiShardExecutor,
+    RetryPolicy,
     SerialExecutor,
     ThreadedExecutor,
     generate_unit,
 )
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.runner import RunResult, RunStats, run, score_key
+from repro.runtime.schedule import (
+    AdaptiveScheduler,
+    ExpectedCostModel,
+    PlanOrderScheduler,
+    Scheduler,
+)
 from repro.runtime.units import Generation, UnitResult, WorkUnit, generation_key
 
 __all__ = [
@@ -51,6 +67,14 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "MpiShardExecutor",
+    "AsyncExecutor",
+    "RetryPolicy",
+    "BatchingExecutor",
+    "group_units_by_model",
+    "Scheduler",
+    "PlanOrderScheduler",
+    "AdaptiveScheduler",
+    "ExpectedCostModel",
     "ResultCache",
     "InMemoryResultCache",
     "FilesystemResultCache",

@@ -11,28 +11,49 @@ executor produces bit-identical generations:
   for the CPU-bound offline simulator under the GIL;
 * :class:`MpiShardExecutor` — shards units round-robin across simulated
   :mod:`repro.mpi` ranks and gathers generations at the root, the same
-  SPMD decomposition a real-MPI deployment would use.
+  SPMD decomposition a real-MPI deployment would use;
+* :class:`AsyncExecutor` — an asyncio event loop multiplexing
+  :class:`~repro.llm.api.AsyncModelAPI` calls under a bounded-concurrency
+  semaphore, with deterministic retry/backoff for transient
+  :class:`~repro.errors.ModelError`\\ s; sync providers are adapted via
+  :func:`repro.llm.api.as_async` (thread offload), async-native ones run
+  on the loop directly — the shape a real API backend wants;
+* :class:`~repro.runtime.batching.BatchingExecutor` (see
+  :mod:`repro.runtime.batching`) — groups units by model and issues one
+  ``generate_batch`` call per group.
 """
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import threading
+import time
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
-from repro.errors import HarnessError
-from repro.llm.api import get_model
+from repro.errors import (
+    CalibrationError,
+    GenerationError,
+    HarnessError,
+    ModelError,
+    UnknownModelError,
+)
+from repro.llm.api import as_async, get_model
+from repro.llm.types import ChatMessage
 from repro.runtime.units import Generation, WorkUnit
 
 
 def generate_unit(unit: WorkUnit) -> Generation:
     """Run one unit's model call; pure function of the unit's content."""
+    started = time.perf_counter()
     output = get_model(unit.model).generate(unit.prompt, unit.config)
     return Generation(
         key=unit.key,
         model=unit.model,
         completion=output.completion,
         usage=output.usage,
+        elapsed_s=time.perf_counter() - started,
     )
 
 
@@ -72,7 +93,11 @@ class ThreadedExecutor:
     every subsequent call, so multi-plan sweeps stop paying thread-pool
     startup and teardown per run.  Call :meth:`close` (or use the
     executor as a context manager) to release the worker threads; a
-    closed executor transparently re-creates its pool if used again.
+    closed executor transparently re-creates its pool on the next
+    ``execute``, but *re-entering* a closed executor as a context
+    manager raises :class:`~repro.errors.HarnessError` (the ``with``
+    block would otherwise silently resurrect a pool the caller just
+    tore down).
     """
 
     def __init__(self, max_workers: int = 8) -> None:
@@ -80,6 +105,7 @@ class ThreadedExecutor:
             raise HarnessError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._closed = False
         self._lock = threading.Lock()
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
@@ -89,6 +115,7 @@ class ThreadedExecutor:
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-exec",
                 )
+                self._closed = False
             return self._pool
 
     def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
@@ -101,10 +128,21 @@ class ThreadedExecutor:
         """Shut the pool down and join its worker threads (idempotent)."""
         with self._lock:
             pool, self._pool = self._pool, None
+            self._closed = True
         if pool is not None:
             pool.shutdown(wait=True)
 
     def __enter__(self) -> "ThreadedExecutor":
+        # entering an explicitly closed executor would silently resurrect
+        # the pool the caller just paid to tear down — make the lifecycle
+        # bug loud instead (plain execute() still reopens transparently)
+        with self._lock:
+            if self._closed:
+                raise HarnessError(
+                    "ThreadedExecutor was closed; create a new executor "
+                    "instead of re-entering the closed one as a context "
+                    "manager"
+                )
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -166,3 +204,158 @@ class MpiShardExecutor:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MpiShardExecutor(nprocs={self.nprocs})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff for transient provider failures.
+
+    A call is retried when it raises a :class:`~repro.errors.ModelError`
+    that is plausibly transient — rate limits, timeouts, 5xx-shaped
+    failures a real endpoint emits.  Deterministic failures
+    (:class:`~repro.errors.UnknownModelError`,
+    :class:`~repro.errors.GenerationError`,
+    :class:`~repro.errors.CalibrationError`) and non-model exceptions
+    are never retried: they would fail identically every attempt.
+
+    Backoff is exponential (``base_delay * 2**attempt``, capped at
+    ``max_delay``) and deliberately jitter-free so runs stay
+    reproducible; spread load across clients by varying ``base_delay``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise HarnessError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise HarnessError("retry delays must be non-negative")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, ModelError) and not isinstance(
+            exc, (UnknownModelError, GenerationError, CalibrationError)
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+
+class AsyncExecutor:
+    """Event-loop execution: many provider calls in flight at once.
+
+    Each ``execute`` spins up an asyncio loop, resolves every unit's
+    provider through :func:`repro.llm.api.as_async` (async-native
+    providers run on the loop directly; sync ones are offloaded to
+    worker threads by the default adapter) and gathers all calls under a
+    semaphore of ``max_concurrency``.  Transient
+    :class:`~repro.errors.ModelError`\\ s are retried per ``retry``.
+
+    Concurrency here is a cheap integer, not a thread: raising it costs
+    nothing for async-native providers, which is why a latency-bound
+    sweep scales past what a same-sized thread pool gives.  Results
+    remain bit-identical to :class:`SerialExecutor` — seeds travel
+    inside units, so in-flight interleaving cannot reorder randomness.
+
+    The adapter thread pool for sync providers is created lazily and
+    persists across ``execute`` calls (the loop's own default executor
+    is sized by CPU count and dies with each loop, which would both
+    throttle the semaphore and pay thread startup per run); it follows
+    the same lifecycle as :class:`ThreadedExecutor` — ``close()`` or the
+    context manager releases it, plain ``execute`` reopens, re-entering
+    a closed executor raises.
+    """
+
+    def __init__(
+        self, max_concurrency: int = 8, *, retry: RetryPolicy | None = None
+    ) -> None:
+        if max_concurrency <= 0:
+            raise HarnessError(
+                f"max_concurrency must be positive, got {max_concurrency}"
+            )
+        self.max_concurrency = max_concurrency
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_concurrency,
+                    thread_name_prefix="repro-async",
+                )
+                self._closed = False
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the adapter pool down and join its threads (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AsyncExecutor":
+        with self._lock:
+            if self._closed:
+                raise HarnessError(
+                    "AsyncExecutor was closed; create a new executor "
+                    "instead of re-entering the closed one as a context "
+                    "manager"
+                )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
+        if not units:
+            return {}
+        return asyncio.run(self._execute(list(units)))
+
+    async def _execute(self, units: list[WorkUnit]) -> dict[str, Generation]:
+        pool = self._ensure_pool()
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+
+        async def one(unit: WorkUnit) -> Generation:
+            provider = as_async(get_model(unit.model).provider, pool)
+            messages = [ChatMessage.user(unit.prompt)]
+            async with semaphore:
+                started = time.perf_counter()
+                output = await self._generate_with_retry(
+                    provider, messages, unit
+                )
+                elapsed = time.perf_counter() - started
+            return Generation(
+                key=unit.key,
+                model=unit.model,
+                completion=output.completion,
+                usage=output.usage,
+                elapsed_s=elapsed,
+            )
+
+        generations = await asyncio.gather(*(one(unit) for unit in units))
+        return {gen.key: gen for gen in generations}
+
+    async def _generate_with_retry(self, provider, messages, unit: WorkUnit):
+        attempt = 0
+        while True:
+            try:
+                return await provider.agenerate(messages, unit.config)
+            except ModelError as exc:
+                attempt += 1
+                if attempt >= self.retry.max_attempts or not self.retry.is_retryable(exc):
+                    raise
+                await asyncio.sleep(self.retry.delay(attempt - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AsyncExecutor(max_concurrency={self.max_concurrency}, "
+            f"retry={self.retry})"
+        )

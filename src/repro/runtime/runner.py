@@ -1,9 +1,9 @@
-"""The runtime entry point: plan → (cache, dedup) → executor → results.
+"""The runtime entry point: plan → (cache, dedup) → schedule → execute.
 
 :func:`run` is the single funnel every evaluation in the repository goes
 through.  It looks each work unit up in the result cache, deduplicates
 identical generations within the run, hands only the genuinely new units
-to the executor, scores every unit against its own target behind a
+— in the dispatch order the scheduler picks — to the executor, scores every unit against its own target behind a
 :class:`~repro.runtime.cache.ScoreCache` (identical (generation, target,
 scorer) triples are scored once), and reassembles the plan's evaluation
 results.  :class:`RunStats` records how much work the model layer *and*
@@ -23,6 +23,7 @@ from repro.errors import HarnessError
 from repro.runtime.cache import ResultCache, ScoreCache
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.plan import EvalSpec, Plan
+from repro.runtime.schedule import PlanOrderScheduler, Scheduler
 from repro.runtime.units import Generation, UnitResult, WorkUnit
 
 
@@ -66,6 +67,7 @@ class RunStats:
     deduplicated: int  # units coalesced onto an identical in-run generation
     scores_computed: int = 0  # scorer invocations (score-cache misses)
     score_hits: int = 0  # units whose score came from the score cache
+    generation_seconds: float = 0.0  # summed provider wall-clock of new calls
 
     @property
     def hit_rate(self) -> float:
@@ -94,18 +96,26 @@ def run(
     executor: Executor | None = None,
     cache: ResultCache | None = None,
     score_cache: ScoreCache | None = None,
+    scheduler: Scheduler | None = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
 
-    Results are independent of the executor choice: seeds live inside
-    the units, and generations are keyed by content, so serial, threaded
-    and MPI-shard execution (and any mix of cold/warm cache) produce
+    Results are independent of the executor *and* scheduler choice:
+    seeds live inside the units, and generations are keyed by content,
+    so serial, threaded, MPI-shard, async and batched execution (in any
+    dispatch order, with any mix of cold/warm cache) produce
     bit-identical output.
 
-    ``score_cache`` memoizes scores across runs; when omitted, a fresh
-    per-run cache still collapses the metric work of deduplicated units.
+    ``scheduler`` picks the dispatch order of the units that miss the
+    cache (default: plan order); a scheduler exposing ``observe`` — the
+    :class:`~repro.runtime.schedule.AdaptiveScheduler` — is fed each
+    fresh generation's measured duration, so sharing one across runs
+    trains its cost model online.  ``score_cache`` memoizes scores
+    across runs; when omitted, a fresh per-run cache still collapses the
+    metric work of deduplicated units.
     """
     executor = executor or SerialExecutor()
+    scheduler = scheduler if scheduler is not None else PlanOrderScheduler()
     score_cache = score_cache if score_cache is not None else ScoreCache()
     units = plan.units
 
@@ -123,14 +133,29 @@ def run(
             generations[unit.key] = None  # claimed; filled after execution
             pending.append(unit)
 
+    generation_seconds = 0.0
     if pending:
-        produced = executor.execute(pending)
+        ordered = scheduler.order(pending)
+        if len(ordered) != len(pending) or {u.uid for u in ordered} != {
+            u.uid for u in pending
+        }:
+            raise HarnessError(
+                f"scheduler {scheduler!r} must return a permutation of the "
+                f"pending units ({len(pending)} in, {len(ordered)} out)"
+            )
+        produced = executor.execute(ordered)
         missing = [u.uid for u in pending if u.key not in produced]
         if missing:
             raise HarnessError(
                 f"executor {executor!r} returned no generation for units {missing}"
             )
         generations.update(produced)
+        observe = getattr(scheduler, "observe", None)
+        for unit in pending:
+            gen = produced[unit.key]
+            generation_seconds += gen.elapsed_s
+            if observe is not None:
+                observe(unit, gen.elapsed_s)
         if cache is not None:
             for unit in pending:
                 cache.put(produced[unit.key])
@@ -163,5 +188,6 @@ def run(
         deduplicated=len(units) - unique_keys,
         scores_computed=scores_computed,
         score_hits=score_hits,
+        generation_seconds=generation_seconds,
     )
     return RunResult(plan=plan, results=results, stats=stats)

@@ -87,13 +87,21 @@ class WorkUnit:
 
 @dataclass(frozen=True)
 class Generation:
-    """The cacheable outcome of one model call (no scoring)."""
+    """The cacheable outcome of one model call (no scoring).
+
+    ``elapsed_s`` is the wall-clock cost of the provider call that
+    produced this generation (amortized over the group for batched
+    calls); the adaptive scheduler's
+    :class:`~repro.runtime.schedule.ExpectedCostModel` learns from it.
+    It is informational and never part of the content address.
+    """
 
     key: str
     model: str
     completion: str
     usage: ModelUsage
     cached: bool = False
+    elapsed_s: float = 0.0
 
     def as_cached(self) -> "Generation":
         """The same record, flagged as having come from a cache."""
@@ -101,7 +109,7 @@ class Generation:
             return self
         return Generation(
             key=self.key, model=self.model, completion=self.completion,
-            usage=self.usage, cached=True,
+            usage=self.usage, cached=True, elapsed_s=self.elapsed_s,
         )
 
 

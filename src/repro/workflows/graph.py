@@ -94,10 +94,10 @@ class WorkflowGraph:
             raise WorkflowError(f"no such task: {name!r}") from None
 
     def producers_of(self, consumer: str) -> list[DataLink]:
-        return [l for l in self._links if l.consumer == consumer]
+        return [link for link in self._links if link.consumer == consumer]
 
     def consumers_of(self, producer: str) -> list[DataLink]:
-        return [l for l in self._links if l.producer == producer]
+        return [link for link in self._links if link.producer == producer]
 
     def sources(self) -> list[str]:
         """Tasks with no incoming links (pure producers)."""
@@ -138,7 +138,7 @@ class WorkflowGraph:
             seen.add(key)
 
     def datasets(self) -> list[str]:
-        return sorted({l.dataset for l in self._links})
+        return sorted({link.dataset for link in self._links})
 
     def __len__(self) -> int:
         return len(self._tasks)

@@ -15,7 +15,7 @@ consumer puppets (``while henson_active(): ...``) exit their loops.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import WorkflowError

@@ -1,0 +1,463 @@
+"""Async batched provider runtime: AsyncExecutor, batching, scheduling.
+
+The executor-equivalence matrix for the two new execution paths — the
+asyncio executor and per-model batched generation — plus the retry
+policy, the adaptive scheduler and its online cost model.  Everything
+here enforces the runtime's core contract: the execution strategy is a
+pure latency knob, never a results knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import run_configuration
+from repro.core.experiments.configuration import configuration_task
+from repro.core.samples import Sample
+from repro.core.scorers import CodeSimilarityScorer
+from repro.core.task import Task
+from repro.errors import GenerationError, HarnessError, ModelError
+from repro.llm.api import Model, as_async, get_model
+from repro.llm.simulated import SimulatedModel
+from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput, ModelUsage
+from repro.runtime import (
+    AdaptiveScheduler,
+    AsyncExecutor,
+    BatchingExecutor,
+    ExpectedCostModel,
+    InMemoryResultCache,
+    Plan,
+    PlanOrderScheduler,
+    RetryPolicy,
+    SerialExecutor,
+    group_units_by_model,
+    run,
+)
+
+
+def table1_sweep(executor=None, cache=None, scheduler=None):
+    """The full Table-1 sweep (4 models × 3 systems), 2 epochs."""
+    return run_configuration(epochs=2, executor=executor, cache=cache,
+                             scheduler=scheduler)
+
+
+def echo_output(name: str, completion: str = "```\nok\n```") -> ModelOutput:
+    return ModelOutput(
+        model=name, completion=completion, usage=ModelUsage(1, 1)
+    )
+
+
+def simple_task(name: str, prompt: str = "Provide the workflow configuration "
+                "file for the Wilkins workflow system.") -> Task:
+    return Task(
+        name=name,
+        dataset=[Sample(id="s", input=prompt, target="ok")],
+        solvers=[],
+        scorer=CodeSimilarityScorer(metrics=("bleu",)),
+    )
+
+
+class FlakyProvider:
+    """Fails the first ``fail_times`` calls with a transient ModelError."""
+
+    def __init__(self, name: str, fail_times: int) -> None:
+        self.name = name
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def generate(self, messages, config):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise ModelError(f"{self.name}: simulated 429, try again")
+        return echo_output(self.name)
+
+
+class TestAsyncAndBatchedEquivalence:
+    """Async and batched paths must be bit-identical to SerialExecutor."""
+
+    @pytest.fixture(scope="class")
+    def serial_grid(self):
+        return table1_sweep(SerialExecutor())
+
+    @pytest.mark.parametrize("name,make", [
+        ("async", lambda: AsyncExecutor(8)),
+        ("async-retrying", lambda: AsyncExecutor(
+            4, retry=RetryPolicy(max_attempts=5, base_delay=0.001))),
+        ("batched", lambda: BatchingExecutor()),
+        ("batched-serial-groups", lambda: BatchingExecutor(group_concurrency=1)),
+    ])
+    def test_table1_grid_identical_to_serial(self, serial_grid, name, make):
+        grid = table1_sweep(make())
+        assert grid.cells == serial_grid.cells, name
+
+    @pytest.mark.parametrize("name,make", [
+        ("async", lambda: AsyncExecutor(8)),
+        ("batched", lambda: BatchingExecutor()),
+    ])
+    def test_warm_cache_zero_generations(self, serial_grid, name, make,
+                                         monkeypatch):
+        cache = InMemoryResultCache()
+        cold = table1_sweep(make(), cache=cache)
+        calls = []
+
+        def recording(self, messages, config):  # pragma: no cover - guard
+            calls.append(self.name)
+            raise AssertionError("warm rerun must not reach the model layer")
+
+        monkeypatch.setattr(SimulatedModel, "generate", recording)
+        monkeypatch.setattr(SimulatedModel, "generate_batch", recording)
+        warm = table1_sweep(make(), cache=cache)
+        assert calls == []
+        assert warm.cells == cold.cells == serial_grid.cells
+
+    @pytest.mark.parametrize("name,make", [
+        ("async", lambda: AsyncExecutor(6)),
+        ("batched", lambda: BatchingExecutor()),
+    ])
+    def test_provider_error_propagates(self, name, make):
+        # an empty prompt makes SimulatedModel raise GenerationError —
+        # a deterministic failure, so it must surface (not be retried)
+        task = Task(
+            name="broken",
+            dataset=[Sample(id="s", input="", target="x")],
+            solvers=[],
+            scorer=CodeSimilarityScorer(),
+        )
+        plan = Plan("p")
+        plan.add_eval(task, "sim/o3", epochs=1)
+        with pytest.raises(GenerationError, match="empty prompt"):
+            run(plan, executor=make())
+
+    def test_empty_plan(self):
+        assert AsyncExecutor(2).execute([]) == {}
+        assert BatchingExecutor().execute([]) == {}
+
+
+class TestAsyncRetry:
+    def test_transient_failures_are_retried(self):
+        provider = FlakyProvider("flaky/recovers", fail_times=2)
+        plan = Plan("p")
+        plan.add_eval(simple_task("flaky-task"), Model(provider), epochs=1)
+        executor = AsyncExecutor(
+            2, retry=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        outcome = run(plan, executor=executor)
+        assert provider.calls == 3  # 2 failures + 1 success
+        assert outcome.stats.generated == 1
+        [result] = outcome.results.values()
+        assert result.completion == "```\nok\n```"
+
+    def test_attempts_are_bounded(self):
+        provider = FlakyProvider("flaky/hopeless", fail_times=100)
+        plan = Plan("p")
+        plan.add_eval(simple_task("hopeless-task"), Model(provider), epochs=1)
+        executor = AsyncExecutor(
+            2, retry=RetryPolicy(max_attempts=3, base_delay=0.0)
+        )
+        with pytest.raises(ModelError, match="429"):
+            run(plan, executor=executor)
+        assert provider.calls == 3
+
+    def test_deterministic_model_errors_are_not_retried(self):
+        class AlwaysInvalid:
+            name = "flaky/invalid"
+            calls = 0
+
+            def generate(self, messages, config):
+                AlwaysInvalid.calls += 1
+                raise GenerationError("malformed request")
+
+        plan = Plan("p")
+        plan.add_eval(simple_task("invalid-task"), Model(AlwaysInvalid()),
+                      epochs=1)
+        with pytest.raises(GenerationError, match="malformed"):
+            run(plan, executor=AsyncExecutor(
+                2, retry=RetryPolicy(max_attempts=5, base_delay=0.0)))
+        assert AlwaysInvalid.calls == 1
+
+    def test_retry_policy_validation_and_backoff(self):
+        with pytest.raises(HarnessError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(HarnessError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3)
+        assert [policy.delay(a) for a in range(4)] == [0.1, 0.2, 0.3, 0.3]
+        assert policy.is_retryable(ModelError("boom"))
+        assert not policy.is_retryable(GenerationError("boom"))
+        assert not policy.is_retryable(ValueError("boom"))
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(HarnessError, match="max_concurrency"):
+            AsyncExecutor(0)
+
+
+class TestAsyncNativeProvider:
+    def test_async_native_provider_runs_on_the_loop(self):
+        class NativeAsync:
+            name = "anative/echo"
+            agenerate_calls = 0
+
+            async def agenerate(self, messages, config):
+                NativeAsync.agenerate_calls += 1
+                return echo_output(self.name)
+
+            def generate(self, messages, config):  # pragma: no cover - guard
+                raise AssertionError("sync path must not be used")
+
+        provider = NativeAsync()
+        assert as_async(provider) is provider
+        plan = Plan("p")
+        plan.add_eval(simple_task("native-async-task"), Model(provider),
+                      epochs=2)
+        outcome = run(plan, executor=AsyncExecutor(2))
+        assert NativeAsync.agenerate_calls == 2
+        assert outcome.stats.generated == 2
+
+    def test_sync_provider_is_adapted(self):
+        provider = get_model("sim/o3").provider
+        adapted = as_async(provider)
+        assert adapted is not provider
+        assert adapted.name == provider.name
+
+
+class TestBatchedGeneration:
+    def test_one_batch_call_per_model_group(self, monkeypatch):
+        batch_calls = []
+        real = SimulatedModel.generate_batch
+
+        def recording_batch(self, requests):
+            batch_calls.append((self.name, len(requests)))
+            return real(self, requests)
+
+        def no_single(self, messages, config):  # pragma: no cover - guard
+            raise AssertionError(
+                "batched execution must not fall back to generate()"
+            )
+
+        monkeypatch.setattr(SimulatedModel, "generate_batch", recording_batch)
+        monkeypatch.setattr(SimulatedModel, "generate", no_single)
+        grid = table1_sweep(BatchingExecutor())
+        assert sorted(batch_calls) == [
+            ("sim/claude-sonnet-4", 6),
+            ("sim/gemini-2.5-pro", 6),
+            ("sim/llama-3.3-70b", 6),
+            ("sim/o3", 6),
+        ]
+        assert grid.cells  # sweep actually produced results
+
+    def test_simulated_batch_matches_per_call_generate(self):
+        model = get_model("sim/gemini-2.5-pro")
+        prompts = [
+            "Provide the workflow configuration file for the Wilkins "
+            "workflow system.",
+            "Provide the workflow configuration file for the Henson "
+            "workflow system.",
+        ]
+        requests = [
+            ([ChatMessage.user(p)], GenerateConfig(seed=seed))
+            for p in prompts
+            for seed in (0, 1)
+        ]
+        batched = model.provider.generate_batch(requests)
+        singles = [model.provider.generate(m, c) for m, c in requests]
+        assert [o.completion for o in batched] == [
+            o.completion for o in singles
+        ]
+        assert [o.usage for o in batched] == [o.usage for o in singles]
+
+    def test_provider_without_batch_support_falls_back(self):
+        class PlainEcho:
+            name = "plain/echo-nobatch"
+            calls = 0
+
+            def generate(self, messages, config):
+                PlainEcho.calls += 1
+                return echo_output(self.name)
+
+        plan = Plan("p")
+        plan.add_eval(simple_task("nobatch-task"), Model(PlainEcho()),
+                      epochs=3)
+        outcome = run(plan, executor=BatchingExecutor())
+        assert PlainEcho.calls == 3
+        assert outcome.stats.generated == 3
+
+    def test_wrong_batch_size_is_detected(self):
+        class Lossy:
+            name = "plain/echo-lossy"
+
+            def generate(self, messages, config):  # pragma: no cover
+                raise AssertionError
+
+            def generate_batch(self, requests):
+                return [echo_output(self.name)]  # one short
+
+        plan = Plan("p")
+        plan.add_eval(simple_task("lossy-task"), Model(Lossy()), epochs=2)
+        with pytest.raises(ModelError, match="outputs"):
+            run(plan, executor=BatchingExecutor())
+
+    def test_group_units_by_model_preserves_plan_order(self):
+        plan = Plan("p")
+        for system in ("wilkins", "adios2"):
+            task = configuration_task(system)
+            for model in ("sim/o3", "sim/claude-sonnet-4"):
+                plan.add_eval(task, model, epochs=2)
+        groups = group_units_by_model(plan.units)
+        assert sorted(groups) == ["sim/claude-sonnet-4", "sim/o3"]
+        for model, units in groups.items():
+            assert all(u.model == model for u in units)
+            uids = [u.uid for u in units]
+            plan_order = [u.uid for u in plan.units if u.model == model]
+            assert uids == plan_order
+
+    def test_model_wrapper_generate_batch(self):
+        model = get_model("sim/o3")
+        prompt = ("Provide the workflow configuration file for the Wilkins "
+                  "workflow system.")
+        outputs = model.generate_batch([
+            (prompt, GenerateConfig(seed=0)),
+            (prompt, None),  # defaults applied like Model.generate
+        ])
+        assert len(outputs) == 2
+        assert outputs[0].completion == outputs[1].completion
+
+    def test_invalid_group_concurrency_rejected(self):
+        with pytest.raises(HarnessError, match="group_concurrency"):
+            BatchingExecutor(group_concurrency=0)
+
+
+class TestScheduling:
+    def make_plan(self) -> Plan:
+        plan = Plan("p")
+        for system in ("wilkins", "adios2"):
+            task = configuration_task(system)
+            for model in ("sim/o3", "sim/llama-3.3-70b"):
+                plan.add_eval(task, model, epochs=2)
+        return plan
+
+    def test_plan_order_scheduler_is_identity(self):
+        units = self.make_plan().units
+        assert PlanOrderScheduler().order(units) == list(units)
+
+    def test_adaptive_orders_longest_expected_first(self):
+        cost = ExpectedCostModel()
+        cost.observe("sim/llama-3.3-70b", 0.5)
+        cost.observe("sim/o3", 0.01)
+        ordered = AdaptiveScheduler(cost).order(self.make_plan().units)
+        models = [u.model for u in ordered]
+        assert models == (["sim/llama-3.3-70b"] * 4 + ["sim/o3"] * 4)
+        # ties keep plan order: the sort must be stable within a model
+        llama_uids = [u.uid for u in ordered if u.model == "sim/llama-3.3-70b"]
+        plan_uids = [u.uid for u in self.make_plan().units
+                     if u.model == "sim/llama-3.3-70b"]
+        assert llama_uids == plan_uids
+
+    def test_cold_cost_model_degrades_to_plan_order(self):
+        units = self.make_plan().units
+        assert AdaptiveScheduler().order(units) == list(units)
+
+    def test_run_trains_the_cost_model_online(self):
+        scheduler = AdaptiveScheduler()
+        outcome = run(self.make_plan(), scheduler=scheduler)
+        estimates = scheduler.cost_model.snapshot()
+        assert set(estimates) == {"sim/o3", "sim/llama-3.3-70b"}
+        assert all(v > 0 for v in estimates.values())
+        assert scheduler.cost_model.observations == outcome.stats.generated
+        assert outcome.stats.generation_seconds > 0
+
+    def test_adaptive_schedule_is_bit_identical(self):
+        scheduler = AdaptiveScheduler()
+        run(self.make_plan(), scheduler=scheduler)  # train
+        baseline = run(self.make_plan())
+        adaptive = run(self.make_plan(), scheduler=scheduler)
+        a = sorted((uid, r.score["bleu"]) for uid, r in baseline.results.items())
+        b = sorted((uid, r.score["bleu"]) for uid, r in adaptive.results.items())
+        assert a == b
+
+    def test_unknown_model_estimated_from_known_ones(self):
+        cost = ExpectedCostModel()
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        [unit] = plan.units
+        assert cost.expected(unit) == 0.0
+        cost.observe("sim/a", 0.2)
+        cost.observe("sim/b", 0.4)
+        assert cost.expected(unit) == pytest.approx(0.3)
+
+    def test_ema_update(self):
+        cost = ExpectedCostModel(alpha=0.5)
+        cost.observe("m", 1.0)
+        cost.observe("m", 2.0)
+        assert cost.snapshot()["m"] == pytest.approx(1.5)
+        cost.observe("m", 0.0)  # non-positive samples carry no signal
+        assert cost.snapshot()["m"] == pytest.approx(1.5)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(HarnessError, match="alpha"):
+            ExpectedCostModel(alpha=0.0)
+
+    def test_scheduler_must_return_a_permutation(self):
+        class DroppingScheduler:
+            def order(self, units):
+                return list(units)[:-1]
+
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=2)
+        with pytest.raises(HarnessError, match="permutation"):
+            run(plan, scheduler=DroppingScheduler())
+
+    def test_cached_units_are_not_observed(self):
+        cache = InMemoryResultCache()
+        run(self.make_plan(), cache=cache)
+        scheduler = AdaptiveScheduler()
+        warm = run(self.make_plan(), cache=cache, scheduler=scheduler)
+        assert warm.stats.generated == 0
+        assert scheduler.cost_model.observations == 0
+        assert warm.stats.generation_seconds == 0.0
+
+
+class TestThreadedExecutorCloseRegression:
+    @pytest.mark.parametrize("make", [
+        lambda: __import__("repro.runtime", fromlist=["ThreadedExecutor"])
+        .ThreadedExecutor(2),
+        lambda: AsyncExecutor(2),
+    ], ids=["threaded", "async"])
+    def test_context_manager_after_close_raises(self, make):
+        executor = make()
+        executor.close()
+        with pytest.raises(HarnessError, match="closed"):
+            with executor:
+                pass  # pragma: no cover - must not be reached
+
+    def test_async_pool_persists_across_executes(self):
+        executor = AsyncExecutor(2)
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        run(plan, executor=executor)
+        pool = executor._pool
+        assert pool is not None
+        plan2 = Plan("p2")
+        plan2.add_eval(configuration_task("adios2"), "sim/o3", epochs=1)
+        run(plan2, executor=executor)
+        assert executor._pool is pool, "execute() must reuse the lazy pool"
+        executor.close()
+        assert executor._pool is None
+        # transparent reopen on plain execute, like ThreadedExecutor
+        run(plan2, executor=executor)
+        assert executor._pool is not None
+        executor.close()
+
+    def test_execute_after_close_still_reopens(self):
+        from repro.runtime import ThreadedExecutor
+
+        executor = ThreadedExecutor(2)
+        plan = Plan("p")
+        plan.add_eval(configuration_task("wilkins"), "sim/o3", epochs=1)
+        run(plan, executor=executor)
+        executor.close()
+        # the documented transparent reopen on plain execute() survives,
+        # and afterwards the executor is context-manager-safe again
+        run(plan, executor=executor)
+        with executor:
+            pass
+        assert executor._pool is None

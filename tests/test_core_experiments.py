@@ -15,7 +15,6 @@ from repro.core.experiments import (
     translation_task,
 )
 from repro.core.repair import RepairLoop
-from repro.core.task import evaluate
 from repro.data import MODELS
 from repro.data.prompts import get_template
 from repro.errors import HarnessError

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import CommunicatorError
-from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Status, World, mpiexec
+from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Status, mpiexec
 
 
 class TestPointToPoint:

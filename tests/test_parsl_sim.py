@@ -138,7 +138,7 @@ class TestConfigAndKernel:
 
     def test_retries(self):
         attempts = {"n": 0}
-        kernel = load(Config(executors=[ThreadPoolExecutor()], retries=2))
+        load(Config(executors=[ThreadPoolExecutor()], retries=2))
         try:
             @python_app
             def flaky():
@@ -161,7 +161,7 @@ class TestConfigAndKernel:
 class TestHighThroughputExecutor:
     def test_round_robin_dispatch(self):
         executor = HighThroughputExecutor(max_workers_per_node=2, nodes=2)
-        kernel = load(Config(executors=[executor]))
+        load(Config(executors=[executor]))
         try:
             futures = [double(i) for i in range(4)]
             for f in futures:

@@ -22,6 +22,8 @@ from repro.llm.intent import analyze_prompt
 from repro.llm.simulated import SimulatedModel
 from repro.metrics.stats import Aggregate
 from repro.runtime import (
+    AsyncExecutor,
+    BatchingExecutor,
     FilesystemResultCache,
     InMemoryResultCache,
     MpiShardExecutor,
@@ -39,6 +41,8 @@ EXECUTORS = {
     "serial": SerialExecutor,
     "threaded": lambda: ThreadedExecutor(max_workers=6),
     "mpi": lambda: MpiShardExecutor(nprocs=3),
+    "async": lambda: AsyncExecutor(max_concurrency=6),
+    "batched": lambda: BatchingExecutor(),
 }
 
 
@@ -98,12 +102,12 @@ class TestExecutorEquivalence:
     def serial_grid(self):
         return small_sweep(SerialExecutor())
 
-    @pytest.mark.parametrize("name", ["threaded", "mpi"])
+    @pytest.mark.parametrize("name", ["threaded", "mpi", "async", "batched"])
     def test_grid_identical_to_serial(self, serial_grid, name):
         grid = small_sweep(EXECUTORS[name]())
         assert grid.cells == serial_grid.cells
 
-    @pytest.mark.parametrize("name", ["serial", "threaded", "mpi"])
+    @pytest.mark.parametrize("name", sorted(EXECUTORS))
     def test_prompt_sensitivity_identical(self, name):
         result = run_prompt_sensitivity(
             "configuration",
@@ -436,7 +440,7 @@ class TestEvaluateRouting:
 class TestExecutorErrors:
     """Provider exceptions surface identically on every executor."""
 
-    @pytest.mark.parametrize("name", ["serial", "threaded", "mpi"])
+    @pytest.mark.parametrize("name", sorted(EXECUTORS))
     def test_provider_error_propagates(self, name):
         from repro.core.scorers import CodeSimilarityScorer
         from repro.core.task import Task

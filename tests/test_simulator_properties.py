@@ -17,7 +17,6 @@ from hypothesis import strategies as st
 from repro.core.assets import reference_config
 from repro.llm.calibration import calibrate, quality_curve
 from repro.llm.corruption import apply_ops, build_ops
-from repro.llm.knowledge import SystemKnowledge
 from repro.llm.profiles import ALL_PROFILES
 from repro.metrics import bleu
 

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.errors import StoreError
-from repro.store import BPFile, BPVarInfo, H5File, SimFilesystem
+from repro.store import BPFile, BPVarInfo, H5File
 
 
 class TestSimFilesystem:

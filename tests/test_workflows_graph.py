@@ -48,8 +48,10 @@ class TestQueries:
 
     def test_producers_consumers_of(self):
         g = three_node()
-        assert [l.dataset for l in g.consumers_of("producer")] == ["grid", "particles"]
-        assert [l.producer for l in g.producers_of("consumer1")] == ["producer"]
+        assert [link.dataset for link in g.consumers_of("producer")] == [
+            "grid", "particles"]
+        assert [link.producer for link in g.producers_of("consumer1")] == [
+            "producer"]
 
     def test_total_procs(self):
         assert three_node().total_procs() == 5
