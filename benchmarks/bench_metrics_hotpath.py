@@ -162,6 +162,11 @@ def bench_metrics_hotpath(report):
         "target_bleu": TARGET_BLEU,
         "results": results,
     }
+    # deliberately NOT carrying any previous "persist" section forward:
+    # the file must only ever describe *this* session's runs, so run this
+    # bench first and bench_persist.py after it (the CI order) — the
+    # regression gate fails loudly on a missing section rather than
+    # silently comparing stale timings relabelled as fresh.
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     lines += ["", f"[machine-readable results in {RESULTS_PATH}]"]
     report("metrics_hotpath", "\n".join(lines))

@@ -1,0 +1,176 @@
+"""Durable run store — record I/O, warm-vs-cold sweeps, GC.
+
+Times the persistence layer on two scenarios:
+
+* ``records`` — raw segment throughput: batched ``put`` of N synthetic
+  generations, then per-record ``get`` from a *fresh* store instance
+  (cold index scan + on-demand record reads), then a GC pass over the
+  doubled (duplicated) store;
+* ``sweep`` — the end-to-end promise: a small Table-1 configuration
+  sweep run cold against an empty store, then re-run warm from a fresh
+  store handle (as a new process would), asserting the warm pass
+  performed **zero** generations via its recorded manifest.
+
+Timings land in ``benchmarks/output/persist.txt`` (human) and are
+*merged* into ``BENCH_metrics.json`` under the ``persist`` key (machine),
+next to the metrics-hot-path numbers; the CI regression gate compares
+the hardware-normalized ratios (warm/cold, get/put) against the
+committed baseline.  Run ``bench_metrics_hotpath.py`` first and this
+bench after it (the CI order): the metrics bench rewrites the file
+without any previous ``persist`` section, so stale persist timings can
+never masquerade as fresh ones.  Set ``REPRO_BENCH_SMOKE=1`` (CI does)
+for a smaller record count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.core.experiments import run_configuration
+from repro.llm.types import ModelUsage
+from repro.persist import RunStore
+from repro.runtime.units import Generation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_metrics.json"
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_RECORDS = 256 if SMOKE else 2048
+SWEEP = dict(
+    models=["o3", "llama-3.3-70b", "claude-sonnet-4"],
+    systems=["adios2", "wilkins", "henson"],
+    epochs=2,
+)
+
+
+def _synthetic_generation(i: int) -> Generation:
+    return Generation(
+        key=f"{i:064x}",
+        model="sim/bench",
+        completion=f"synthetic completion {i} " + "x" * 160,
+        usage=ModelUsage(input_tokens=100, output_tokens=200),
+        elapsed_s=0.0,
+    )
+
+
+def _bench_records(root: pathlib.Path) -> dict:
+    gens = [_synthetic_generation(i) for i in range(N_RECORDS)]
+
+    store = RunStore(root)
+    started = time.perf_counter()
+    store.put_generations(gens)
+    put_s = time.perf_counter() - started
+    store.close()
+
+    fresh = RunStore(root)  # new handle: index rebuilt, records read on demand
+    started = time.perf_counter()
+    for gen in gens:
+        assert fresh.get_generation(gen.key) is not None
+    get_s = time.perf_counter() - started
+
+    fresh.put_generations(gens)  # duplicate every record for GC to reclaim
+    started = time.perf_counter()
+    gc_stats = fresh.gc()
+    gc_s = time.perf_counter() - started
+    assert gc_stats.stale_dropped == N_RECORDS
+    assert fresh.verify().clean
+
+    put_ms = put_s * 1000 / N_RECORDS
+    get_ms = get_s * 1000 / N_RECORDS
+    return {
+        "scenario": "records",
+        "n_records": N_RECORDS,
+        "put_ms_per_record": put_ms,
+        "get_ms_per_record": get_ms,
+        "get_over_put": get_ms / max(put_ms, 1e-9),
+        "gc_ms": gc_s * 1000,
+    }
+
+
+def _bench_sweep(root: pathlib.Path) -> dict:
+    started = time.perf_counter()
+    with RunStore(root) as store:
+        run_configuration(**SWEEP, store=store)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with RunStore(root) as store:
+        run_configuration(**SWEEP, store=store)
+        manifest = store.latest_manifest()
+    warm_s = time.perf_counter() - started
+    assert manifest.stats.generated == 0, "warm store pass must not generate"
+    assert manifest.stats.scores_computed == 0, "warm store pass must not score"
+
+    return {
+        "scenario": "sweep",
+        "units": manifest.stats.total_units,
+        "cold_ms": cold_s * 1000,
+        "warm_ms": warm_s * 1000,
+        "warm_over_cold": warm_s / max(cold_s, 1e-9),
+    }
+
+
+def _merge_results(results: list[dict]) -> None:
+    """Attach the persist section to BENCH_metrics.json, keeping the rest."""
+    payload: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    payload["persist"] = {
+        "benchmark": "persist",
+        "smoke": SMOKE,
+        "unix_time": time.time(),
+        "results": results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def bench_persist(report):
+    results = []
+    lines = [
+        f"durable run store ({'smoke' if SMOKE else 'full'} mode, "
+        f"{N_RECORDS} records)",
+        "",
+    ]
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-persist-"))
+    try:
+        records = _bench_records(tmp / "records")
+        results.append(records)
+        lines.append(
+            f"records   put {records['put_ms_per_record']:.3f} ms/rec   "
+            f"get {records['get_ms_per_record']:.3f} ms/rec "
+            f"(x{records['get_over_put']:.2f})   "
+            f"gc {records['gc_ms']:.1f} ms for {2 * N_RECORDS} records"
+        )
+
+        sweep = _bench_sweep(tmp / "sweep")
+        results.append(sweep)
+        lines.append(
+            f"sweep     cold {sweep['cold_ms']:.1f} ms   warm "
+            f"{sweep['warm_ms']:.1f} ms (x{sweep['warm_over_cold']:.2f}) "
+            f"over {sweep['units']} units — warm pass: zero generations, "
+            "zero scores (asserted via manifest)"
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    _merge_results(results)
+    lines += ["", f"[machine-readable results merged into {RESULTS_PATH}]"]
+    report("persist", "\n".join(lines))
+
+    if not SMOKE:
+        # smoke mode (CI) is report-only: shared runners add timing noise
+        assert sweep["warm_over_cold"] < 1.0, (
+            "a warm store pass (zero generations, zero scoring) should beat "
+            f"the cold pass, got {sweep['warm_over_cold']:.2f}x"
+        )

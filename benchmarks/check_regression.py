@@ -43,11 +43,56 @@ TRACKED = (
     ),
 )
 
+# durable-store section (merged under payload["persist"] by bench_persist.py);
+# each scenario normalizes its hot timing by a same-run same-machine reference
+PERSIST_TRACKED: dict[str, tuple[tuple[str, str, str], ...]] = {
+    "sweep": (("warm_vs_cold", "warm_ms", "cold_ms"),),
+    "records": (("get_vs_put", "get_ms_per_record", "put_ms_per_record"),),
+}
+
 
 def load_results(path: pathlib.Path) -> tuple[dict[str, dict], dict]:
     """(results keyed by artifact, full payload) from one metrics file."""
     payload = json.loads(path.read_text())
-    return {entry["artifact"]: entry for entry in payload["results"]}, payload
+    return {
+        entry["artifact"]: entry for entry in payload.get("results", [])
+    }, payload
+
+
+def compare_entries(
+    baseline: dict[str, dict],
+    fresh: dict[str, dict],
+    tracked_for,
+    threshold: float,
+    strict: bool,
+) -> list[str]:
+    """Normalized-timing comparison of one section; returns failure labels."""
+    failures: list[str] = []
+    for key, base in sorted(baseline.items()):
+        entry = fresh.get(key)
+        if entry is None:
+            # a vanished entry is an unmonitored timing, not a pass
+            failures.append(f"{key} missing from fresh run")
+            print(f"  {key}: missing from fresh run [REGRESSED]")
+            continue
+        for label, fast_field, naive_field in tracked_for(base):
+            base_norm = base[fast_field] / max(base[naive_field], 1e-9)
+            fresh_norm = entry[fast_field] / max(entry[naive_field], 1e-9)
+            ratio = fresh_norm / max(base_norm, 1e-9)
+            verdict = "REGRESSED" if ratio > threshold else "ok"
+            print(
+                f"  {key}/{label}: normalized {base_norm:.4f} -> "
+                f"{fresh_norm:.4f} ({ratio:.2f}x, raw "
+                f"{base[fast_field]:.2f} -> {entry[fast_field]:.2f} ms) "
+                f"[{verdict}]"
+            )
+            if ratio > threshold:
+                failures.append(f"{key}/{label} normalized {ratio:.2f}x")
+            if strict:
+                raw_ratio = entry[fast_field] / max(base[fast_field], 1e-9)
+                if raw_ratio > threshold:
+                    failures.append(f"{key}/{label} raw wall-clock {raw_ratio:.2f}x")
+    return failures
 
 
 def check(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
@@ -67,33 +112,32 @@ def check(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
         )
         return 2
 
-    failures: list[str] = []
-    for artifact, base in sorted(baseline.items()):
-        entry = fresh.get(artifact)
-        if entry is None:
-            # a vanished artifact is an unmonitored timing, not a pass
-            failures.append(f"{artifact} missing from fresh run")
-            print(f"  {artifact}: missing from fresh run [REGRESSED]")
-            continue
-        for label, fast_field, naive_field in TRACKED:
-            base_norm = base[fast_field] / max(base[naive_field], 1e-9)
-            fresh_norm = entry[fast_field] / max(entry[naive_field], 1e-9)
-            ratio = fresh_norm / max(base_norm, 1e-9)
-            verdict = "REGRESSED" if ratio > threshold else "ok"
+    failures = compare_entries(
+        baseline, fresh, lambda _entry: TRACKED, threshold, strict
+    )
+
+    base_persist = base_payload.get("persist")
+    fresh_persist = fresh_payload.get("persist")
+    if base_persist is not None:
+        if fresh_persist is None:
+            failures.append("persist section missing from fresh run")
+            print("  persist: section missing from fresh run [REGRESSED]")
+        elif base_persist.get("smoke") != fresh_persist.get("smoke"):
             print(
-                f"  {artifact}/{label}: normalized {base_norm:.4f} -> "
-                f"{fresh_norm:.4f} ({ratio:.2f}x, raw "
-                f"{base[fast_field]:.2f} -> {entry[fast_field]:.2f} ms) "
-                f"[{verdict}]"
+                "check_regression: persist mode mismatch (baseline smoke="
+                f"{base_persist.get('smoke')}, fresh smoke="
+                f"{fresh_persist.get('smoke')}); timings are not comparable",
+                file=sys.stderr,
             )
-            if ratio > threshold:
-                failures.append(f"{artifact}/{label} normalized {ratio:.2f}x")
-            if strict:
-                raw_ratio = entry[fast_field] / max(base[fast_field], 1e-9)
-                if raw_ratio > threshold:
-                    failures.append(
-                        f"{artifact}/{label} raw wall-clock {raw_ratio:.2f}x"
-                    )
+            return 2
+        else:
+            failures += compare_entries(
+                {entry["scenario"]: entry for entry in base_persist["results"]},
+                {entry["scenario"]: entry for entry in fresh_persist["results"]},
+                lambda entry: PERSIST_TRACKED.get(entry.get("scenario"), ()),
+                threshold,
+                strict,
+            )
 
     if failures:
         print(

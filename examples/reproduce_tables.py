@@ -6,14 +6,22 @@ evaluation runtime: ``--executor`` picks the backend and one shared
 result cache spans the whole run, so e.g. the Figure 1 ``original``
 rows reuse the epoch-0 generations already produced for Tables 1-3.
 
+With ``--store PATH`` the run is durable: generations, scores and one
+manifest per sweep land in an on-disk :class:`repro.persist.RunStore`,
+so re-running the script against the same store performs zero model
+generations (and N concurrent runs may share one store).  Inspect it
+afterwards with ``python -m repro.persist {stats,verify,gc,ls-runs} PATH``.
+
 Usage:  python examples/reproduce_tables.py [--fast]
             [--executor {serial,threads,mpi,async,batched}] [--workers N]
-            [--scheduler {plan,adaptive}]
+            [--scheduler {plan,adaptive}] [--cache {memory,fs,disk}]
+            [--store PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 
 from repro.core.experiments import (
@@ -34,6 +42,7 @@ from repro.runtime import (
     AdaptiveScheduler,
     AsyncExecutor,
     BatchingExecutor,
+    FilesystemResultCache,
     InMemoryResultCache,
     MpiShardExecutor,
     SerialExecutor,
@@ -41,7 +50,18 @@ from repro.runtime import (
 )
 
 
+class UsageError(Exception):
+    """A CLI knob received a value the runtime has no backend for."""
+
+
+EXECUTORS = ("serial", "threads", "mpi", "async", "batched")
+SCHEDULERS = ("plan", "adaptive")
+CACHES = ("memory", "fs", "disk")
+
+
 def make_executor(name: str, workers: int):
+    if name == "serial":
+        return SerialExecutor()
     if name == "threads":
         return ThreadedExecutor(max_workers=workers)
     if name == "mpi":
@@ -50,7 +70,27 @@ def make_executor(name: str, workers: int):
         return AsyncExecutor(max_concurrency=workers)
     if name == "batched":
         return BatchingExecutor(group_concurrency=workers)
-    return SerialExecutor()
+    raise UsageError(f"unknown executor {name!r}; choose from {', '.join(EXECUTORS)}")
+
+
+def make_scheduler(name: str):
+    if name == "plan":
+        return None  # runtime default: plan order
+    if name == "adaptive":
+        return AdaptiveScheduler()
+    raise UsageError(f"unknown scheduler {name!r}; choose from {', '.join(SCHEDULERS)}")
+
+
+def make_cache(name: str, store):
+    if name == "memory":
+        return InMemoryResultCache()
+    if name == "fs":
+        return FilesystemResultCache()
+    if name == "disk":
+        if store is None:
+            raise UsageError("--cache disk requires --store PATH")
+        return store.result_cache
+    raise UsageError(f"unknown cache {name!r}; choose from {', '.join(CACHES)}")
 
 
 def main() -> None:
@@ -58,44 +98,65 @@ def main() -> None:
     parser.add_argument("--fast", action="store_true", help="2 trials per cell")
     parser.add_argument(
         "--executor",
-        choices=("serial", "threads", "mpi", "async", "batched"),
         default="serial",
-        help="runtime execution backend (default: serial)",
+        help=f"runtime execution backend: {', '.join(EXECUTORS)} (default: serial)",
     )
     parser.add_argument(
         "--workers", type=int, default=8,
         help="thread / MPI rank / async in-flight / batch group count",
     )
     parser.add_argument(
-        "--scheduler", choices=("plan", "adaptive"), default="plan",
-        help="dispatch order: plan order, or longest-expected-unit first "
-             "(learned online across the tables)",
+        "--scheduler", default="plan",
+        help=f"dispatch order: {', '.join(SCHEDULERS)} (default: plan; adaptive = "
+             "longest-expected-unit first, learned online across the tables)",
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help=f"result-cache backend: {', '.join(CACHES)} (default: memory, "
+             "or disk when --store is given)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable run store directory: on-disk cross-process cache plus "
+             "one recorded manifest per sweep (see python -m repro.persist)",
     )
     args = parser.parse_args()
     epochs = 2 if args.fast else 5
 
-    executor = make_executor(args.executor, args.workers)
-    scheduler = AdaptiveScheduler() if args.scheduler == "adaptive" else None
-    cache = InMemoryResultCache()
+    from repro.errors import StoreError
+
+    try:
+        store = None
+        if args.store is not None:
+            from repro.persist import RunStore
+
+            store = RunStore(args.store)
+        executor = make_executor(args.executor, args.workers)
+        scheduler = make_scheduler(args.scheduler)
+        cache_name = args.cache or ("disk" if store is not None else "memory")
+        cache = make_cache(cache_name, store)
+    except (UsageError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)
     started = time.perf_counter()
 
     grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler)
+                              scheduler=scheduler, store=store)
     print(render_grid_table(grid1, "Table 1: workflow configuration"))
     print()
 
     grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler)
+                              scheduler=scheduler, store=store)
     print(render_grid_table(grid2, "Table 2: task code annotation"))
     print()
 
     grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler)
+                              scheduler=scheduler, store=store)
     print(render_grid_table(grid3, "Table 3: task code translation"))
     print()
 
     comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler)
+                              scheduler=scheduler, store=store)
     print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
     print()
 
@@ -106,7 +167,7 @@ def main() -> None:
     ):
         results = run_prompt_sensitivity(
             experiment, epochs=1, executor=executor, cache=cache,
-            scheduler=scheduler,
+            scheduler=scheduler, store=store,
         )
         print(render_figure1(results, title))
         print()
@@ -125,6 +186,10 @@ def main() -> None:
     print(f"\ntotal time: {time.perf_counter() - started:.1f}s "
           f"({epochs} trial(s) per table cell, executor={args.executor}, "
           f"{len(cache)} cached generations)")
+    if store is not None:
+        store.close()
+        print(f"store: {store.stats().describe()}; "
+              f"{len(store.manifests())} run manifest(s) recorded")
 
 
 if __name__ == "__main__":

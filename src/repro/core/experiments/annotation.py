@@ -56,6 +56,7 @@ def run_annotation(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 2 grid."""
     return run_grid_sweep(
@@ -67,4 +68,5 @@ def run_annotation(
         executor=executor,
         cache=cache,
         scheduler=scheduler,
+        store=store,
     )

@@ -114,12 +114,15 @@ def run_grid_sweep(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> ExperimentGrid:
     """Plan and run a rows × models sweep through the runtime.
 
     The shared body of the grid-shaped experiment runners: one
     :class:`~repro.runtime.plan.Plan` over all cells (so a parallel
     executor sees the whole sweep at once), one run, one grid.
+    ``store`` makes the sweep durable and resumable (see
+    :mod:`repro.persist`).
     """
     # imported here: repro.runtime builds on repro.core
     from repro.runtime import Plan, run
@@ -130,7 +133,8 @@ def run_grid_sweep(
         task = task_for_row(row)
         for model in models:
             specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
+                  store=store)
     grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
     for (row, model), spec in specs.items():
         grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))

@@ -66,6 +66,7 @@ def run_configuration(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 1 grid."""
     return run_grid_sweep(
@@ -77,4 +78,5 @@ def run_configuration(
         executor=executor,
         cache=cache,
         scheduler=scheduler,
+        store=store,
     )

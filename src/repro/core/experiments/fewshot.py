@@ -50,6 +50,7 @@ def run_fewshot(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> FewshotComparison:
     """Run both shot modes and average over the configuration systems."""
     plan = Plan("fewshot")
@@ -61,7 +62,8 @@ def run_fewshot(
                 specs[(fewshot, system, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
+                  store=store)
 
     def averaged(fewshot: bool) -> dict[str, CellResult]:
         out: dict[str, CellResult] = {}

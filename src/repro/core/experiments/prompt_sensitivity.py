@@ -49,6 +49,7 @@ def run_prompt_sensitivity(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> dict[Hashable, dict[str, dict[str, float]]]:
     """Sweep conditions × variants × models.
 
@@ -65,7 +66,8 @@ def run_prompt_sensitivity(
                 specs[(condition, variant, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler)
+    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
+                  store=store)
     out: dict[Hashable, dict[str, dict[str, float]]] = {}
     for condition in conditions:
         out[condition] = {

@@ -57,6 +57,7 @@ def run_translation(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> ExperimentGrid:
     """Sweep models × directions; returns the Table 3 grid."""
     return run_grid_sweep(
@@ -68,4 +69,5 @@ def run_translation(
         executor=executor,
         cache=cache,
         scheduler=scheduler,
+        store=store,
     )

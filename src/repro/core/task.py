@@ -88,12 +88,15 @@ def evaluate(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> EvalResult:
     """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
     ``executor`` selects the runtime execution backend (serial by
-    default), ``cache`` an optional result cache, and ``scheduler`` the
-    dispatch-order policy; see :mod:`repro.runtime`.
+    default), ``cache`` an optional result cache, ``scheduler`` the
+    dispatch-order policy, and ``store`` an optional durable
+    :class:`~repro.persist.RunStore` (cross-process cache + run
+    manifest); see :mod:`repro.runtime` and :mod:`repro.persist`.
     """
     # imported here: repro.runtime builds on this module's data types
     from repro.runtime import Plan, run
@@ -101,5 +104,5 @@ def evaluate(
     plan = Plan(f"evaluate/{task.name}")
     spec = plan.add_eval(task, model, epochs=epochs, config=config)
     return run(
-        plan, executor=executor, cache=cache, scheduler=scheduler
+        plan, executor=executor, cache=cache, scheduler=scheduler, store=store
     ).eval_result(spec)

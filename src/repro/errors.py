@@ -32,6 +32,14 @@ class StoreError(ReproError):
     """Illegal operation on the simulated filesystem / HDF5 / BP store."""
 
 
+class PersistError(StoreError):
+    """Illegal operation on the durable on-disk run store."""
+
+
+class RecordCorruptError(PersistError):
+    """A persisted record failed checksum or structural validation."""
+
+
 class ModelError(ReproError):
     """A model provider failed to produce a response."""
 

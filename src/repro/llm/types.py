@@ -68,6 +68,20 @@ class ModelUsage:
     def total_tokens(self) -> int:
         return self.input_tokens + self.output_tokens
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready form (used by the durable record codec)."""
+        return {
+            "input_tokens": self.input_tokens,
+            "output_tokens": self.output_tokens,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, int]) -> "ModelUsage":
+        return ModelUsage(
+            input_tokens=payload["input_tokens"],
+            output_tokens=payload["output_tokens"],
+        )
+
 
 # one request of a batched generation call: (messages, decoding config)
 BatchRequest = tuple[Sequence["ChatMessage"], "GenerateConfig"]

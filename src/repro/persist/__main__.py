@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.persist``."""
+
+import sys
+
+from repro.persist.cli import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""Store maintenance CLI: ``python -m repro.persist <command> <store>``.
+
+Commands:
+
+* ``stats``   — record/segment/manifest counts and on-disk size;
+* ``verify``  — full checksum audit; exit 1 when the store is unclean;
+* ``gc``      — compact segments, drop stale/corrupt/orphan records;
+* ``ls-runs`` — list recorded run manifests, oldest first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import StoreError
+from repro.persist.store import RunStore
+
+
+def _open(path: str) -> RunStore:
+    return RunStore(path, create=False)
+
+
+def cmd_stats(store: RunStore) -> int:
+    print(store.stats().describe())
+    return 0
+
+
+def cmd_verify(store: RunStore) -> int:
+    report = store.verify()
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def cmd_gc(store: RunStore) -> int:
+    print(store.gc().describe())
+    return 0
+
+
+def cmd_ls_runs(store: RunStore) -> int:
+    manifests = store.manifests()
+    if not manifests:
+        print("no runs recorded")
+        return 0
+    for manifest in manifests:
+        print(manifest.describe())
+    return 0
+
+
+COMMANDS = {
+    "stats": (cmd_stats, "record/segment/manifest counts and sizes"),
+    "verify": (cmd_verify, "full checksum audit (exit 1 if unclean)"),
+    "gc": (cmd_gc, "compact segments and drop dead records"),
+    "ls-runs": (cmd_ls_runs, "list recorded run manifests"),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.persist",
+        description="Inspect and maintain a durable run store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_handler, help_text) in COMMANDS.items():
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("store", help="path to the store directory")
+    args = parser.parse_args(argv)
+    handler, _ = COMMANDS[args.command]
+    try:
+        store = _open(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return handler(store)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

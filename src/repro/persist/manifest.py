@@ -1,0 +1,104 @@
+"""Run manifests: provenance for every table cell.
+
+A :class:`RunManifest` is the durable record of one
+:func:`repro.runtime.run` invocation against a store: which plan ran
+(name + content fingerprint + the per-unit generation keys), with which
+executor/scheduler/cache configuration, how the units were satisfied
+(the full :class:`~repro.runtime.runner.RunStats`), and how long it
+took.  Manifests are small JSON files under ``manifests/`` in the store
+directory, written via write-temp-then-rename so a crashed run never
+leaves a half manifest.
+
+The *plan fingerprint* is a content address over the plan's units
+(uid + generation key per unit, in plan order).  Re-running the same
+sweep — in another process, on another day — produces the same
+fingerprint, which is how a repeated run is linked to its predecessor
+(``resumed_from``) and how "the second pass generated nothing" becomes
+an auditable statement rather than a hope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.errors import PersistError
+from repro.runtime.plan import Plan
+from repro.runtime.runner import RunStats
+
+# distinguishes several runs recorded by one process in the same millisecond
+_RUN_SEQ = itertools.count()
+
+
+def plan_fingerprint(plan: Plan) -> str:
+    """Content address of one plan: SHA-256 over (uid, key) per unit."""
+    body = "\x1e".join(f"{unit.uid}\x1f{unit.key}" for unit in plan.units)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def make_run_id(started_unix: float, fingerprint: str) -> str:
+    """Unique, sortable id: timestamp + plan fingerprint + pid + sequence."""
+    return (
+        f"run-{int(started_unix * 1000):013d}-{fingerprint[:8]}"
+        f"-p{os.getpid()}-{next(_RUN_SEQ)}"
+    )
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """What one ``runtime.run`` did, durably."""
+
+    run_id: str
+    plan_name: str
+    plan_fingerprint: str
+    unit_keys: tuple[str, ...]  # per-unit generation keys, plan order
+    executor: str  # repr of the executor the run used
+    scheduler: str  # repr of the scheduler
+    cache: str  # repr of the result-cache backend
+    stats: RunStats
+    started_unix: float
+    wall_seconds: float
+    resumed_from: str | None = None  # run_id of the latest same-fingerprint run
+
+    @property
+    def total_units(self) -> int:
+        return self.stats.total_units
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["unit_keys"] = list(self.unit_keys)
+        payload["stats"] = asdict(self.stats)
+        return payload
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "RunManifest":
+        try:
+            stats = RunStats(**payload["stats"])
+            return RunManifest(
+                run_id=payload["run_id"],
+                plan_name=payload["plan_name"],
+                plan_fingerprint=payload["plan_fingerprint"],
+                unit_keys=tuple(payload["unit_keys"]),
+                executor=payload["executor"],
+                scheduler=payload["scheduler"],
+                cache=payload["cache"],
+                stats=stats,
+                started_unix=payload["started_unix"],
+                wall_seconds=payload["wall_seconds"],
+                resumed_from=payload.get("resumed_from"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise PersistError(f"malformed run manifest: {exc}") from None
+
+    def describe(self) -> str:
+        """One ``ls-runs`` line: id, plan, and how units were satisfied."""
+        s = self.stats
+        resumed = f" resumed_from={self.resumed_from}" if self.resumed_from else ""
+        return (
+            f"{self.run_id}  plan={self.plan_name!r} units={s.total_units} "
+            f"generated={s.generated} cache_hits={s.cache_hits} "
+            f"dedup={s.deduplicated} wall={self.wall_seconds:.2f}s{resumed}"
+        )

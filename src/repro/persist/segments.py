@@ -1,0 +1,133 @@
+"""Append-only segment files: the storage substrate of the run store.
+
+A store's ``segments/`` directory holds numbered files
+(``segment-000001.seg``, ``segment-000002.seg``, …).  Writers append
+whole checksummed record lines (see :mod:`repro.persist.records`) to the
+highest-numbered segment and rotate to a fresh one past a size
+threshold; compaction writes a brand-new segment (write-temp-then-
+rename) and deletes the old ones.  Nothing is ever modified in place, so
+a reader holding a shared lock always sees a prefix of well-formed
+records plus, at worst, one torn tail from a crashed writer.
+
+Torn tails self-heal: before appending, a writer terminates any
+unterminated final line with a newline, so the garbage becomes one
+checksum-failing record (skipped and warned about on scan) and every
+subsequent record is clean.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import warnings
+from typing import Any, Callable, Iterator
+
+from repro.errors import RecordCorruptError
+from repro.persist.records import decode_record
+
+SEGMENT_RE = re.compile(r"^segment-(\d{6,})\.seg$")
+
+OnCorrupt = Callable[[pathlib.Path, int, str], None]
+
+
+def segment_name(number: int) -> str:
+    return f"segment-{number:06d}.seg"
+
+
+def segment_number(name: str) -> int | None:
+    """The rotation ordinal of one segment filename, or None if foreign."""
+    match = SEGMENT_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def list_segments(directory: pathlib.Path) -> list[pathlib.Path]:
+    """Segment files of ``directory`` in rotation order."""
+    if not directory.is_dir():
+        return []
+    found = [
+        (number, directory / name)
+        for name in os.listdir(directory)
+        if (number := segment_number(name)) is not None
+    ]
+    return [path for _, path in sorted(found)]
+
+
+def warn_corrupt(path: pathlib.Path, offset: int, reason: str) -> None:
+    """Default corruption handler: skip the record, tell the user."""
+    warnings.warn(
+        f"skipping corrupt record in {path.name} at offset {offset}: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def scan_records(
+    path: pathlib.Path,
+    start: int = 0,
+    *,
+    on_corrupt: OnCorrupt = warn_corrupt,
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield ``(offset, payload)`` for every valid record from ``start``.
+
+    Corrupt records (checksum mismatch, malformed line, torn tail) are
+    reported through ``on_corrupt`` and skipped.  An unterminated final
+    line ends the scan — the bytes stay unconsumed, so callers that
+    track scan offsets must record the offset *after the last terminated
+    line*, not the file size.
+    """
+    with path.open("rb") as handle:
+        handle.seek(start)
+        while True:
+            offset = handle.tell()
+            line = handle.readline()
+            if not line:
+                break
+            if not line.endswith(b"\n"):
+                # torn tail: report, leave unconsumed (a writer will heal it)
+                on_corrupt(path, offset, "unterminated record (torn tail)")
+                break
+            try:
+                payload = decode_record(line)
+            except RecordCorruptError as exc:
+                on_corrupt(path, offset, str(exc))
+                continue
+            yield offset, payload
+
+
+def append_blobs(
+    path: pathlib.Path, blobs: list[bytes], *, fsync: bool = False
+) -> list[int]:
+    """Append pre-encoded record lines; return the offset of each.
+
+    The caller must hold the store's exclusive lock.  The file is opened
+    in append mode, any torn tail left by a crashed writer is terminated
+    first (healing it into one skippable corrupt record), and each blob
+    is written with a single ``write`` call.
+    """
+    offsets: list[int] = []
+    with path.open("ab") as handle:
+        end = handle.seek(0, os.SEEK_END)
+        if end > 0:
+            with path.open("rb") as reader:
+                reader.seek(end - 1)
+                if reader.read(1) != b"\n":
+                    handle.write(b"\n")
+        for blob in blobs:
+            offsets.append(handle.tell())
+            handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    return offsets
+
+
+def write_atomic(path: pathlib.Path, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` via write-temp-then-rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,703 @@
+"""The durable run store: content-addressed records + run manifests.
+
+Layout of one store directory::
+
+    store/
+      LOCK                    advisory lockfile (fcntl; see locking.py)
+      index.json              index snapshot (optional; rebuilt if stale)
+      segments/
+        segment-000001.seg    append-only checksummed records (gen + score)
+        segment-000002.seg    …rotated past max_segment_bytes, or by GC
+      manifests/
+        run-….json            one RunManifest per recorded run
+
+N processes may share one store concurrently: appends happen under the
+exclusive lock (first scanning any bytes other writers added, so the
+in-memory index never goes blind), reads and scans under the shared
+lock.  The in-memory index maps ``kind:key`` to ``(segment, offset)``;
+record payloads stay on disk and are read on demand, so a store with
+many thousands of generations costs the process only its key table.
+
+Crash safety comes from per-record checksums (a torn tail decodes as
+one corrupt record, skipped with a warning and healed by the next
+writer) and from write-temp-then-rename for every whole-file write
+(index snapshot, compacted segments, manifests).
+
+:meth:`RunStore.gc` is the compaction pass: it rewrites all *live*
+records (the newest per key, minus corrupt lines and score entries
+whose generation vanished) into one fresh segment and deletes the old
+ones.  :meth:`RunStore.verify` is the auditor: a full checksum scan of
+every segment plus a parse of every manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable
+
+from repro.core.scorers import Score
+from repro.errors import PersistError, RecordCorruptError, StoreError
+from repro.runtime.cache import ScoreCache
+from repro.runtime.units import Generation
+
+from repro.persist.locking import FileLock
+from repro.persist.manifest import RunManifest, make_run_id, plan_fingerprint
+from repro.persist.records import (
+    GEN_KIND,
+    SCORE_KIND,
+    decode_record,
+    disk_score_key,
+    encode_record,
+    generation_from_payload,
+    generation_payload,
+    index_key,
+    score_from_payload,
+    score_payload,
+)
+from repro.persist.segments import (
+    append_blobs,
+    list_segments,
+    scan_records,
+    segment_name,
+    segment_number,
+    warn_corrupt,
+    write_atomic,
+)
+
+INDEX_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time shape of one store."""
+
+    root: str
+    segments: int
+    segment_bytes: int
+    generations: int
+    scores: int
+    manifests: int
+    corrupt_skipped: int  # corrupt records seen by this process's scans
+
+    def describe(self) -> str:
+        return (
+            f"store {self.root}: {self.generations} generation(s), "
+            f"{self.scores} score(s), {self.manifests} manifest(s) in "
+            f"{self.segments} segment(s) / {self.segment_bytes} bytes"
+            + (f"; {self.corrupt_skipped} corrupt record(s) skipped"
+               if self.corrupt_skipped else "")
+        )
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Result of a full store audit."""
+
+    segments: int
+    records: int
+    generations: int
+    scores: int
+    stale: int  # superseded duplicates awaiting GC
+    manifests: int
+    problems: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        status = "clean" if self.clean else f"{len(self.problems)} problem(s)"
+        lines = [
+            f"verify: {status} — {self.records} record(s) "
+            f"({self.generations} generation(s), {self.scores} score(s), "
+            f"{self.stale} stale) in {self.segments} segment(s), "
+            f"{self.manifests} manifest(s)"
+        ]
+        lines += [f"  - {problem}" for problem in self.problems]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GCStats:
+    """What one compaction pass reclaimed."""
+
+    records_before: int
+    records_after: int
+    corrupt_dropped: int
+    stale_dropped: int
+    orphan_scores_dropped: int
+    bytes_before: int
+    bytes_after: int
+
+    def describe(self) -> str:
+        return (
+            f"gc: {self.records_before} -> {self.records_after} record(s) "
+            f"({self.stale_dropped} stale, {self.corrupt_dropped} corrupt, "
+            f"{self.orphan_scores_dropped} orphan score(s) dropped), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes"
+        )
+
+
+class RunStore:
+    """One on-disk store directory shared by any number of processes."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        *,
+        create: bool = True,
+        max_segment_bytes: int = 8 << 20,
+        fsync: bool = False,
+    ) -> None:
+        if max_segment_bytes <= 0:
+            raise PersistError(
+                f"max_segment_bytes must be positive, got {max_segment_bytes}"
+            )
+        self.root = pathlib.Path(root)
+        self._segments_dir = self.root / "segments"
+        self._manifests_dir = self.root / "manifests"
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store path {self.root} is not a directory")
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._segments_dir.mkdir(exist_ok=True)
+            self._manifests_dir.mkdir(exist_ok=True)
+        elif not (self._segments_dir.is_dir() and self._manifests_dir.is_dir()):
+            # opening read-only (the CLI) must neither scaffold missing
+            # directories nor report a typo'd path as a clean empty store
+            raise StoreError(f"no store at {self.root}")
+        self.max_segment_bytes = max_segment_bytes
+        self.fsync = fsync
+        self._lock = FileLock(self.root / "LOCK")
+        self._mu = threading.Lock()  # guards the in-memory index
+        self._index: dict[str, tuple[str, int]] = {}
+        self._scanned: dict[str, int] = {}  # segment name -> bytes indexed
+        self._corrupt_skipped = 0
+        self._result_cache: DiskResultCache | None = None
+        self._load_index_snapshot()
+        self.refresh()
+
+    # -- index maintenance ---------------------------------------------------
+
+    def _snapshot_path(self) -> pathlib.Path:
+        return self.root / "index.json"
+
+    def _load_index_snapshot(self) -> None:
+        """Seed the index from ``index.json`` when it still matches disk."""
+        path = self._snapshot_path()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) or payload.get("version") != INDEX_VERSION:
+            return
+        scanned = payload.get("scanned")
+        entries = payload.get("entries")
+        if not isinstance(scanned, dict) or not isinstance(entries, dict):
+            return
+        for name, offset in scanned.items():
+            seg = self._segments_dir / name
+            if segment_number(name) is None or not seg.is_file():
+                return  # segment vanished (GC elsewhere): rebuild from scratch
+            if not isinstance(offset, int) or seg.stat().st_size < offset:
+                return  # segment shrank: snapshot is from another universe
+        for key, entry in entries.items():
+            if (
+                not isinstance(entry, list)
+                or len(entry) != 2
+                or entry[0] not in scanned
+            ):
+                return
+        self._scanned = {name: offset for name, offset in scanned.items()}
+        self._index = {key: (entry[0], entry[1]) for key, entry in entries.items()}
+
+    def write_index_snapshot(self) -> None:
+        """Persist the index so the next open skips the full scan."""
+        with self._mu:
+            payload = {
+                "version": INDEX_VERSION,
+                "scanned": dict(self._scanned),
+                "entries": {key: list(entry) for key, entry in self._index.items()},
+            }
+        blob = json.dumps(payload, sort_keys=True).encode("ascii")
+        with self._lock.exclusive():
+            write_atomic(self._snapshot_path(), blob)
+
+    def _note_corrupt(self, path: pathlib.Path, offset: int, reason: str) -> None:
+        self._corrupt_skipped += 1
+        warn_corrupt(path, offset, reason)
+
+    def _scan_locked(self) -> None:
+        """Index every byte other processes appended since the last scan.
+
+        Caller holds ``self._mu`` and at least the shared file lock.  A
+        segment set that lost members (GC in another process) invalidates
+        the whole index and forces a rebuild.
+        """
+        segments = list_segments(self._segments_dir)
+        names = {seg.name for seg in segments}
+        if any(name not in names for name in self._scanned):
+            self._index.clear()
+            self._scanned.clear()
+        for seg in segments:
+            size = seg.stat().st_size
+            start = self._scanned.get(seg.name, 0)
+            if size <= start:
+                continue
+            for offset, payload in scan_records(
+                seg, start, on_corrupt=self._note_corrupt
+            ):
+                self._index[index_key(payload["kind"], payload["key"])] = (
+                    seg.name,
+                    offset,
+                )
+            # consume up to the last terminated line only: a torn tail
+            # stays unconsumed so its healed rewrite is rescanned later
+            self._scanned[seg.name] = self._terminated_end(seg, start, size)
+
+    @staticmethod
+    def _terminated_end(seg: pathlib.Path, start: int, size: int) -> int:
+        """Offset just past the last newline in ``seg[start:size]``."""
+        with seg.open("rb") as handle:
+            handle.seek(start)
+            data = handle.read(size - start)
+        last_nl = data.rfind(b"\n")
+        return start + last_nl + 1 if last_nl >= 0 else start
+
+    def refresh(self) -> None:
+        """Pick up records appended by other processes."""
+        with self._mu:
+            with self._lock.shared():
+                self._scan_locked()
+
+    # -- record I/O ----------------------------------------------------------
+
+    def _active_segment_locked(self) -> pathlib.Path:
+        """The segment new appends go to (rotating past the size cap)."""
+        segments = list_segments(self._segments_dir)
+        if not segments:
+            return self._segments_dir / segment_name(1)
+        active = segments[-1]
+        if active.stat().st_size >= self.max_segment_bytes:
+            number = segment_number(active.name) or 0
+            return self._segments_dir / segment_name(number + 1)
+        return active
+
+    def _append_payloads(self, payloads: list[dict[str, Any]]) -> None:
+        if not payloads:
+            return
+        blobs = [encode_record(payload) for payload in payloads]
+        with self._mu:
+            with self._lock.exclusive():
+                # first index what other writers appended, so our offsets
+                # never shadow unscanned foreign bytes
+                self._scan_locked()
+                seg = self._active_segment_locked()
+                offsets = append_blobs(seg, blobs, fsync=self.fsync)
+                for payload, offset in zip(payloads, offsets):
+                    self._index[index_key(payload["kind"], payload["key"])] = (
+                        seg.name,
+                        offset,
+                    )
+                self._scanned[seg.name] = seg.stat().st_size
+
+    def _read_record(self, kind: str, key: str) -> dict[str, Any] | None:
+        ikey = index_key(kind, key)
+        refreshed = False
+        while True:
+            with self._mu:
+                entry = self._index.get(ikey)
+            if entry is None:
+                if refreshed:
+                    return None
+                self.refresh()
+                refreshed = True
+                continue
+            name, offset = entry
+            seg = self._segments_dir / name
+            try:
+                with self._lock.shared():
+                    with seg.open("rb") as handle:
+                        handle.seek(offset)
+                        line = handle.readline()
+                payload = decode_record(line)
+            except (OSError, RecordCorruptError):
+                # an indexed record should always read back; the entry is
+                # stale (typically a concurrent GC compacted the segment
+                # away) — drop it and rescan once: the live record is in
+                # the compacted segment, and a warm store must not read
+                # as cold just because another process tidied it.
+                with self._mu:
+                    if self._index.get(ikey) == entry:
+                        del self._index[ikey]
+                if refreshed:
+                    return None
+                self.refresh()
+                refreshed = True
+                continue
+            if payload["kind"] != kind or payload["key"] != key:
+                raise PersistError(
+                    f"index points {ikey!r} at a record for "
+                    f"{payload['kind']}:{payload['key']}"
+                )
+            return payload
+
+    # -- generations ---------------------------------------------------------
+
+    def get_generation(self, key: str) -> Generation | None:
+        payload = self._read_record(GEN_KIND, key)
+        return generation_from_payload(payload) if payload is not None else None
+
+    def put_generation(self, generation: Generation) -> None:
+        self._append_payloads([generation_payload(generation)])
+
+    def put_generations(self, generations: Iterable[Generation]) -> None:
+        self._append_payloads([generation_payload(gen) for gen in generations])
+
+    # -- scores --------------------------------------------------------------
+
+    def get_score(self, disk_key: str) -> Score | None:
+        payload = self._read_record(SCORE_KIND, disk_key)
+        return score_from_payload(payload) if payload is not None else None
+
+    def put_score(self, disk_key: str, gen_key: str, score: Score) -> None:
+        self._append_payloads([score_payload(disk_key, gen_key, score)])
+
+    # -- runtime integration -------------------------------------------------
+
+    @property
+    def result_cache(self) -> "DiskResultCache":
+        """The store's :class:`~repro.runtime.cache.ResultCache` facade."""
+        if self._result_cache is None:
+            self._result_cache = DiskResultCache(self)
+        return self._result_cache
+
+    def score_cache(self, maxsize: int = 4096) -> "DiskScoreCache":
+        """A fresh write-through score cache backed by this store."""
+        return DiskScoreCache(self, maxsize=maxsize)
+
+    # -- manifests -----------------------------------------------------------
+
+    def record_run(
+        self,
+        *,
+        plan,
+        stats,
+        executor: object,
+        scheduler: object,
+        cache: object,
+        started_unix: float,
+        wall_seconds: float,
+    ) -> RunManifest:
+        """Durably record one executed run; links repeats of the same plan."""
+        fingerprint = plan_fingerprint(plan)
+        previous = self.latest_manifest(fingerprint)
+        manifest = RunManifest(
+            run_id=make_run_id(started_unix, fingerprint),
+            plan_name=plan.name,
+            plan_fingerprint=fingerprint,
+            unit_keys=tuple(unit.key for unit in plan.units),
+            executor=repr(executor),
+            scheduler=repr(scheduler),
+            cache=repr(cache),
+            stats=stats,
+            started_unix=started_unix,
+            wall_seconds=wall_seconds,
+            resumed_from=previous.run_id if previous is not None else None,
+        )
+        blob = json.dumps(manifest.to_payload(), sort_keys=True, indent=1)
+        write_atomic(
+            self._manifests_dir / f"{manifest.run_id}.json", blob.encode("ascii")
+        )
+        return manifest
+
+    def manifests(self) -> list[RunManifest]:
+        """Every recorded run, oldest first."""
+        out: list[RunManifest] = []
+        for path in sorted(self._manifests_dir.glob("*.json")):
+            try:
+                out.append(RunManifest.from_payload(json.loads(path.read_text())))
+            except (OSError, ValueError, PersistError):
+                continue  # verify() reports these; listing stays usable
+        out.sort(key=lambda m: (m.started_unix, m.run_id))
+        return out
+
+    def latest_manifest(self, fingerprint: str | None = None) -> RunManifest | None:
+        """The most recent run, optionally restricted to one plan fingerprint."""
+        candidates = [
+            m
+            for m in self.manifests()
+            if fingerprint is None or m.plan_fingerprint == fingerprint
+        ]
+        return candidates[-1] if candidates else None
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        self.refresh()
+        with self._mu:
+            generations = sum(
+                1 for key in self._index if key.startswith(f"{GEN_KIND}:")
+            )
+            scores = sum(1 for key in self._index if key.startswith(f"{SCORE_KIND}:"))
+            corrupt = self._corrupt_skipped
+        segments = list_segments(self._segments_dir)
+        return StoreStats(
+            root=str(self.root),
+            segments=len(segments),
+            segment_bytes=sum(seg.stat().st_size for seg in segments),
+            generations=generations,
+            scores=scores,
+            manifests=len(list(self._manifests_dir.glob("*.json"))),
+            corrupt_skipped=corrupt,
+        )
+
+    def verify(self) -> VerifyReport:
+        """Full audit: re-checksum every record, parse every manifest."""
+        problems: list[str] = []
+        records = stale = 0
+        kinds: dict[str, str] = {}
+
+        def flag(path: pathlib.Path, offset: int, reason: str) -> None:
+            problems.append(f"{path.name}@{offset}: {reason}")
+
+        with self._lock.shared():
+            segments = list_segments(self._segments_dir)
+            for seg in segments:
+                for _offset, payload in scan_records(seg, 0, on_corrupt=flag):
+                    records += 1
+                    ikey = index_key(payload["kind"], payload["key"])
+                    if ikey in kinds:
+                        stale += 1
+                    else:
+                        kinds[ikey] = payload["kind"]
+        generations = sum(1 for kind in kinds.values() if kind == GEN_KIND)
+        scores = sum(1 for kind in kinds.values() if kind == SCORE_KIND)
+        manifest_paths = sorted(self._manifests_dir.glob("*.json"))
+        manifests = 0
+        for path in manifest_paths:
+            try:
+                RunManifest.from_payload(json.loads(path.read_text()))
+                manifests += 1
+            except (OSError, ValueError, PersistError) as exc:
+                problems.append(f"manifest {path.name}: {exc}")
+        return VerifyReport(
+            segments=len(segments),
+            records=records,
+            generations=generations,
+            scores=scores,
+            stale=stale,
+            manifests=manifests,
+            problems=tuple(problems),
+        )
+
+    def gc(self) -> GCStats:
+        """Compact: rewrite live records into one fresh segment, drop the rest.
+
+        Live means: the newest record per key, checksum-valid, and — for
+        scores — still referencing a generation present in the store.
+        """
+        with self._mu:
+            with self._lock.exclusive():
+                segments = list_segments(self._segments_dir)
+                bytes_before = sum(seg.stat().st_size for seg in segments)
+                seen = corrupt = 0
+                live: dict[str, dict[str, Any]] = {}
+
+                def count_corrupt(
+                    path: pathlib.Path, offset: int, reason: str
+                ) -> None:
+                    nonlocal corrupt
+                    corrupt += 1
+
+                for seg in segments:
+                    for _offset, payload in scan_records(
+                        seg, 0, on_corrupt=count_corrupt
+                    ):
+                        seen += 1
+                        live[index_key(payload["kind"], payload["key"])] = payload
+                stale = seen - len(live)
+                gen_keys = {
+                    payload["key"]
+                    for payload in live.values()
+                    if payload["kind"] == GEN_KIND
+                }
+                orphans = [
+                    ikey
+                    for ikey, payload in live.items()
+                    if payload["kind"] == SCORE_KIND
+                    and payload.get("gen") not in gen_keys
+                ]
+                for ikey in orphans:
+                    del live[ikey]
+
+                next_number = (
+                    (segment_number(segments[-1].name) or 0) + 1 if segments else 1
+                )
+                self._index.clear()
+                self._scanned.clear()
+                bytes_after = 0
+                if live:
+                    target = self._segments_dir / segment_name(next_number)
+                    blob = b""
+                    offsets: dict[str, int] = {}
+                    for ikey, payload in sorted(live.items()):
+                        offsets[ikey] = len(blob)
+                        blob += encode_record(payload)
+                    write_atomic(target, blob)
+                    bytes_after = len(blob)
+                    for ikey, offset in offsets.items():
+                        self._index[ikey] = (target.name, offset)
+                    self._scanned[target.name] = len(blob)
+                for seg in segments:
+                    seg.unlink()
+        self.write_index_snapshot()
+        return GCStats(
+            records_before=seen,
+            records_after=len(live),
+            corrupt_dropped=corrupt,
+            stale_dropped=stale,
+            orphan_scores_dropped=len(orphans),
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
+
+    def close(self) -> None:
+        """Snapshot the index so the next open skips the cold scan."""
+        self.write_index_snapshot()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunStore({str(self.root)!r})"
+
+
+class DiskResultCache:
+    """:class:`~repro.runtime.cache.ResultCache` backend over a RunStore.
+
+    The third cache backend next to ``InMemoryResultCache`` and
+    ``FilesystemResultCache`` — same protocol (``get``/``put``/
+    ``put_many``/``__len__``/``stats``), but entries survive the process
+    and are shared, under the store's file lock, with every other
+    process pointed at the same directory.
+    """
+
+    def __init__(self, store: RunStore) -> None:
+        self._store = store
+        self._mu = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+
+    @property
+    def store(self) -> RunStore:
+        return self._store
+
+    def get(self, key: str) -> Generation | None:
+        gen = self._store.get_generation(key)
+        with self._mu:
+            if gen is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return gen.as_cached() if gen is not None else None
+
+    def put(self, generation: Generation) -> None:
+        self._store.put_generation(generation)
+        with self._mu:
+            self._puts += 1
+
+    def put_many(self, generations: Iterable[Generation]) -> None:
+        batch = list(generations)
+        self._store.put_generations(batch)
+        with self._mu:
+            self._puts += len(batch)
+
+    def __len__(self) -> int:
+        return self._store.stats().generations
+
+    def __contains__(self, key: str) -> bool:
+        return self._store.get_generation(key) is not None
+
+    def stats(self) -> dict[str, int | str]:
+        with self._mu:
+            hits, misses, puts = self._hits, self._misses, self._puts
+        return {
+            "backend": "disk",
+            "entries": len(self),
+            "hits": hits,
+            "misses": misses,
+            "puts": puts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskResultCache({str(self._store.root)!r})"
+
+
+class DiskScoreCache:
+    """Write-through score memo: in-memory LRU over durable score records.
+
+    Drop-in for :class:`~repro.runtime.cache.ScoreCache` (same
+    ``get``/``put`` surface, keyed by the
+    :func:`repro.runtime.runner.score_key` tuple).  Entries whose scorer
+    fingerprint has a stable cross-process identity are written through
+    to the store; the rest stay in the process-local LRU.
+    """
+
+    def __init__(self, store: RunStore, maxsize: int = 4096) -> None:
+        self._store = store
+        self._memory = ScoreCache(maxsize)
+        self._mu = threading.Lock()
+        self._disk_hits = 0
+        self._disk_puts = 0
+        self._unpersistable = 0
+
+    def get(self, key: Hashable) -> object | None:
+        score = self._memory.get(key)
+        if score is not None:
+            return score
+        dkey = disk_score_key(key)
+        if dkey is None:
+            return None
+        score = self._store.get_score(dkey)
+        if score is None:
+            return None
+        self._memory.put(key, score)
+        with self._mu:
+            self._disk_hits += 1
+        return score
+
+    def put(self, key: Hashable, score: object) -> None:
+        self._memory.put(key, score)
+        dkey = disk_score_key(key)
+        if dkey is None or not isinstance(score, Score):
+            with self._mu:
+                self._unpersistable += 1
+            return
+        assert isinstance(key, tuple)  # disk_score_key validated the shape
+        self._store.put_score(dkey, key[0], score)
+        with self._mu:
+            self._disk_puts += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> dict[str, int | str]:
+        with self._mu:
+            return {
+                "backend": "disk",
+                "entries": len(self._memory),
+                "disk_hits": self._disk_hits,
+                "disk_puts": self._disk_puts,
+                "unpersistable": self._unpersistable,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskScoreCache({str(self._store.root)!r}, entries={len(self)})"

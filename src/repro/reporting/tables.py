@@ -110,12 +110,15 @@ def reproduce_table(
     executor=None,
     cache=None,
     scheduler=None,
+    store=None,
 ) -> str:
     """Run one of the paper's tables through the runtime and render it.
 
     ``which`` is one of ``table1``/``table2``/``table3``/``table5``;
-    ``executor``, ``cache`` and ``scheduler`` are forwarded to
-    :func:`repro.runtime.run` via the experiment runner.
+    ``executor``, ``cache``, ``scheduler`` and ``store`` are forwarded
+    to :func:`repro.runtime.run` via the experiment runner — pass a
+    :class:`~repro.persist.RunStore` to make the table durable and
+    resumable across processes.
     """
     try:
         runner, title = _TABLE_RUNNERS[which]
@@ -123,7 +126,8 @@ def reproduce_table(
         raise HarnessError(
             f"unknown table {which!r}; available: {sorted(_TABLE_RUNNERS)}"
         ) from None
-    result = runner(epochs=epochs, executor=executor, cache=cache, scheduler=scheduler)
+    result = runner(epochs=epochs, executor=executor, cache=cache,
+                    scheduler=scheduler, store=store)
     if isinstance(result, FewshotComparison):
         return render_fewshot_table(result, title)
     return render_grid_table(result, title)

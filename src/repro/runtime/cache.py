@@ -6,14 +6,21 @@ completion the model would have produced, and repeated sweeps (the
 Overall rows, the sensitivity figures re-running the ``original``
 variant, warm benchmark reruns) skip the model layer entirely.
 
-Two backends:
+Three backends:
 
 * :class:`InMemoryResultCache` — a thread-safe dict, scoped to the
   process; the default choice inside one script run;
 * :class:`FilesystemResultCache` — stores each generation as one entry
   of a :class:`repro.store.filesystem.SimFilesystem` namespace, so a
   cache can share the simulated storage substrate with workflow runs
-  (and several experiments can share one namespace).
+  (and several experiments can share one namespace);
+* :class:`repro.persist.DiskResultCache` — the durable backend: entries
+  live in an on-disk :class:`~repro.persist.RunStore` shared between
+  processes (see :mod:`repro.persist`).
+
+All three expose the same introspection surface (``__len__`` and
+``stats()``; see :class:`ResultCache`), so harness code and tests can
+treat any backend interchangeably.
 
 :class:`ScoreCache` sits on the other side of the executor: it memoizes
 *scores* by (generation key, target hash, scorer fingerprint) so cache
@@ -34,12 +41,39 @@ from repro.runtime.units import Generation
 
 @runtime_checkable
 class ResultCache(Protocol):
-    """What a cache backend must implement."""
+    """What a cache backend must implement.
+
+    The contract, shared by all three shipped backends (in-memory,
+    sim-filesystem, on-disk):
+
+    * ``get(key)`` — the cached :class:`Generation` for one content key
+      (from :func:`repro.runtime.units.generation_key`), flagged via
+      :meth:`Generation.as_cached`, or ``None`` on a miss.  A ``get``
+      must never invent entries: a hit is always the exact completion
+      the model would have produced for that key.
+    * ``put(generation)`` — store one generation under its own key;
+      last-writer-wins on duplicates (all writers hold identical
+      content for a given key, so the race is benign).
+    * ``__len__()`` — number of distinct keys currently cached.
+    * ``stats()`` — introspection dict with at least ``backend`` (str),
+      ``entries``, ``hits``, ``misses`` and ``puts`` counters, so tests
+      and operators can ask any backend how it has been used.
+
+    Backends may additionally provide ``put_many(generations)`` — the
+    runner batches its post-execution writes through it when present
+    (one lock acquisition / one disk append instead of N).
+    """
 
     def get(self, key: str) -> Generation | None:  # pragma: no cover - protocol
         ...
 
     def put(self, generation: Generation) -> None:  # pragma: no cover - protocol
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def stats(self) -> dict[str, int | str]:  # pragma: no cover - protocol
         ...
 
 
@@ -49,27 +83,47 @@ class InMemoryResultCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, Generation] = {}
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
 
     def get(self, key: str) -> Generation | None:
         with self._lock:
             gen = self._entries.get(key)
+            if gen is None:
+                self._misses += 1
+            else:
+                self._hits += 1
         return gen.as_cached() if gen is not None else None
 
     def put(self, generation: Generation) -> None:
         with self._lock:
             self._entries[generation.key] = generation
+            self._puts += 1
 
     def put_many(self, generations: Iterable[Generation]) -> None:
         with self._lock:
             for gen in generations:
                 self._entries[gen.key] = gen
+                self._puts += 1
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return self.get(key) is not None
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict[str, int | str]:
+        with self._lock:
+            return {
+                "backend": "memory",
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InMemoryResultCache(entries={len(self)})"
@@ -90,6 +144,10 @@ class FilesystemResultCache:
     ) -> None:
         self._fs = fs if fs is not None else SimFilesystem()
         self._prefix = prefix
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
 
     @property
     def fs(self) -> SimFilesystem:
@@ -101,18 +159,35 @@ class FilesystemResultCache:
     def get(self, key: str) -> Generation | None:
         path = self._path(key)
         if not self._fs.exists(path):
+            with self._lock:
+                self._misses += 1
             return None
         gen: Generation = self._fs.open(path)
+        with self._lock:
+            self._hits += 1
         return gen.as_cached()
 
     def put(self, generation: Generation) -> None:
         self._fs.create(self._path(generation.key), generation)
+        with self._lock:
+            self._puts += 1
 
     def __len__(self) -> int:
         return sum(1 for name in self._fs if name.startswith(f"{self._prefix}/"))
 
     def __contains__(self, key: str) -> bool:
         return self._fs.exists(self._path(key))
+
+    def stats(self) -> dict[str, int | str]:
+        with self._lock:
+            hits, misses, puts = self._hits, self._misses, self._puts
+        return {
+            "backend": "sim-fs",
+            "entries": len(self),
+            "hits": hits,
+            "misses": misses,
+            "puts": puts,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FilesystemResultCache(prefix={self._prefix!r}, entries={len(self)})"

@@ -14,11 +14,15 @@ assert on.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
-from typing import Callable, Hashable, Mapping
+from typing import TYPE_CHECKING, Callable, Hashable, Mapping
 
 from repro.core.task import EvalResult
 from repro.errors import HarnessError
+
+if TYPE_CHECKING:  # repro.persist builds on repro.runtime, not vice versa
+    from repro.persist import RunManifest, RunStore
 
 from repro.runtime.cache import ResultCache, ScoreCache
 from repro.runtime.executors import Executor, SerialExecutor
@@ -81,6 +85,7 @@ class RunResult:
     plan: Plan
     results: Mapping[str, UnitResult]
     stats: RunStats
+    manifest: "RunManifest | None" = None  # recorded when a store was used
 
     def eval_result(self, spec: EvalSpec) -> EvalResult:
         """The :class:`EvalResult` for one ``add_eval`` handle."""
@@ -97,6 +102,7 @@ def run(
     cache: ResultCache | None = None,
     score_cache: ScoreCache | None = None,
     scheduler: Scheduler | None = None,
+    store: "RunStore | None" = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
 
@@ -113,7 +119,22 @@ def run(
     trains its cost model online.  ``score_cache`` memoizes scores
     across runs; when omitted, a fresh per-run cache still collapses the
     metric work of deduplicated units.
+
+    ``store`` plugs in a durable :class:`~repro.persist.RunStore`: unless
+    overridden by an explicit ``cache``/``score_cache``, generations and
+    scores are read from and written through to disk (shared with every
+    process pointed at the same directory), and the run is recorded as a
+    :class:`~repro.persist.RunManifest` — so an interrupted or repeated
+    sweep re-generates only the units the store has never seen, and
+    ``RunResult.manifest`` documents exactly how each run was satisfied.
     """
+    started_unix = time.time()
+    started = time.perf_counter()
+    if store is not None:
+        if cache is None:
+            cache = store.result_cache
+        if score_cache is None:
+            score_cache = store.score_cache()
     executor = executor or SerialExecutor()
     scheduler = scheduler if scheduler is not None else PlanOrderScheduler()
     score_cache = score_cache if score_cache is not None else ScoreCache()
@@ -157,8 +178,14 @@ def run(
             if observe is not None:
                 observe(unit, gen.elapsed_s)
         if cache is not None:
-            for unit in pending:
-                cache.put(produced[unit.key])
+            put_many = getattr(cache, "put_many", None)
+            if put_many is not None:
+                # one lock acquisition / append batch for backends that
+                # support it (in-memory, disk); semantics identical
+                put_many([produced[unit.key] for unit in pending])
+            else:
+                for unit in pending:
+                    cache.put(produced[unit.key])
 
     results: dict[str, UnitResult] = {}
     target_hashes: dict[str, str] = {}  # per-run memo of target digests
@@ -190,4 +217,15 @@ def run(
         score_hits=score_hits,
         generation_seconds=generation_seconds,
     )
-    return RunResult(plan=plan, results=results, stats=stats)
+    manifest = None
+    if store is not None:
+        manifest = store.record_run(
+            plan=plan,
+            stats=stats,
+            executor=executor,
+            scheduler=scheduler,
+            cache=cache,
+            started_unix=started_unix,
+            wall_seconds=time.perf_counter() - started,
+        )
+    return RunResult(plan=plan, results=results, stats=stats, manifest=manifest)

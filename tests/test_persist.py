@@ -1,0 +1,526 @@
+"""Durable run store: records, segments, locking, manifests, resume, CLI."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import run_configuration
+from repro.core.scorers import CodeSimilarityScorer, Score
+from repro.errors import PersistError, RecordCorruptError, StoreError
+from repro.llm.types import ModelUsage
+from repro.persist import (
+    RunStore,
+    decode_record,
+    disk_score_key,
+    encode_record,
+    plan_fingerprint,
+    stable_fingerprint_token,
+)
+from repro.persist.segments import list_segments, segment_name, segment_number
+from repro.runtime import (
+    FilesystemResultCache,
+    InMemoryResultCache,
+    Plan,
+    ResultCache,
+    run,
+)
+from repro.runtime.units import Generation
+from repro.store import SimFilesystem
+
+SMALL = dict(models=["o3", "llama-3.3-70b"], systems=["adios2", "wilkins"], epochs=2)
+
+
+def make_generation(i: int = 0, completion: str = "payload") -> Generation:
+    return Generation(
+        key=f"{i:064x}",
+        model="sim/gpt-4o",
+        completion=f"{completion} #{i}\nwith a second line and ünïcode",
+        usage=ModelUsage(input_tokens=10 + i, output_tokens=20 + i),
+        elapsed_s=0.125 * i,
+    )
+
+
+def small_plan() -> Plan:
+    from repro.core.experiments.configuration import configuration_task
+
+    plan = Plan("persist-test")
+    plan.add_eval(configuration_task("adios2"), "sim/o3", epochs=2)
+    return plan
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        from repro.persist.records import (
+            generation_from_payload,
+            generation_payload,
+        )
+
+        gen = make_generation(3)
+        line = encode_record(generation_payload(gen))
+        assert generation_from_payload(decode_record(line)) == gen
+
+    def test_checksum_detects_bit_flip(self):
+        from repro.persist.records import generation_payload
+
+        line = bytearray(encode_record(generation_payload(make_generation())))
+        line[80] ^= 0x01  # flip one payload bit
+        with pytest.raises(RecordCorruptError):
+            decode_record(bytes(line))
+
+    def test_torn_tail_rejected(self):
+        from repro.persist.records import generation_payload
+
+        line = encode_record(generation_payload(make_generation()))
+        with pytest.raises(RecordCorruptError):
+            decode_record(line[:-10])
+
+    def test_stable_fingerprint_tokens(self):
+        from repro.utils.text import strip_markdown_chatter
+
+        assert stable_fingerprint_token(("a", 1, 2.5, None, True)) is not None
+        token = stable_fingerprint_token(strip_markdown_chatter)
+        assert token == "repro.utils.text:strip_markdown_chatter"
+        assert stable_fingerprint_token(lambda x: x) is None
+        assert stable_fingerprint_token(("ok", lambda x: x)) is None
+        assert stable_fingerprint_token(object()) is None
+
+    def test_disk_score_key_for_default_scorer(self):
+        scorer = CodeSimilarityScorer()
+        key = ("a" * 64, "b" * 64, scorer.fingerprint)
+        assert disk_score_key(key) is not None
+        # same logical scorer in "another process" -> same durable key
+        assert disk_score_key(("a" * 64, "b" * 64, CodeSimilarityScorer().fingerprint)) == disk_score_key(key)
+
+    def test_disk_score_key_refuses_unstable_fingerprints(self):
+        lam = lambda completion: completion  # noqa: E731
+        scorer = CodeSimilarityScorer(extractor=lam)
+        assert disk_score_key(("a" * 64, "b" * 64, scorer.fingerprint)) is None
+        assert disk_score_key("not-a-tuple") is None
+
+
+class TestSegments:
+    def test_names_roundtrip(self):
+        assert segment_number(segment_name(7)) == 7
+        assert segment_number("segment-000007.seg") == 7
+        assert segment_number("other.txt") is None
+        assert segment_number("segment-xx.seg") is None
+
+
+class TestRunStore:
+    def test_put_get_roundtrip_and_reopen(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        gens = [make_generation(i) for i in range(5)]
+        store.put_generations(gens)
+        for gen in gens:
+            assert store.get_generation(gen.key) == gen
+        assert store.get_generation("f" * 64) is None
+        store.close()
+
+        reopened = RunStore(tmp_path / "store")
+        for gen in gens:
+            assert reopened.get_generation(gen.key) == gen
+
+    def test_open_missing_without_create(self, tmp_path):
+        with pytest.raises(StoreError):
+            RunStore(tmp_path / "absent", create=False)
+        with pytest.raises(PersistError):
+            RunStore(tmp_path / "store", max_segment_bytes=0)
+
+    def test_open_readonly_never_scaffolds_foreign_directories(self, tmp_path):
+        """create=False on a non-store dir errors and leaves it untouched."""
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        (plain / "unrelated.txt").write_text("hello")
+        with pytest.raises(StoreError, match="no store at"):
+            RunStore(plain, create=False)
+        assert sorted(p.name for p in plain.iterdir()) == ["unrelated.txt"]
+
+    def test_store_path_that_is_a_file_is_a_store_error(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_text("not a store")
+        with pytest.raises(StoreError, match="not a directory"):
+            RunStore(target)
+        with pytest.raises(StoreError, match="not a directory"):
+            RunStore(target, create=False)
+
+    def test_concurrent_gc_does_not_cold_start_other_handles(self, tmp_path):
+        """A handle whose index predates another process's gc stays warm."""
+        a = RunStore(tmp_path / "store")
+        b = RunStore(tmp_path / "store")
+        gens = [make_generation(i) for i in range(5)]
+        a.put_generations(gens)
+        for gen in gens:  # b indexes the pre-compaction segment
+            assert b.get_generation(gen.key) is not None
+        a.gc()  # compacts into a new segment, deletes the one b indexed
+        for gen in gens:
+            assert b.get_generation(gen.key) == gen  # refresh, not a miss
+
+    def test_segment_rotation(self, tmp_path):
+        store = RunStore(tmp_path / "store", max_segment_bytes=512)
+        for i in range(10):
+            store.put_generation(make_generation(i))
+        segments = list_segments(tmp_path / "store" / "segments")
+        assert len(segments) > 1
+        for i in range(10):
+            assert store.get_generation(make_generation(i).key) is not None
+
+    def test_two_instances_share_one_directory(self, tmp_path):
+        """Two store handles (as two processes would hold) stay coherent."""
+        a = RunStore(tmp_path / "store")
+        b = RunStore(tmp_path / "store")
+        gen = make_generation(1)
+        a.put_generation(gen)
+        assert b.get_generation(gen.key) == gen  # b discovers a's append
+        gen2 = make_generation(2)
+        b.put_generation(gen2)
+        assert a.get_generation(gen2.key) == gen2
+
+    def test_corrupt_record_skipped_with_warning(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_generations([make_generation(i) for i in range(3)])
+        store.close()
+        seg = list_segments(tmp_path / "store" / "segments")[0]
+        raw = seg.read_bytes().splitlines(keepends=True)
+        raw[1] = b"deadbeef " + raw[1].split(b" ", 1)[1]  # break one checksum
+        seg.write_bytes(b"".join(raw))
+        (tmp_path / "store" / "index.json").unlink()  # force a rescan
+
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            fresh = RunStore(tmp_path / "store")
+        assert fresh.get_generation(make_generation(0).key) is not None
+        assert fresh.get_generation(make_generation(1).key) is None  # skipped
+        assert fresh.get_generation(make_generation(2).key) is not None
+        report = fresh.verify()
+        assert not report.clean
+        assert any("checksum mismatch" in problem for problem in report.problems)
+
+    def test_torn_tail_skipped_and_healed_by_next_append(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_generation(make_generation(0))
+        store.close()
+        seg = list_segments(tmp_path / "store" / "segments")[0]
+        with seg.open("ab") as handle:
+            handle.write(b"abc123 {\"kind\": torn-partial-record")  # no newline
+        (tmp_path / "store" / "index.json").unlink()
+
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            fresh = RunStore(tmp_path / "store")
+        assert fresh.get_generation(make_generation(0).key) is not None
+        # the next append re-sees the torn bytes (warned again), terminates
+        # them, and lands its own record cleanly after the healed garbage
+        with pytest.warns(RuntimeWarning, match="torn tail"):
+            fresh.put_generation(make_generation(1))
+        assert fresh.get_generation(make_generation(1).key) is not None
+        with pytest.warns(RuntimeWarning):
+            again = RunStore(tmp_path / "store")
+        assert again.get_generation(make_generation(1).key) is not None
+
+    def test_gc_drops_stale_corrupt_and_orphans(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        gen = make_generation(0)
+        store.put_generation(gen)
+        store.put_generation(gen)  # duplicate -> stale line
+        score = Score(values={"bleu": 50.0}, answer="x")
+        store.put_score("c" * 64, gen.key, score)
+        store.put_score("d" * 64, "9" * 64, score)  # orphan: no such generation
+        stats = store.gc()
+        assert stats.stale_dropped == 1
+        assert stats.orphan_scores_dropped == 1
+        assert stats.records_after == 2  # gen + attached score
+        assert stats.bytes_after < stats.bytes_before
+        assert store.get_generation(gen.key) == gen
+        assert store.get_score("c" * 64) == score
+        assert store.get_score("d" * 64) is None
+        report = store.verify()
+        assert report.clean and report.stale == 0
+
+    def test_gc_heals_corruption(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_generations([make_generation(i) for i in range(3)])
+        store.close()
+        seg = list_segments(tmp_path / "store" / "segments")[0]
+        raw = seg.read_bytes().splitlines(keepends=True)
+        raw[1] = b"deadbeef " + raw[1].split(b" ", 1)[1]
+        seg.write_bytes(b"".join(raw))
+        (tmp_path / "store" / "index.json").unlink()
+
+        with pytest.warns(RuntimeWarning):
+            fresh = RunStore(tmp_path / "store")
+        gc_stats = fresh.gc()
+        assert gc_stats.corrupt_dropped == 1
+        assert fresh.verify().clean
+
+    def test_stale_index_snapshot_is_discarded(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_generation(make_generation(0))
+        store.close()
+        snapshot = tmp_path / "store" / "index.json"
+        payload = json.loads(snapshot.read_text())
+        payload["scanned"] = {"segment-000099.seg": 10}  # vanished segment
+        snapshot.write_text(json.dumps(payload))
+        fresh = RunStore(tmp_path / "store")  # falls back to a full scan
+        assert fresh.get_generation(make_generation(0).key) is not None
+
+        snapshot.write_text("{not json")
+        assert RunStore(tmp_path / "store").get_generation(
+            make_generation(0).key
+        ) is not None
+
+    def test_stats_counts(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.put_generations([make_generation(i) for i in range(4)])
+        store.put_score("c" * 64, make_generation(0).key, Score({"bleu": 1.0}, "a"))
+        stats = store.stats()
+        assert stats.generations == 4
+        assert stats.scores == 1
+        assert stats.segments == 1
+        assert stats.segment_bytes > 0
+        assert "4 generation(s)" in stats.describe()
+
+
+class TestDiskResultCache:
+    def test_satisfies_result_cache_protocol(self, tmp_path):
+        cache = RunStore(tmp_path / "store").result_cache
+        assert isinstance(cache, ResultCache)
+
+    @pytest.mark.parametrize("backend", ["memory", "fs", "disk"])
+    def test_introspection_parity(self, backend, tmp_path):
+        """All three backends expose the same len/stats surface."""
+        if backend == "memory":
+            cache = InMemoryResultCache()
+        elif backend == "fs":
+            cache = FilesystemResultCache(SimFilesystem())
+        else:
+            cache = RunStore(tmp_path / "store").result_cache
+        gen = make_generation(1)
+        assert len(cache) == 0
+        assert cache.get(gen.key) is None
+        cache.put(gen)
+        hit = cache.get(gen.key)
+        assert hit is not None and hit.cached
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert isinstance(stats["backend"], str)
+
+    def test_put_many_batches(self, tmp_path):
+        cache = RunStore(tmp_path / "store").result_cache
+        cache.put_many([make_generation(i) for i in range(3)])
+        assert len(cache) == 3
+        assert cache.stats()["puts"] == 3
+
+
+class TestScorePersistence:
+    def test_scores_survive_process_boundary(self, tmp_path):
+        plan = small_plan()
+        with RunStore(tmp_path / "store") as store:
+            run(plan, store=store)
+
+        fresh = RunStore(tmp_path / "store")
+        outcome = run(small_plan(), store=fresh)
+        assert outcome.stats.generated == 0
+        assert outcome.stats.scores_computed == 0
+        assert outcome.stats.score_hits == outcome.stats.total_units
+
+    def test_unstable_scorer_stays_in_memory(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        score_cache = store.score_cache()
+        key = ("a" * 64, "b" * 64, lambda x: x)
+        score_cache.put(key, Score({"bleu": 1.0}, "a"))
+        assert score_cache.get(key) is not None  # memory layer
+        assert store.stats().scores == 0  # nothing durable
+        assert score_cache.stats()["unpersistable"] == 1
+
+
+class TestManifests:
+    def test_run_records_manifest(self, tmp_path):
+        plan = small_plan()
+        with RunStore(tmp_path / "store") as store:
+            outcome = run(plan, store=store)
+            manifest = outcome.manifest
+            assert manifest is not None
+            assert manifest.plan_name == "persist-test"
+            assert manifest.plan_fingerprint == plan_fingerprint(plan)
+            assert manifest.unit_keys == tuple(u.key for u in plan.units)
+            assert manifest.executor == "SerialExecutor()"
+            assert manifest.stats == outcome.stats
+            assert manifest.resumed_from is None
+            assert store.manifests() == [manifest]
+            assert store.latest_manifest(manifest.plan_fingerprint) == manifest
+            assert store.latest_manifest("0" * 64) is None
+
+    def test_repeat_run_links_to_predecessor(self, tmp_path):
+        with RunStore(tmp_path / "store") as store:
+            first = run(small_plan(), store=store).manifest
+            second = run(small_plan(), store=store).manifest
+        assert second.resumed_from == first.run_id
+        assert second.stats.generated == 0
+        assert second.stats.cache_hits > 0
+        assert "resumed_from" in second.describe()
+
+    def test_no_store_no_manifest(self):
+        assert run(small_plan()).manifest is None
+
+    def test_explicit_cache_still_records_manifest(self, tmp_path):
+        with RunStore(tmp_path / "store") as store:
+            outcome = run(small_plan(), cache=InMemoryResultCache(), store=store)
+        assert outcome.manifest is not None
+        assert outcome.manifest.cache.startswith("InMemoryResultCache")
+        # the store cache was bypassed, so no generations were persisted
+        assert store.stats().generations == 0
+
+
+class TestResumableSweep:
+    def test_table1_sweep_resumes_bit_identical(self, tmp_path):
+        """Acceptance: warm second pass = zero generations, identical grid."""
+        cold_serial = run_configuration(**SMALL)
+
+        with RunStore(tmp_path / "store") as store:
+            run_configuration(**SMALL, store=store)
+        with RunStore(tmp_path / "store") as store:
+            warm = run_configuration(**SMALL, store=store)
+            manifest = store.latest_manifest()
+        assert manifest.stats.generated == 0
+        assert manifest.stats.cache_hits == manifest.stats.total_units - manifest.stats.deduplicated
+        for row in cold_serial.row_keys:
+            for model in cold_serial.models:
+                assert cold_serial.cell(row, model) == warm.cell(row, model)
+
+    def test_interrupted_sweep_regenerates_only_missing_units(self, tmp_path):
+        """A partial store (interrupted run) is topped up, not redone."""
+        with RunStore(tmp_path / "store") as store:
+            run_configuration(
+                models=["o3"], systems=["adios2"], epochs=2, store=store
+            )
+            partial = store.stats().generations
+        with RunStore(tmp_path / "store") as store:
+            run_configuration(**SMALL, store=store)
+            manifest = store.latest_manifest()
+        assert partial > 0
+        assert manifest.stats.cache_hits == partial
+        assert manifest.stats.generated == manifest.stats.total_units - partial - manifest.stats.deduplicated
+
+
+def _worker_sweep(store_path: str) -> None:
+    """Run the small Table-1 sweep against a shared store (child process)."""
+    from repro.core.experiments import run_configuration
+    from repro.persist import RunStore
+
+    with RunStore(store_path) as store:
+        run_configuration(
+            models=["o3", "llama-3.3-70b"],
+            systems=["adios2", "wilkins"],
+            epochs=2,
+            store=store,
+        )
+
+
+class TestCrossProcessSharing:
+    def test_two_processes_one_store(self, tmp_path):
+        """Acceptance: concurrent workers share one store without corruption,
+        and a subsequent pass performs zero generations."""
+        store_path = str(tmp_path / "store")
+        ctx = multiprocessing.get_context("spawn")
+        workers = [
+            ctx.Process(target=_worker_sweep, args=(store_path,)) for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        assert all(worker.exitcode == 0 for worker in workers)
+
+        with RunStore(store_path) as store:
+            report = store.verify()
+            assert report.clean, report.describe()
+            assert report.generations > 0
+            assert len(store.manifests()) == 2
+            # second pass over the shared warm store: zero model calls
+            warm = run_configuration(**SMALL, store=store)
+            assert store.latest_manifest().stats.generated == 0
+        cold = run_configuration(**SMALL)
+        for row in cold.row_keys:
+            for model in cold.models:
+                assert cold.cell(row, model) == warm.cell(row, model)
+
+
+def run_cli(args: list[str], cwd: Path | None = None) -> subprocess.CompletedProcess:
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env['PYTHONPATH']}" if env.get(
+        "PYTHONPATH"
+    ) else str(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.persist", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+class TestCLI:
+    @pytest.fixture()
+    def populated_store(self, tmp_path) -> str:
+        with RunStore(tmp_path / "store") as store:
+            run(small_plan(), store=store)
+        return str(tmp_path / "store")
+
+    def test_stats(self, populated_store):
+        proc = run_cli(["stats", populated_store])
+        assert proc.returncode == 0
+        assert "generation(s)" in proc.stdout
+
+    def test_verify_clean(self, populated_store):
+        proc = run_cli(["verify", populated_store])
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_verify_unclean_exits_nonzero(self, populated_store):
+        seg = list_segments(Path(populated_store) / "segments")[0]
+        raw = seg.read_bytes().splitlines(keepends=True)
+        raw[0] = b"deadbeef " + raw[0].split(b" ", 1)[1]
+        seg.write_bytes(b"".join(raw))
+        proc = run_cli(["verify", populated_store])
+        assert proc.returncode == 1
+        assert "checksum mismatch" in proc.stdout
+
+    def test_gc_then_verify(self, populated_store):
+        proc = run_cli(["gc", populated_store])
+        assert proc.returncode == 0
+        assert "gc:" in proc.stdout
+        assert run_cli(["verify", populated_store]).returncode == 0
+
+    def test_ls_runs(self, populated_store):
+        proc = run_cli(["ls-runs", populated_store])
+        assert proc.returncode == 0
+        assert "plan='persist-test'" in proc.stdout
+        assert "generated=" in proc.stdout
+
+    def test_ls_runs_empty_store(self, tmp_path):
+        RunStore(tmp_path / "store").close()
+        proc = run_cli(["ls-runs", str(tmp_path / "store")])
+        assert proc.returncode == 0
+        assert "no runs recorded" in proc.stdout
+
+    def test_missing_store_is_a_clean_error(self, tmp_path):
+        proc = run_cli(["stats", str(tmp_path / "nowhere")])
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unknown_command_rejected(self, tmp_path):
+        proc = run_cli(["defrag", str(tmp_path)])
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr

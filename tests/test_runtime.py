@@ -94,6 +94,29 @@ class TestPlan:
             "prompt", "sim/o3", GenerateConfig(temperature=0.7, seed=0)
         )
 
+    def test_generation_key_golden_values(self):
+        """Pinned content addresses: the on-disk store contract.
+
+        A durable :mod:`repro.persist` store written today must still be
+        consulted correctly by any future build, so the key derivation
+        may never drift.  If this test fails, the change breaks every
+        existing on-disk cache — don't update the constants unless that
+        cost is intended (and then bump the store layout too).
+        """
+        assert generation_key(
+            "Generate the ADIOS2 XML configuration for a 3-node workflow.",
+            "sim/gpt-4o",
+            GenerateConfig(temperature=0.2, top_p=0.95, max_tokens=4096, seed=0),
+        ) == "9958be4ab9f9baf17f52887cc7a9f9612110e3aa35aff3f95d3532abe5f94a1c"
+        assert generation_key(
+            "Generate the ADIOS2 XML configuration for a 3-node workflow.",
+            "sim/gpt-4o",
+            GenerateConfig(temperature=0.2, top_p=0.95, max_tokens=4096, seed=3),
+        ) == "6f18d905b31455e1233cd87223c5ffaa1378c2beb46e4a7b15712d6e6baf7a78"
+        assert generation_key("", "sim/o3", GenerateConfig()) == (
+            "d126e8b1d262ca47c6730a9227ddf70843ed9d5bc9b33da3f52ddfea367f1daa"
+        )
+
 
 class TestExecutorEquivalence:
     """Serial, threaded and MPI-shard execution must be bit-identical."""
