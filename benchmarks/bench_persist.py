@@ -2,10 +2,17 @@
 
 Times the persistence layer on two scenarios:
 
-* ``records`` — raw segment throughput: batched ``put`` of N synthetic
-  generations, then per-record ``get`` from a *fresh* store instance
-  (cold index scan + on-demand record reads), then a GC pass over the
-  doubled (duplicated) store;
+* ``records`` — raw segment throughput, batched write vs. batched read
+  (the runtime's production paths: the runner writes via ``put_many``
+  and reads via ``get_many``): batched ``put`` of N synthetic
+  generations, then a batched ``get`` from a *fresh* store instance
+  (offset-sorted positioned preads), then a GC pass over the doubled
+  (duplicated) store.  In full mode the offset-indexed read path must
+  hold ``get_over_put <= 1.2`` (it used to be ~3.6× before the
+  rewrite, when every get re-opened its segment and re-scanned);
+* ``persist_read`` — the read path on its own: per-record ``get`` with
+  the decoded-payload LRU disabled (every read hits disk), batched
+  ``get_many`` (reads sorted by segment offset), and warm-LRU re-reads;
 * ``sweep`` — the end-to-end promise: a small Table-1 configuration
   sweep run cold against an empty store, then re-run warm from a fresh
   store handle (as a new process would), asserting the warm pass
@@ -69,9 +76,9 @@ def _bench_records(root: pathlib.Path) -> dict:
 
     fresh = RunStore(root)  # new handle: index rebuilt, records read on demand
     started = time.perf_counter()
-    for gen in gens:
-        assert fresh.get_generation(gen.key) is not None
+    found = fresh.get_generations([gen.key for gen in gens])
     get_s = time.perf_counter() - started
+    assert len(found) == N_RECORDS
 
     fresh.put_generations(gens)  # duplicate every record for GC to reclaim
     started = time.perf_counter()
@@ -89,6 +96,50 @@ def _bench_records(root: pathlib.Path) -> dict:
         "get_ms_per_record": get_ms,
         "get_over_put": get_ms / max(put_ms, 1e-9),
         "gc_ms": gc_s * 1000,
+    }
+
+
+def _bench_persist_read(root: pathlib.Path) -> dict:
+    gens = [_synthetic_generation(i) for i in range(N_RECORDS)]
+    with RunStore(root) as store:
+        store.put_generations(gens)
+
+    # cold reads, LRU off: every get is one positioned pread + checksum
+    cold = RunStore(root, read_cache_entries=0)
+    started = time.perf_counter()
+    for gen in gens:
+        assert cold.get_generation(gen.key) is not None
+    get_s = time.perf_counter() - started
+    assert cold.stats().read_lru_hits == 0
+
+    # batched get_many from a fresh handle: reads sorted by offset
+    batched = RunStore(root, read_cache_entries=0)
+    started = time.perf_counter()
+    found = batched.get_generations([gen.key for gen in gens])
+    get_many_s = time.perf_counter() - started
+    assert len(found) == N_RECORDS
+
+    # warm LRU: second pass over an LRU sized to hold everything
+    warm = RunStore(root, read_cache_entries=N_RECORDS)
+    for gen in gens:
+        warm.get_generation(gen.key)
+    started = time.perf_counter()
+    for gen in gens:
+        assert warm.get_generation(gen.key) is not None
+    warm_s = time.perf_counter() - started
+    assert warm.stats().read_lru_hits == N_RECORDS
+
+    get_ms = get_s * 1000 / N_RECORDS
+    get_many_ms = get_many_s * 1000 / N_RECORDS
+    warm_ms = warm_s * 1000 / N_RECORDS
+    return {
+        "scenario": "persist_read",
+        "n_records": N_RECORDS,
+        "get_ms_per_record": get_ms,
+        "get_many_ms_per_record": get_many_ms,
+        "warm_lru_ms_per_record": warm_ms,
+        "get_many_over_get": get_many_ms / max(get_ms, 1e-9),
+        "warm_lru_over_get": warm_ms / max(get_ms, 1e-9),
     }
 
 
@@ -153,6 +204,16 @@ def bench_persist(report):
             f"gc {records['gc_ms']:.1f} ms for {2 * N_RECORDS} records"
         )
 
+        reads = _bench_persist_read(tmp / "reads")
+        results.append(reads)
+        lines.append(
+            f"reads     get {reads['get_ms_per_record']:.4f} ms/rec   "
+            f"get_many {reads['get_many_ms_per_record']:.4f} ms/rec "
+            f"(x{reads['get_many_over_get']:.2f})   "
+            f"warm-LRU {reads['warm_lru_ms_per_record']:.4f} ms/rec "
+            f"(x{reads['warm_lru_over_get']:.2f})"
+        )
+
         sweep = _bench_sweep(tmp / "sweep")
         results.append(sweep)
         lines.append(
@@ -173,4 +234,13 @@ def bench_persist(report):
         assert sweep["warm_over_cold"] < 1.0, (
             "a warm store pass (zero generations, zero scoring) should beat "
             f"the cold pass, got {sweep['warm_over_cold']:.2f}x"
+        )
+        assert records["get_over_put"] <= 1.2, (
+            "an offset-indexed get (one pread + checksum) should cost no "
+            "more than 1.2x an amortized put, got "
+            f"{records['get_over_put']:.2f}x"
+        )
+        assert reads["warm_lru_over_get"] < 1.0, (
+            "a warm-LRU read should beat a disk read, got "
+            f"{reads['warm_lru_over_get']:.2f}x"
         )

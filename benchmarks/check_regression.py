@@ -43,12 +43,29 @@ TRACKED = (
     ),
 )
 
-# durable-store section (merged under payload["persist"] by bench_persist.py);
-# each scenario normalizes its hot timing by a same-run same-machine reference
-PERSIST_TRACKED: dict[str, tuple[tuple[str, str, str], ...]] = {
-    "sweep": (("warm_vs_cold", "warm_ms", "cold_ms"),),
-    "records": (("get_vs_put", "get_ms_per_record", "put_ms_per_record"),),
+# merged sections (bench_persist.py / bench_runtime_scaling.py attach these
+# under their own payload keys); each scenario normalizes its hot timing by
+# a same-run same-machine reference
+SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
+    "persist": {
+        "sweep": (("warm_vs_cold", "warm_ms", "cold_ms"),),
+        "records": (("get_vs_put", "get_ms_per_record", "put_ms_per_record"),),
+        "persist_read": (
+            ("get_many_vs_get", "get_many_ms_per_record", "get_ms_per_record"),
+            ("warm_lru_vs_get", "warm_lru_ms_per_record", "get_ms_per_record"),
+        ),
+    },
+    "scoring": {
+        "score_heavy": (("pipelined_vs_serial", "pipelined_ms", "serial_ms"),),
+    },
 }
+
+# absolute floors, mode-independent: these are ratios of two same-run
+# timings, so they are hardware-normalized by construction.  get_over_put
+# regressing past 2x means the offset-indexed read path came undone.
+ABSOLUTE_CAPS: tuple[tuple[str, str, str, float], ...] = (
+    ("persist", "records", "get_over_put", 2.0),
+)
 
 
 def load_results(path: pathlib.Path) -> tuple[dict[str, dict], dict]:
@@ -116,28 +133,51 @@ def check(baseline_path: pathlib.Path, fresh_path: pathlib.Path,
         baseline, fresh, lambda _entry: TRACKED, threshold, strict
     )
 
-    base_persist = base_payload.get("persist")
-    fresh_persist = fresh_payload.get("persist")
-    if base_persist is not None:
-        if fresh_persist is None:
-            failures.append("persist section missing from fresh run")
-            print("  persist: section missing from fresh run [REGRESSED]")
-        elif base_persist.get("smoke") != fresh_persist.get("smoke"):
+    for section, tracked in sorted(SECTION_TRACKED.items()):
+        base_section = base_payload.get(section)
+        fresh_section = fresh_payload.get(section)
+        if base_section is None:
+            continue
+        if fresh_section is None:
+            failures.append(f"{section} section missing from fresh run")
+            print(f"  {section}: section missing from fresh run [REGRESSED]")
+            continue
+        if base_section.get("smoke") != fresh_section.get("smoke"):
             print(
-                "check_regression: persist mode mismatch (baseline smoke="
-                f"{base_persist.get('smoke')}, fresh smoke="
-                f"{fresh_persist.get('smoke')}); timings are not comparable",
+                f"check_regression: {section} mode mismatch (baseline smoke="
+                f"{base_section.get('smoke')}, fresh smoke="
+                f"{fresh_section.get('smoke')}); timings are not comparable",
                 file=sys.stderr,
             )
             return 2
-        else:
-            failures += compare_entries(
-                {entry["scenario"]: entry for entry in base_persist["results"]},
-                {entry["scenario"]: entry for entry in fresh_persist["results"]},
-                lambda entry: PERSIST_TRACKED.get(entry.get("scenario"), ()),
-                threshold,
-                strict,
+        failures += compare_entries(
+            {entry["scenario"]: entry for entry in base_section["results"]},
+            {entry["scenario"]: entry for entry in fresh_section["results"]},
+            lambda entry, tracked=tracked: tracked.get(
+                entry.get("scenario"), ()
+            ),
+            threshold,
+            strict,
+        )
+
+    for section, scenario, field, cap in ABSOLUTE_CAPS:
+        entries = {
+            entry["scenario"]: entry
+            for entry in (fresh_payload.get(section) or {}).get("results", [])
+        }
+        entry = entries.get(scenario)
+        value = entry.get(field) if entry is not None else None
+        if value is None:
+            failures.append(f"{section}/{scenario}/{field} missing from fresh run")
+            print(
+                f"  {section}/{scenario}/{field}: missing from fresh run "
+                "[REGRESSED]"
             )
+            continue
+        verdict = "REGRESSED" if value > cap else "ok"
+        print(f"  {section}/{scenario}/{field}: {value:.2f} (cap {cap}) [{verdict}]")
+        if value > cap:
+            failures.append(f"{section}/{scenario}/{field} {value:.2f} > cap {cap}")
 
     if failures:
         print(

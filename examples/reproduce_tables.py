@@ -12,17 +12,30 @@ so re-running the script against the same store performs zero model
 generations (and N concurrent runs may share one store).  Inspect it
 afterwards with ``python -m repro.persist {stats,verify,gc,ls-runs} PATH``.
 
+``--score-workers N`` pipelines scoring through a
+:class:`repro.runtime.ScoringPool` of N worker processes (completed
+units are scored while later ones still generate; grids stay
+bit-identical).  ``--profile`` prints the :mod:`repro.perf` phase
+breakdown of the whole script — where the wall time went, phase by
+phase — and ``--profile-json PATH`` saves it for
+``python -m repro.perf report PATH``.
+
 Usage:  python examples/reproduce_tables.py [--fast]
             [--executor {serial,threads,mpi,async,batched}] [--workers N]
             [--scheduler {plan,adaptive}] [--cache {memory,fs,disk}]
-            [--store PATH]
+            [--store PATH] [--score-workers N]
+            [--profile] [--profile-json PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 import time
+
+from repro import perf
 
 from repro.core.experiments import (
     run_annotation,
@@ -120,10 +133,24 @@ def main() -> None:
         help="durable run store directory: on-disk cross-process cache plus "
              "one recorded manifest per sweep (see python -m repro.persist)",
     )
+    parser.add_argument(
+        "--score-workers", type=int, default=0, metavar="N",
+        help="pipeline scoring through N worker processes (0 = inline "
+             "scoring on the run thread; grids are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the repro.perf phase breakdown of the whole script",
+    )
+    parser.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="save the phase profile as JSON (implies --profile; render "
+             "later with python -m repro.perf report PATH)",
+    )
     args = parser.parse_args()
     epochs = 2 if args.fast else 5
 
-    from repro.errors import StoreError
+    from repro.errors import HarnessError, StoreError
 
     try:
         store = None
@@ -135,61 +162,96 @@ def main() -> None:
         scheduler = make_scheduler(args.scheduler)
         cache_name = args.cache or ("disk" if store is not None else "memory")
         cache = make_cache(cache_name, store)
-    except (UsageError, StoreError) as exc:
+        scoring = None
+        if args.score_workers:
+            from repro.runtime import ScoringPool
+
+            scoring = ScoringPool(max_workers=args.score_workers)
+    except (UsageError, StoreError, HarnessError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         sys.exit(2)
+    profiling = args.profile or args.profile_json is not None
+    profile_ctx = perf.profiling() if profiling else contextlib.nullcontext()
     started = time.perf_counter()
 
-    grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler, store=store)
-    print(render_grid_table(grid1, "Table 1: workflow configuration"))
-    print()
+    try:
+        with profile_ctx as prof:
+            grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
+                                      scheduler=scheduler, store=store,
+                                      scoring=scoring)
+            print(render_grid_table(grid1, "Table 1: workflow configuration"))
+            print()
 
-    grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler, store=store)
-    print(render_grid_table(grid2, "Table 2: task code annotation"))
-    print()
+            grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
+                                   scheduler=scheduler, store=store, scoring=scoring)
+            print(render_grid_table(grid2, "Table 2: task code annotation"))
+            print()
 
-    grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler, store=store)
-    print(render_grid_table(grid3, "Table 3: task code translation"))
-    print()
+            grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
+                                    scheduler=scheduler, store=store, scoring=scoring)
+            print(render_grid_table(grid3, "Table 3: task code translation"))
+            print()
 
-    comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
-                              scheduler=scheduler, store=store)
-    print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
-    print()
+            comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
+                                     scheduler=scheduler, store=store,
+                                     scoring=scoring)
+            print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
+            print()
 
-    for experiment, title in (
-        ("configuration", "Figure 1(a): configuration"),
-        ("annotation", "Figure 1(b): annotation"),
-        ("translation", "Figure 1(c): translation"),
-    ):
-        results = run_prompt_sensitivity(
-            experiment, epochs=1, executor=executor, cache=cache,
-            scheduler=scheduler, store=store,
-        )
-        print(render_figure1(results, title))
-        print()
+            for experiment, title in (
+                ("configuration", "Figure 1(a): configuration"),
+                ("annotation", "Figure 1(b): annotation"),
+                ("translation", "Figure 1(c): translation"),
+            ):
+                results = run_prompt_sensitivity(
+                    experiment, epochs=1, executor=executor, cache=cache,
+                    scheduler=scheduler, store=store, scoring=scoring,
+                )
+                print(render_figure1(results, title))
+                print()
 
-    print("=== paper vs measured (BLEU deltas, original prompts) ===")
-    for (system, model), paper in sorted(TABLE1.items()):
-        print(compare_with_paper(grid1.cell(system, model), paper,
-                                 f"T1 {system}/{model}"))
-    for (system, model), paper in sorted(TABLE2.items()):
-        print(compare_with_paper(grid2.cell(system, model), paper,
-                                 f"T2 {system}/{model}"))
-    for (direction, model), paper in sorted(TABLE3.items()):
-        print(compare_with_paper(grid3.cell(direction, model), paper,
-                                 f"T3 {direction[0]}->{direction[1]}/{model}"))
+        print("=== paper vs measured (BLEU deltas, original prompts) ===")
+        for (system, model), paper in sorted(TABLE1.items()):
+            print(compare_with_paper(grid1.cell(system, model), paper,
+                                     f"T1 {system}/{model}"))
+        for (system, model), paper in sorted(TABLE2.items()):
+            print(compare_with_paper(grid2.cell(system, model), paper,
+                                     f"T2 {system}/{model}"))
+        for (direction, model), paper in sorted(TABLE3.items()):
+            print(compare_with_paper(grid3.cell(direction, model), paper,
+                                     f"T3 {direction[0]}->{direction[1]}/{model}"))
 
-    print(f"\ntotal time: {time.perf_counter() - started:.1f}s "
-          f"({epochs} trial(s) per table cell, executor={args.executor}, "
-          f"{len(cache)} cached generations)")
+        print(f"\ntotal time: {time.perf_counter() - started:.1f}s "
+              f"({epochs} trial(s) per table cell, executor={args.executor}, "
+              f"{len(cache)} cached generations)")
+    finally:
+        # release worker processes and snapshot the store index even when
+        # a sweep fails midway
+        if scoring is not None:
+            scoring.close()
+        if store is not None:
+            store.close()
     if store is not None:
-        store.close()
         print(f"store: {store.stats().describe()}; "
               f"{len(store.manifests())} run manifest(s) recorded")
+    if profiling:
+        profile = prof.snapshot()
+        print()
+        print(perf.render_profile(
+            profile, title="phase profile (whole script, repro.perf)"
+        ))
+        if args.profile_json is not None:
+            payload = perf.profile_payload(
+                profile,
+                script="reproduce_tables",
+                executor=args.executor,
+                epochs=epochs,
+                wall_seconds=time.perf_counter() - started,
+            )
+            with open(args.profile_json, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            print(f"\n[profile saved to {args.profile_json}; render with "
+                  f"python -m repro.perf report {args.profile_json}]")
 
 
 if __name__ == "__main__":

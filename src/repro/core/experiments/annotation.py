@@ -57,6 +57,7 @@ def run_annotation(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 2 grid."""
     return run_grid_sweep(
@@ -69,4 +70,5 @@ def run_annotation(
         cache=cache,
         scheduler=scheduler,
         store=store,
+        scoring=scoring,
     )

@@ -115,6 +115,7 @@ def run_grid_sweep(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> ExperimentGrid:
     """Plan and run a rows × models sweep through the runtime.
 
@@ -134,7 +135,7 @@ def run_grid_sweep(
         for model in models:
             specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store)
+                  store=store, scoring=scoring)
     grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
     for (row, model), spec in specs.items():
         grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))

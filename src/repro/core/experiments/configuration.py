@@ -67,6 +67,7 @@ def run_configuration(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 1 grid."""
     return run_grid_sweep(
@@ -79,4 +80,5 @@ def run_configuration(
         cache=cache,
         scheduler=scheduler,
         store=store,
+        scoring=scoring,
     )

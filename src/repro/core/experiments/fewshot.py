@@ -51,6 +51,7 @@ def run_fewshot(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> FewshotComparison:
     """Run both shot modes and average over the configuration systems."""
     plan = Plan("fewshot")
@@ -63,7 +64,7 @@ def run_fewshot(
                     task, f"sim/{model}", epochs=epochs
                 )
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store)
+                  store=store, scoring=scoring)
 
     def averaged(fewshot: bool) -> dict[str, CellResult]:
         out: dict[str, CellResult] = {}

@@ -50,6 +50,7 @@ def run_prompt_sensitivity(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> dict[Hashable, dict[str, dict[str, float]]]:
     """Sweep conditions × variants × models.
 
@@ -67,7 +68,7 @@ def run_prompt_sensitivity(
                     task, f"sim/{model}", epochs=epochs
                 )
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store)
+                  store=store, scoring=scoring)
     out: dict[Hashable, dict[str, dict[str, float]]] = {}
     for condition in conditions:
         out[condition] = {

@@ -58,6 +58,7 @@ def run_translation(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> ExperimentGrid:
     """Sweep models × directions; returns the Table 3 grid."""
     return run_grid_sweep(
@@ -70,4 +71,5 @@ def run_translation(
         cache=cache,
         scheduler=scheduler,
         store=store,
+        scoring=scoring,
     )

@@ -89,6 +89,7 @@ def evaluate(
     cache=None,
     scheduler=None,
     store=None,
+    scoring=None,
 ) -> EvalResult:
     """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
@@ -104,5 +105,6 @@ def evaluate(
     plan = Plan(f"evaluate/{task.name}")
     spec = plan.add_eval(task, model, epochs=epochs, config=config)
     return run(
-        plan, executor=executor, cache=cache, scheduler=scheduler, store=store
+        plan, executor=executor, cache=cache, scheduler=scheduler, store=store,
+        scoring=scoring,
     ).eval_result(spec)

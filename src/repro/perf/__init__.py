@@ -1,0 +1,50 @@
+"""Phase instrumentation: where a sweep's wall time actually goes.
+
+The runtime's hot paths (generation, scoring, cache lookups, store I/O)
+are wrapped in nestable :func:`span` timers.  With no profiler active a
+span costs one global load and a no-op context manager; inside a
+:func:`profiling` block every span accumulates into a thread-safe
+:class:`Profiler`, whose :class:`PhaseProfile` snapshots break a run
+down phase by phase.
+
+Quickstart::
+
+    from repro import perf
+    from repro.core.experiments import run_configuration
+
+    with perf.profiling() as prof:
+        run_configuration(epochs=2)
+    print(perf.render_profile(prof.snapshot()))
+
+:func:`repro.runtime.run` attaches a per-run profile to its
+:class:`~repro.runtime.runner.RunStats` whenever a profiler is active,
+``examples/reproduce_tables.py --profile`` prints the whole-script
+breakdown (``--profile-json PATH`` saves it), and
+``python -m repro.perf report PATH`` renders a saved profile.
+"""
+
+from repro.perf.report import (
+    load_profile,
+    profile_payload,
+    render_profile,
+)
+from repro.perf.spans import (
+    PhaseProfile,
+    PhaseTotals,
+    Profiler,
+    active_profiler,
+    profiling,
+    span,
+)
+
+__all__ = [
+    "span",
+    "profiling",
+    "active_profiler",
+    "Profiler",
+    "PhaseProfile",
+    "PhaseTotals",
+    "render_profile",
+    "load_profile",
+    "profile_payload",
+]

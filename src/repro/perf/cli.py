@@ -1,0 +1,42 @@
+"""CLI for the perf instrumentation layer.
+
+Usage::
+
+    python -m repro.perf report PROFILE.json
+
+renders a profile saved by ``examples/reproduce_tables.py
+--profile-json PROFILE.json`` (or any JSON produced by
+:meth:`repro.perf.PhaseProfile.as_dict` /
+:func:`repro.perf.profile_payload`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import HarnessError
+from repro.perf.report import load_profile, render_profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="render a saved phase profile")
+    report.add_argument("profile", help="profile JSON file (--profile-json output)")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    try:
+        profile = load_profile(args.profile)
+    except HarnessError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_profile(profile, title=f"phase profile — {args.profile}"))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        return 0
+    return 0

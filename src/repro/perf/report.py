@@ -1,0 +1,81 @@
+"""Render a :class:`~repro.perf.spans.PhaseProfile` as a readable table.
+
+The report groups phases by their nesting path (children indented under
+parents), sorted inside each level by total time descending, with a
+share-of-parent percentage — the "where did the wall time go" view the
+``--profile`` flag of ``examples/reproduce_tables.py`` and the
+``python -m repro.perf report`` CLI print.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import HarnessError
+from repro.perf.spans import PhaseProfile
+
+
+def load_profile(path: str | pathlib.Path) -> PhaseProfile:
+    """Read one profile JSON file (as written by ``--profile-json``)."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise HarnessError(f"cannot read profile {path}: {exc}") from None
+    except ValueError as exc:
+        raise HarnessError(f"profile {path} is not valid JSON: {exc}") from None
+    if isinstance(payload, dict) and "profile" in payload:
+        payload = payload["profile"]  # accept the --profile-json wrapper
+    return PhaseProfile.from_dict(payload)
+
+
+def _children(profile: PhaseProfile, parent: str | None) -> list[str]:
+    """Direct children of ``parent`` (top-level paths when None)."""
+    out = []
+    for path in profile.phases:
+        if parent is None:
+            if "/" not in path:
+                out.append(path)
+        elif path.startswith(parent + "/") and "/" not in path[len(parent) + 1 :]:
+            out.append(path)
+    return sorted(out, key=lambda p: -profile.phases[p].total_s)
+
+
+def render_profile(profile: PhaseProfile, *, title: str = "phase profile") -> str:
+    """Aligned breakdown table: phase → calls → total → mean → share."""
+    if not profile.phases:
+        return f"{title}: no phases recorded"
+    lines = [
+        title,
+        f"{'phase':<40} {'calls':>7} {'total ms':>10} {'mean ms':>9} "
+        f"{'max ms':>9} {'share':>6}",
+    ]
+    grand_total = sum(
+        profile.phases[p].total_s for p in _children(profile, None)
+    )
+
+    def emit(path: str, depth: int, parent_total: float) -> None:
+        totals = profile.phases[path]
+        share = totals.total_s / parent_total if parent_total > 1e-12 else 0.0
+        label = ("  " * depth) + path.rsplit("/", 1)[-1]
+        lines.append(
+            f"{label:<40} {totals.calls:>7} {totals.total_s * 1000:>10.1f} "
+            f"{totals.mean_s * 1000:>9.3f} {totals.max_s * 1000:>9.3f} "
+            f"{share * 100:>5.1f}%"
+        )
+        for child in _children(profile, path):
+            emit(child, depth + 1, totals.total_s)
+
+    for top in _children(profile, None):
+        emit(top, 0, grand_total)
+    lines.append(
+        f"{'(sum of top-level phases)':<40} {'':>7} {grand_total * 1000:>10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def profile_payload(profile: PhaseProfile, **extra: Any) -> dict[str, Any]:
+    """The JSON wrapper ``--profile-json`` writes (profile + context)."""
+    return {"profile": profile.as_dict(), **extra}

@@ -25,7 +25,8 @@ import os
 from dataclasses import asdict, dataclass
 from typing import Any
 
-from repro.errors import PersistError
+from repro.errors import HarnessError, PersistError
+from repro.perf import PhaseProfile
 from repro.runtime.plan import Plan
 from repro.runtime.runner import RunStats
 
@@ -76,7 +77,16 @@ class RunManifest:
     @staticmethod
     def from_payload(payload: dict[str, Any]) -> "RunManifest":
         try:
-            stats = RunStats(**payload["stats"])
+            stats_payload = dict(payload["stats"])
+            # the phase profile serializes as a nested dict (asdict);
+            # rebuild the dataclass so round-tripped stats stay typed
+            profile = stats_payload.pop("profile", None)
+            stats = RunStats(
+                **stats_payload,
+                profile=PhaseProfile.from_dict(profile)
+                if profile is not None
+                else None,
+            )
             return RunManifest(
                 run_id=payload["run_id"],
                 plan_name=payload["plan_name"],
@@ -90,7 +100,7 @@ class RunManifest:
                 wall_seconds=payload["wall_seconds"],
                 resumed_from=payload.get("resumed_from"),
             )
-        except (KeyError, TypeError) as exc:
+        except (KeyError, TypeError, HarnessError) as exc:
             raise PersistError(f"malformed run manifest: {exc}") from None
 
     def describe(self) -> str:

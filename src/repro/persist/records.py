@@ -69,7 +69,9 @@ def decode_record(line: bytes) -> dict[str, Any]:
     if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
         raise RecordCorruptError("checksum mismatch")
     try:
-        payload = json.loads(body)
+        # decode to str before json.loads: bytes input would pay a
+        # detect_encoding regex pass per record on the read hot path
+        payload = json.loads(body.decode("utf-8"))
     except ValueError as exc:  # pragma: no cover - checksum catches this first
         raise RecordCorruptError(f"payload is not valid JSON: {exc}") from None
     if not isinstance(payload, dict) or payload.get("kind") not in RECORD_KINDS:

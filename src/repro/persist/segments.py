@@ -62,13 +62,17 @@ def warn_corrupt(path: pathlib.Path, offset: int, reason: str) -> None:
     )
 
 
-def scan_records(
+def scan_entries(
     path: pathlib.Path,
     start: int = 0,
     *,
     on_corrupt: OnCorrupt = warn_corrupt,
-) -> Iterator[tuple[int, dict[str, Any]]]:
-    """Yield ``(offset, payload)`` for every valid record from ``start``.
+) -> Iterator[tuple[int, bytes, dict[str, Any]]]:
+    """Yield ``(offset, raw_line, payload)`` for every valid record.
+
+    The raw line (checksum + payload + newline, exactly as on disk) lets
+    offset-indexing callers record each entry's byte length and lets GC
+    re-emit live records verbatim without re-encoding or re-hashing.
 
     Corrupt records (checksum mismatch, malformed line, torn tail) are
     reported through ``on_corrupt`` and skipped.  An unterminated final
@@ -92,7 +96,18 @@ def scan_records(
             except RecordCorruptError as exc:
                 on_corrupt(path, offset, str(exc))
                 continue
-            yield offset, payload
+            yield offset, line, payload
+
+
+def scan_records(
+    path: pathlib.Path,
+    start: int = 0,
+    *,
+    on_corrupt: OnCorrupt = warn_corrupt,
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield ``(offset, payload)`` — :func:`scan_entries` minus the bytes."""
+    for offset, _line, payload in scan_entries(path, start, on_corrupt=on_corrupt):
+        yield offset, payload
 
 
 def append_blobs(

@@ -13,33 +13,54 @@ Layout of one store directory::
 
 N processes may share one store concurrently: appends happen under the
 exclusive lock (first scanning any bytes other writers added, so the
-in-memory index never goes blind), reads and scans under the shared
-lock.  The in-memory index maps ``kind:key`` to ``(segment, offset)``;
+in-memory index never goes blind), scans under the shared lock.  The
+in-memory index maps ``kind:key`` to ``(segment, offset, length)``;
 record payloads stay on disk and are read on demand, so a store with
 many thousands of generations costs the process only its key table.
+
+**The read path is lock-free.**  A ``get`` is one ``os.pread`` of
+exactly ``length`` bytes at ``offset`` on a persistent per-segment file
+descriptor — no file open, no seek, no ``fcntl`` round trip.  This is
+safe because segments are strictly append-only (the byte range an index
+entry points at is immutable once scanned), compaction replaces whole
+files via rename (an already-open descriptor keeps reading the old
+inode's complete contents, which for content-addressed records is the
+identical data), and every read re-verifies the record checksum — any
+racy read that does slip through decodes as corrupt and falls back to a
+locked rescan.  ``get_many`` batches lookups and sorts the reads by
+(segment, offset) so a cold sweep touches each segment sequentially,
+and a small read-through LRU caches decoded payloads so each record
+pays its checksum once.
 
 Crash safety comes from per-record checksums (a torn tail decodes as
 one corrupt record, skipped with a warning and healed by the next
 writer) and from write-temp-then-rename for every whole-file write
-(index snapshot, compacted segments, manifests).
+(index snapshot, compacted segments, manifests).  Appends group-commit:
+one lock acquisition and one ``write`` batch per ``put_many``, with the
+index snapshot debounced (rewritten only after ``snapshot_every``
+records accumulate, and on ``close``).
 
-:meth:`RunStore.gc` is the compaction pass: it rewrites all *live*
-records (the newest per key, minus corrupt lines and score entries
-whose generation vanished) into one fresh segment and deletes the old
-ones.  :meth:`RunStore.verify` is the auditor: a full checksum scan of
-every segment plus a parse of every manifest.
+:meth:`RunStore.gc` is the compaction pass: one streaming scan over the
+segments that keeps the newest raw line per key (no re-encode, no
+re-hash), drops corrupt lines and score entries whose generation
+vanished, and writes the survivors into one fresh segment.
+:meth:`RunStore.verify` is the auditor: a full checksum scan of every
+segment plus a parse of every manifest.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.scorers import Score
 from repro.errors import PersistError, RecordCorruptError, StoreError
+from repro.perf import span
 from repro.runtime.cache import ScoreCache
 from repro.runtime.units import Generation
 
@@ -60,6 +81,7 @@ from repro.persist.records import (
 from repro.persist.segments import (
     append_blobs,
     list_segments,
+    scan_entries,
     scan_records,
     segment_name,
     segment_number,
@@ -67,7 +89,33 @@ from repro.persist.segments import (
     write_atomic,
 )
 
-INDEX_VERSION = 1
+# version 2: index entries carry (segment, offset, length) so reads are
+# one positioned pread instead of an open+seek+readline
+INDEX_VERSION = 2
+
+
+class _SegmentReader:
+    """A persistent read-only descriptor for positioned segment reads.
+
+    ``os.pread`` carries its own offset, so one descriptor serves any
+    number of threads without seek races; the descriptor stays valid
+    (reading the original inode's full contents) even after another
+    process compacts the segment away.
+    """
+
+    __slots__ = ("fd",)
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.fd = os.open(path, os.O_RDONLY)
+
+    def pread(self, offset: int, length: int) -> bytes:
+        return os.pread(self.fd, length, offset)
+
+    def close(self) -> None:
+        try:
+            os.close(self.fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 @dataclass(frozen=True)
@@ -81,12 +129,17 @@ class StoreStats:
     scores: int
     manifests: int
     corrupt_skipped: int  # corrupt records seen by this process's scans
+    read_lru_hits: int = 0  # record reads served from the decoded-payload LRU
+    read_lru_misses: int = 0  # record reads that went to disk
+    bytes_read: int = 0  # record bytes this process pread from segments
 
     def describe(self) -> str:
         return (
             f"store {self.root}: {self.generations} generation(s), "
             f"{self.scores} score(s), {self.manifests} manifest(s) in "
-            f"{self.segments} segment(s) / {self.segment_bytes} bytes"
+            f"{self.segments} segment(s) / {self.segment_bytes} bytes; "
+            f"reads: {self.read_lru_hits} LRU hit(s), "
+            f"{self.read_lru_misses} miss(es), {self.bytes_read} byte(s)"
             + (f"; {self.corrupt_skipped} corrupt record(s) skipped"
                if self.corrupt_skipped else "")
         )
@@ -151,10 +204,20 @@ class RunStore:
         create: bool = True,
         max_segment_bytes: int = 8 << 20,
         fsync: bool = False,
+        read_cache_entries: int = 1024,
+        snapshot_every: int = 4096,
     ) -> None:
         if max_segment_bytes <= 0:
             raise PersistError(
                 f"max_segment_bytes must be positive, got {max_segment_bytes}"
+            )
+        if read_cache_entries < 0:
+            raise PersistError(
+                f"read_cache_entries must be >= 0, got {read_cache_entries}"
+            )
+        if snapshot_every <= 0:
+            raise PersistError(
+                f"snapshot_every must be positive, got {snapshot_every}"
             )
         self.root = pathlib.Path(root)
         self._segments_dir = self.root / "segments"
@@ -171,10 +234,18 @@ class RunStore:
             raise StoreError(f"no store at {self.root}")
         self.max_segment_bytes = max_segment_bytes
         self.fsync = fsync
+        self.read_cache_entries = read_cache_entries
+        self.snapshot_every = snapshot_every
         self._lock = FileLock(self.root / "LOCK")
-        self._mu = threading.Lock()  # guards the in-memory index
-        self._index: dict[str, tuple[str, int]] = {}
+        self._mu = threading.Lock()  # guards index, readers and the read LRU
+        self._index: dict[str, tuple[str, int, int]] = {}
         self._scanned: dict[str, int] = {}  # segment name -> bytes indexed
+        self._readers: dict[str, _SegmentReader] = {}  # persistent read fds
+        self._read_lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._read_lru_hits = 0
+        self._read_lru_misses = 0
+        self._bytes_read = 0
+        self._records_since_snapshot = 0
         self._corrupt_skipped = 0
         self._result_cache: DiskResultCache | None = None
         self._load_index_snapshot()
@@ -207,22 +278,29 @@ class RunStore:
         for key, entry in entries.items():
             if (
                 not isinstance(entry, list)
-                or len(entry) != 2
+                or len(entry) != 3
                 or entry[0] not in scanned
             ):
                 return
         self._scanned = {name: offset for name, offset in scanned.items()}
-        self._index = {key: (entry[0], entry[1]) for key, entry in entries.items()}
+        self._index = {
+            key: (entry[0], entry[1], entry[2]) for key, entry in entries.items()
+        }
+
+    def _snapshot_blob_locked(self) -> bytes:
+        """Serialize the index; caller holds ``self._mu``."""
+        payload = {
+            "version": INDEX_VERSION,
+            "scanned": dict(self._scanned),
+            "entries": {key: list(entry) for key, entry in self._index.items()},
+        }
+        return json.dumps(payload, sort_keys=True).encode("ascii")
 
     def write_index_snapshot(self) -> None:
         """Persist the index so the next open skips the full scan."""
         with self._mu:
-            payload = {
-                "version": INDEX_VERSION,
-                "scanned": dict(self._scanned),
-                "entries": {key: list(entry) for key, entry in self._index.items()},
-            }
-        blob = json.dumps(payload, sort_keys=True).encode("ascii")
+            blob = self._snapshot_blob_locked()
+            self._records_since_snapshot = 0
         with self._lock.exclusive():
             write_atomic(self._snapshot_path(), blob)
 
@@ -240,19 +318,24 @@ class RunStore:
         segments = list_segments(self._segments_dir)
         names = {seg.name for seg in segments}
         if any(name not in names for name in self._scanned):
+            # segment set changed under us (GC in another process): the
+            # whole index and every open descriptor refer to dead files
             self._index.clear()
             self._scanned.clear()
+            self._drop_readers_locked()
+            self._read_lru.clear()
         for seg in segments:
             size = seg.stat().st_size
             start = self._scanned.get(seg.name, 0)
             if size <= start:
                 continue
-            for offset, payload in scan_records(
+            for offset, line, payload in scan_entries(
                 seg, start, on_corrupt=self._note_corrupt
             ):
                 self._index[index_key(payload["kind"], payload["key"])] = (
                     seg.name,
                     offset,
+                    len(line),
                 )
             # consume up to the last terminated line only: a torn tail
             # stays unconsumed so its healed rewrite is rescanned later
@@ -290,66 +373,224 @@ class RunStore:
         if not payloads:
             return
         blobs = [encode_record(payload) for payload in payloads]
-        with self._mu:
-            with self._lock.exclusive():
-                # first index what other writers appended, so our offsets
-                # never shadow unscanned foreign bytes
-                self._scan_locked()
-                seg = self._active_segment_locked()
-                offsets = append_blobs(seg, blobs, fsync=self.fsync)
-                for payload, offset in zip(payloads, offsets):
-                    self._index[index_key(payload["kind"], payload["key"])] = (
-                        seg.name,
-                        offset,
-                    )
-                self._scanned[seg.name] = seg.stat().st_size
+        with span("store-io"), span("append"):
+            with self._mu:
+                with self._lock.exclusive():
+                    # first index what other writers appended, so our offsets
+                    # never shadow unscanned foreign bytes
+                    self._scan_locked()
+                    seg = self._active_segment_locked()
+                    offsets = append_blobs(seg, blobs, fsync=self.fsync)
+                    for payload, blob, offset in zip(payloads, blobs, offsets):
+                        ikey = index_key(payload["kind"], payload["key"])
+                        self._index[ikey] = (seg.name, offset, len(blob))
+                        self._read_lru.pop(ikey, None)  # superseded payload
+                    self._scanned[seg.name] = seg.stat().st_size
+                    self._records_since_snapshot += len(payloads)
+                    if self._records_since_snapshot >= self.snapshot_every:
+                        # debounced group-commit of the index: amortize the
+                        # snapshot rewrite over many appended records (close()
+                        # still writes a final snapshot for the tail)
+                        write_atomic(
+                            self._snapshot_path(), self._snapshot_blob_locked()
+                        )
+                        self._records_since_snapshot = 0
+
+    # -- low-level positioned reads ------------------------------------------
+
+    def _drop_readers_locked(self) -> None:
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+    def _reader_locked(self, name: str) -> _SegmentReader:
+        reader = self._readers.get(name)
+        if reader is None:
+            reader = _SegmentReader(self._segments_dir / name)
+            self._readers[name] = reader
+        return reader
+
+    def _lru_put_locked(self, ikey: str, payload: dict[str, Any]) -> None:
+        if self.read_cache_entries <= 0:
+            return
+        self._read_lru[ikey] = payload
+        self._read_lru.move_to_end(ikey)
+        while len(self._read_lru) > self.read_cache_entries:
+            self._read_lru.popitem(last=False)
+
+    def _pread_locked(self, entry: tuple[str, int, int]) -> bytes:
+        """One positioned read of an indexed record; caller holds ``_mu``.
+
+        Lock-free with respect to the file lock: the byte range of an
+        indexed entry is immutable (segments are append-only, compaction
+        replaces whole files), and the caller re-checksums the result.
+        """
+        name, offset, length = entry
+        data = self._reader_locked(name).pread(offset, length)
+        if len(data) != length:
+            raise RecordCorruptError(
+                f"short read: wanted {length} bytes at {offset}, got {len(data)}"
+            )
+        self._bytes_read += length
+        return data
+
+    def _drop_stale_locked(self, ikey: str, entry: tuple[str, int, int]) -> None:
+        """Forget an index entry (and its reader) that failed to read back."""
+        if self._index.get(ikey) == entry:
+            del self._index[ikey]
+        reader = self._readers.pop(entry[0], None)
+        if reader is not None:
+            reader.close()
 
     def _read_record(self, kind: str, key: str) -> dict[str, Any] | None:
         ikey = index_key(kind, key)
         refreshed = False
-        while True:
-            with self._mu:
-                entry = self._index.get(ikey)
-            if entry is None:
-                if refreshed:
-                    return None
-                self.refresh()
-                refreshed = True
-                continue
-            name, offset = entry
-            seg = self._segments_dir / name
-            try:
-                with self._lock.shared():
-                    with seg.open("rb") as handle:
-                        handle.seek(offset)
-                        line = handle.readline()
-                payload = decode_record(line)
-            except (OSError, RecordCorruptError):
-                # an indexed record should always read back; the entry is
-                # stale (typically a concurrent GC compacted the segment
-                # away) — drop it and rescan once: the live record is in
-                # the compacted segment, and a warm store must not read
-                # as cold just because another process tidied it.
+        with span("store-io"), span("read"):
+            while True:
+                # one lock cycle per read: lookup, pread, decode, LRU
+                # insert.  Decoding under the lock serializes concurrent
+                # single-record readers, but the runtime's bulk reads go
+                # through _read_many (one acquisition per batch) and the
+                # decode is a few microseconds — one cycle wins.
+                payload = None
                 with self._mu:
-                    if self._index.get(ikey) == entry:
-                        del self._index[ikey]
-                if refreshed:
-                    return None
+                    cached = self._read_lru.get(ikey)
+                    if cached is not None:
+                        self._read_lru.move_to_end(ikey)
+                        self._read_lru_hits += 1
+                        return cached
+                    entry = self._index.get(ikey)
+                    if entry is not None:
+                        self._read_lru_misses += 1
+                        try:
+                            payload = decode_record(self._pread_locked(entry))
+                        except (OSError, RecordCorruptError):
+                            self._drop_stale_locked(ikey, entry)
+                        else:
+                            if payload["kind"] == kind and payload["key"] == key:
+                                self._lru_put_locked(ikey, payload)
+                            # a mismatched record must never enter the LRU:
+                            # it would be served silently on the next get
+                if payload is None:
+                    # either the key is unknown here, or the entry went
+                    # stale (typically a concurrent GC compacted the
+                    # segment away; it has been dropped) — rescan once:
+                    # the live record is in the compacted segment, and a
+                    # warm store must not read as cold just because
+                    # another process tidied it.
+                    if refreshed:
+                        return None
+                    self.refresh()
+                    refreshed = True
+                    continue
+                if payload["kind"] != kind or payload["key"] != key:
+                    raise PersistError(
+                        f"index points {ikey!r} at a record for "
+                        f"{payload['kind']}:{payload['key']}"
+                    )
+                return payload
+
+    def _read_many(self, kind: str, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Batched record reads: sorted by (segment, offset), one pass.
+
+        Returns payloads for the keys present in the store; absent keys
+        are simply missing from the result.  Missing or stale entries
+        trigger at most one refresh, then fall back to the single-read
+        path (which handles per-entry staleness).
+        """
+        out: dict[str, dict[str, Any]] = {}
+        todo: list[tuple[str, str, tuple[str, int, int]]] = []
+        missing: list[str] = []
+        with span("store-io"), span("read"):
+            with self._mu:
+                for key in keys:
+                    ikey = index_key(kind, key)
+                    cached = self._read_lru.get(ikey)
+                    if cached is not None:
+                        self._read_lru.move_to_end(ikey)
+                        self._read_lru_hits += 1
+                        out[key] = cached
+                        continue
+                    entry = self._index.get(ikey)
+                    if entry is None:
+                        missing.append(key)
+                    else:
+                        todo.append((key, ikey, entry))
+            if missing:
                 self.refresh()
-                refreshed = True
-                continue
-            if payload["kind"] != kind or payload["key"] != key:
-                raise PersistError(
-                    f"index points {ikey!r} at a record for "
-                    f"{payload['kind']}:{payload['key']}"
-                )
-            return payload
+                with self._mu:
+                    for key in missing:
+                        entry = self._index.get(index_key(kind, key))
+                        if entry is not None:
+                            todo.append((key, index_key(kind, key), entry))
+            # sequential disk order: sort the batch by (segment, offset)
+            todo.sort(key=lambda item: (item[2][0], item[2][1]))
+            fallback: list[str] = []
+            raw: list[tuple[str, str, tuple[str, int, int], bytes]] = []
+            with self._mu:
+                for key, ikey, entry in todo:
+                    self._read_lru_misses += 1
+                    try:
+                        raw.append((key, ikey, entry, self._pread_locked(entry)))
+                    except (OSError, RecordCorruptError):
+                        self._drop_stale_locked(ikey, entry)
+                        # the single-read retry below re-counts this miss
+                        self._read_lru_misses -= 1
+                        fallback.append(key)
+            decoded: list[tuple[str, dict[str, Any]]] = []
+            for key, ikey, entry, data in raw:
+                try:
+                    payload = decode_record(data)
+                except RecordCorruptError:
+                    with self._mu:
+                        self._drop_stale_locked(ikey, entry)
+                        # the single-read retry below re-counts this miss
+                        self._read_lru_misses -= 1
+                    fallback.append(key)
+                    continue
+                if payload["kind"] != kind or payload["key"] != key:
+                    raise PersistError(
+                        f"index points {ikey!r} at a record for "
+                        f"{payload['kind']}:{payload['key']}"
+                    )
+                decoded.append((ikey, payload))
+                out[key] = payload
+            # one lock acquisition for the whole batch's LRU maintenance;
+            # a batch at or above capacity replaces the cache outright
+            # instead of churning insert+evict per record
+            if decoded and self.read_cache_entries > 0:
+                with self._mu:
+                    if len(decoded) >= self.read_cache_entries:
+                        self._read_lru.clear()
+                        self._read_lru.update(
+                            decoded[-self.read_cache_entries :]
+                        )
+                    else:
+                        for ikey, payload in decoded:
+                            self._lru_put_locked(ikey, payload)
+        for key in fallback:
+            payload = self._read_record(kind, key)
+            if payload is not None:
+                out[key] = payload
+        return out
 
     # -- generations ---------------------------------------------------------
 
     def get_generation(self, key: str) -> Generation | None:
         payload = self._read_record(GEN_KIND, key)
         return generation_from_payload(payload) if payload is not None else None
+
+    def get_generations(self, keys: Sequence[str]) -> dict[str, Generation]:
+        """Batched lookup: reads sorted by (segment, offset), one pass.
+
+        Returns only the keys present in the store — the cache-miss set
+        is ``keys - result``.
+        """
+        payloads = self._read_many(GEN_KIND, keys)
+        return {
+            key: generation_from_payload(payload)
+            for key, payload in payloads.items()
+        }
 
     def put_generation(self, generation: Generation) -> None:
         self._append_payloads([generation_payload(generation)])
@@ -444,6 +685,9 @@ class RunStore:
             )
             scores = sum(1 for key in self._index if key.startswith(f"{SCORE_KIND}:"))
             corrupt = self._corrupt_skipped
+            read_hits = self._read_lru_hits
+            read_misses = self._read_lru_misses
+            bytes_read = self._bytes_read
         segments = list_segments(self._segments_dir)
         return StoreStats(
             root=str(self.root),
@@ -453,6 +697,9 @@ class RunStore:
             scores=scores,
             manifests=len(list(self._manifests_dir.glob("*.json"))),
             corrupt_skipped=corrupt,
+            read_lru_hits=read_hits,
+            read_lru_misses=read_misses,
+            bytes_read=bytes_read,
         )
 
     def verify(self) -> VerifyReport:
@@ -499,13 +746,21 @@ class RunStore:
 
         Live means: the newest record per key, checksum-valid, and — for
         scores — still referencing a generation present in the store.
+
+        One streaming pass: each segment is scanned once, the newest raw
+        line per key is kept verbatim (no re-encode, no re-hash — the
+        checksum was just verified by the scan), stale/corrupt/orphan
+        counting happens inline, and the survivors are joined into the
+        compacted segment in one allocation.
         """
         with self._mu:
             with self._lock.exclusive():
                 segments = list_segments(self._segments_dir)
                 bytes_before = sum(seg.stat().st_size for seg in segments)
                 seen = corrupt = 0
-                live: dict[str, dict[str, Any]] = {}
+                # ikey -> (raw line, kind, gen key for scores) — the raw
+                # bytes are reused verbatim by the compacted segment
+                live: dict[str, tuple[bytes, str, str | None]] = {}
 
                 def count_corrupt(
                     path: pathlib.Path, offset: int, reason: str
@@ -514,22 +769,25 @@ class RunStore:
                     corrupt += 1
 
                 for seg in segments:
-                    for _offset, payload in scan_records(
+                    for _offset, line, payload in scan_entries(
                         seg, 0, on_corrupt=count_corrupt
                     ):
                         seen += 1
-                        live[index_key(payload["kind"], payload["key"])] = payload
+                        live[index_key(payload["kind"], payload["key"])] = (
+                            line,
+                            payload["kind"],
+                            payload.get("gen"),
+                        )
                 stale = seen - len(live)
                 gen_keys = {
-                    payload["key"]
-                    for payload in live.values()
-                    if payload["kind"] == GEN_KIND
+                    ikey.split(":", 1)[1]
+                    for ikey, entry in live.items()
+                    if entry[1] == GEN_KIND
                 }
                 orphans = [
                     ikey
-                    for ikey, payload in live.items()
-                    if payload["kind"] == SCORE_KIND
-                    and payload.get("gen") not in gen_keys
+                    for ikey, entry in live.items()
+                    if entry[1] == SCORE_KIND and entry[2] not in gen_keys
                 ]
                 for ikey in orphans:
                     del live[ikey]
@@ -539,19 +797,20 @@ class RunStore:
                 )
                 self._index.clear()
                 self._scanned.clear()
+                self._drop_readers_locked()
+                self._read_lru.clear()
                 bytes_after = 0
                 if live:
                     target = self._segments_dir / segment_name(next_number)
-                    blob = b""
-                    offsets: dict[str, int] = {}
-                    for ikey, payload in sorted(live.items()):
-                        offsets[ikey] = len(blob)
-                        blob += encode_record(payload)
-                    write_atomic(target, blob)
-                    bytes_after = len(blob)
-                    for ikey, offset in offsets.items():
-                        self._index[ikey] = (target.name, offset)
-                    self._scanned[target.name] = len(blob)
+                    lines: list[bytes] = []
+                    offset = 0
+                    for ikey, (line, _kind, _gen) in sorted(live.items()):
+                        self._index[ikey] = (target.name, offset, len(line))
+                        lines.append(line)
+                        offset += len(line)
+                    write_atomic(target, b"".join(lines))
+                    bytes_after = offset
+                    self._scanned[target.name] = offset
                 for seg in segments:
                     seg.unlink()
         self.write_index_snapshot()
@@ -566,8 +825,10 @@ class RunStore:
         )
 
     def close(self) -> None:
-        """Snapshot the index so the next open skips the cold scan."""
+        """Snapshot the index and release the persistent read descriptors."""
         self.write_index_snapshot()
+        with self._mu:
+            self._drop_readers_locked()
 
     def __enter__(self) -> "RunStore":
         return self
@@ -609,6 +870,14 @@ class DiskResultCache:
                 self._hits += 1
         return gen.as_cached() if gen is not None else None
 
+    def get_many(self, keys: Sequence[str]) -> dict[str, Generation]:
+        """Batched lookup: one sorted-by-offset read pass over the store."""
+        found = self._store.get_generations(keys)
+        with self._mu:
+            self._hits += len(found)
+            self._misses += len(keys) - len(found)
+        return {key: gen.as_cached() for key, gen in found.items()}
+
     def put(self, generation: Generation) -> None:
         self._store.put_generation(generation)
         with self._mu:
@@ -629,12 +898,16 @@ class DiskResultCache:
     def stats(self) -> dict[str, int | str]:
         with self._mu:
             hits, misses, puts = self._hits, self._misses, self._puts
+        store_stats = self._store.stats()
         return {
             "backend": "disk",
-            "entries": len(self),
+            "entries": store_stats.generations,
             "hits": hits,
             "misses": misses,
             "puts": puts,
+            "read_lru_hits": store_stats.read_lru_hits,
+            "read_lru_misses": store_stats.read_lru_misses,
+            "bytes_read": store_stats.bytes_read,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

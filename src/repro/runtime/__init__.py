@@ -47,6 +47,7 @@ from repro.runtime.executors import (
 )
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.runner import RunResult, RunStats, run, score_key
+from repro.runtime.scoring import ScoreHandle, ScoringPool
 from repro.runtime.schedule import (
     AdaptiveScheduler,
     ExpectedCostModel,
@@ -79,6 +80,8 @@ __all__ = [
     "InMemoryResultCache",
     "FilesystemResultCache",
     "ScoreCache",
+    "ScoringPool",
+    "ScoreHandle",
     "score_key",
     "run",
     "RunResult",

@@ -56,12 +56,20 @@ class ResultCache(Protocol):
       content for a given key, so the race is benign).
     * ``__len__()`` — number of distinct keys currently cached.
     * ``stats()`` — introspection dict with at least ``backend`` (str),
-      ``entries``, ``hits``, ``misses`` and ``puts`` counters, so tests
-      and operators can ask any backend how it has been used.
+      ``entries``, ``hits``, ``misses`` and ``puts`` counters, plus the
+      read-path counters ``read_lru_hits``, ``read_lru_misses`` and
+      ``bytes_read`` (how many record reads the backing storage served
+      from its decoded-payload LRU vs. from disk, and how many record
+      bytes were read; identically zero for backends with no backing
+      storage), so tests and operators can ask any backend how it has
+      been used.
 
     Backends may additionally provide ``put_many(generations)`` — the
     runner batches its post-execution writes through it when present
-    (one lock acquisition / one disk append instead of N).
+    (one lock acquisition / one disk append instead of N) — and
+    ``get_many(keys)`` returning ``{key: Generation}`` for the present
+    subset, which the runner uses to resolve a whole plan's lookups in
+    one batch (the disk backend sorts the reads by file offset).
     """
 
     def get(self, key: str) -> Generation | None:  # pragma: no cover - protocol
@@ -96,6 +104,19 @@ class InMemoryResultCache:
                 self._hits += 1
         return gen.as_cached() if gen is not None else None
 
+    def get_many(self, keys: Iterable[str]) -> dict[str, Generation]:
+        """Batched lookup: one lock acquisition for a whole plan."""
+        out: dict[str, Generation] = {}
+        with self._lock:
+            for key in keys:
+                gen = self._entries.get(key)
+                if gen is None:
+                    self._misses += 1
+                else:
+                    self._hits += 1
+                    out[key] = gen
+        return {key: gen.as_cached() for key, gen in out.items()}
+
     def put(self, generation: Generation) -> None:
         with self._lock:
             self._entries[generation.key] = generation
@@ -123,6 +144,10 @@ class InMemoryResultCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "puts": self._puts,
+                # no backing storage: the read path never leaves the dict
+                "read_lru_hits": 0,
+                "read_lru_misses": 0,
+                "bytes_read": 0,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -187,6 +212,10 @@ class FilesystemResultCache:
             "hits": hits,
             "misses": misses,
             "puts": puts,
+            # simulated filesystem: entries are held as objects, no byte I/O
+            "read_lru_hits": 0,
+            "read_lru_misses": 0,
+            "bytes_read": 0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,14 +1,27 @@
-"""The runtime entry point: plan → (cache, dedup) → schedule → execute.
+"""The runtime entry point: plan → (cache, dedup) → schedule → execute → score.
 
 :func:`run` is the single funnel every evaluation in the repository goes
-through.  It looks each work unit up in the result cache, deduplicates
-identical generations within the run, hands only the genuinely new units
-— in the dispatch order the scheduler picks — to the executor, scores every unit against its own target behind a
-:class:`~repro.runtime.cache.ScoreCache` (identical (generation, target,
-scorer) triples are scored once), and reassembles the plan's evaluation
-results.  :class:`RunStats` records how much work the model layer *and*
-the metric layer actually did, which is what the cache and scaling tests
-assert on.
+through.  It looks each work unit up in the result cache (one batched
+``get_many`` when the backend supports it), deduplicates identical
+generations within the run, hands only the genuinely new units — in the
+dispatch order the scheduler picks — to the executor, scores every unit
+against its own target behind a :class:`~repro.runtime.cache.ScoreCache`
+(identical (generation, target, scorer) triples are scored once), and
+reassembles the plan's evaluation results.
+
+Scoring can be *pipelined*: pass a
+:class:`~repro.runtime.scoring.ScoringPool` as ``scoring`` and each
+unit's metric work is submitted to a worker process the moment its
+generation exists — for streaming executors (serial, threaded) that is
+while later units are still generating — and collected at assembly
+time.  Results are bit-identical to inline scoring; only the wall time
+changes.
+
+:class:`RunStats` records how much work the model layer *and* the
+metric layer actually did, which is what the cache and scaling tests
+assert on.  When a :mod:`repro.perf` profiler is active the run's phase
+breakdown (cache-get / generate / cache-put / score, with nested
+store-io spans) is attached as :attr:`RunStats.profile`.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, Mapping
 
 from repro.core.task import EvalResult
 from repro.errors import HarnessError
+from repro.perf import PhaseProfile, active_profiler, span
 
 if TYPE_CHECKING:  # repro.persist builds on repro.runtime, not vice versa
     from repro.persist import RunManifest, RunStore
@@ -28,6 +42,7 @@ from repro.runtime.cache import ResultCache, ScoreCache
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.schedule import PlanOrderScheduler, Scheduler
+from repro.runtime.scoring import ScoreHandle, ScoringPool
 from repro.runtime.units import Generation, UnitResult, WorkUnit
 
 
@@ -72,6 +87,7 @@ class RunStats:
     scores_computed: int = 0  # scorer invocations (score-cache misses)
     score_hits: int = 0  # units whose score came from the score cache
     generation_seconds: float = 0.0  # summed provider wall-clock of new calls
+    profile: PhaseProfile | None = None  # phase breakdown (when profiling)
 
     @property
     def hit_rate(self) -> float:
@@ -103,6 +119,7 @@ def run(
     score_cache: ScoreCache | None = None,
     scheduler: Scheduler | None = None,
     store: "RunStore | None" = None,
+    scoring: ScoringPool | None = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
 
@@ -127,9 +144,16 @@ def run(
     :class:`~repro.persist.RunManifest` — so an interrupted or repeated
     sweep re-generates only the units the store has never seen, and
     ``RunResult.manifest`` documents exactly how each run was satisfied.
+
+    ``scoring`` plugs in a :class:`~repro.runtime.scoring.ScoringPool`:
+    score-cache misses are computed in worker processes, overlapping
+    generation when the executor streams (serial, threaded) and each
+    other always; grids stay bit-identical to inline scoring.
     """
     started_unix = time.time()
     started = time.perf_counter()
+    profiler = active_profiler()
+    profile_before = profiler.snapshot() if profiler is not None else None
     if store is not None:
         if cache is None:
             cache = store.result_cache
@@ -140,20 +164,82 @@ def run(
     score_cache = score_cache if score_cache is not None else ScoreCache()
     units = plan.units
 
-    generations: dict[str, Generation] = {}
+    # -- result-cache lookup + in-run dedup ----------------------------------
+    generations: dict[str, Generation | None] = {}
     pending = []  # first unit per generation key that missed the cache
     cache_hits = 0
-    for unit in units:
-        if unit.key in generations:
-            continue
-        hit = cache.get(unit.key) if cache is not None else None
-        if hit is not None:
-            generations[unit.key] = hit
-            cache_hits += 1
-        else:
-            generations[unit.key] = None  # claimed; filled after execution
-            pending.append(unit)
+    with span("cache-get"):
+        lookup_units = []  # first unit per distinct generation key
+        for unit in units:
+            if unit.key not in generations:
+                generations[unit.key] = None  # claimed; filled below
+                lookup_units.append(unit)
+        hits: dict[str, Generation] = {}
+        if cache is not None:
+            get_many = getattr(cache, "get_many", None)
+            if get_many is not None:
+                # one batched lookup for the whole plan (the disk backend
+                # sorts the reads by segment offset); semantics identical
+                hits = get_many([unit.key for unit in lookup_units])
+            else:
+                for unit in lookup_units:
+                    hit = cache.get(unit.key)
+                    if hit is not None:
+                        hits[unit.key] = hit
+        for unit in lookup_units:
+            hit = hits.get(unit.key)
+            if hit is not None:
+                generations[unit.key] = hit
+                cache_hits += 1
+            else:
+                pending.append(unit)
 
+    # -- score planning ------------------------------------------------------
+    # A unit's score key needs only the generation key, the target and
+    # the scorer — all known before execution — so score-cache hits are
+    # resolved and pool submissions planned up front.
+    target_hashes: dict[str, str] = {}  # per-run memo of target digests
+    unit_skeys: dict[str, Hashable] = {}  # uid -> score key
+    skey_units: dict[Hashable, WorkUnit] = {}  # first unit per score key
+    for unit in units:
+        target_hash = target_hashes.get(unit.target)
+        if target_hash is None:
+            target_hash = target_hashes[unit.target] = hashlib.sha256(
+                unit.target.encode("utf-8")
+            ).hexdigest()
+        skey = score_key(unit, target_hash)
+        unit_skeys[unit.uid] = skey
+        if skey not in skey_units:
+            skey_units[skey] = unit
+
+    cached_scores: dict[Hashable, object] = {}
+    to_compute: dict[str, list[Hashable]] = {}  # generation key -> score keys
+    with span("score"):  # cache consultation is part of the scoring phase
+        for skey, unit in skey_units.items():
+            hit = score_cache.get(skey)
+            if hit is not None:
+                cached_scores[skey] = hit
+            else:
+                to_compute.setdefault(unit.key, []).append(skey)
+
+    pool_jobs: dict[Hashable, ScoreHandle] = {}
+
+    def submit_scores(gen_key: str, gen: Generation) -> None:
+        """Queue every score waiting on one resolved generation."""
+        for skey in to_compute.get(gen_key, ()):
+            unit = skey_units[skey]
+            pool_jobs[skey] = scoring.submit(
+                unit.scorer, gen.completion, unit.target
+            )
+
+    if scoring is not None:
+        # generations already satisfied from the cache can score now,
+        # overlapping the execution phase below
+        for gen_key, gen in generations.items():
+            if gen is not None:
+                submit_scores(gen_key, gen)
+
+    # -- execution -----------------------------------------------------------
     generation_seconds = 0.0
     if pending:
         ordered = scheduler.order(pending)
@@ -164,13 +250,28 @@ def run(
                 f"scheduler {scheduler!r} must return a permutation of the "
                 f"pending units ({len(pending)} in, {len(ordered)} out)"
             )
-        produced = executor.execute(ordered)
+        execute_iter = (
+            getattr(executor, "execute_iter", None) if scoring is not None else None
+        )
+        produced: dict[str, Generation] = {}
+        with span("generate"):
+            if execute_iter is not None:
+                # streaming: completed units flow into the scoring pool
+                # while later units are still generating
+                for gen in execute_iter(ordered):
+                    produced[gen.key] = gen
+                    submit_scores(gen.key, gen)
+            else:
+                produced = executor.execute(ordered)
         missing = [u.uid for u in pending if u.key not in produced]
         if missing:
             raise HarnessError(
                 f"executor {executor!r} returned no generation for units {missing}"
             )
         generations.update(produced)
+        if scoring is not None and execute_iter is None:
+            for unit in pending:
+                submit_scores(unit.key, produced[unit.key])
         observe = getattr(scheduler, "observe", None)
         for unit in pending:
             gen = produced[unit.key]
@@ -178,36 +279,46 @@ def run(
             if observe is not None:
                 observe(unit, gen.elapsed_s)
         if cache is not None:
-            put_many = getattr(cache, "put_many", None)
-            if put_many is not None:
-                # one lock acquisition / append batch for backends that
-                # support it (in-memory, disk); semantics identical
-                put_many([produced[unit.key] for unit in pending])
-            else:
-                for unit in pending:
-                    cache.put(produced[unit.key])
+            with span("cache-put"):
+                put_many = getattr(cache, "put_many", None)
+                if put_many is not None:
+                    # one lock acquisition / append batch for backends that
+                    # support it (in-memory, disk); semantics identical
+                    put_many([produced[unit.key] for unit in pending])
+                else:
+                    for unit in pending:
+                        cache.put(produced[unit.key])
 
+    # -- scoring + assembly --------------------------------------------------
     results: dict[str, UnitResult] = {}
-    target_hashes: dict[str, str] = {}  # per-run memo of target digests
+    computed_scores: dict[Hashable, object] = {}
     scores_computed = score_hits = 0
-    for unit in units:
-        gen = generations[unit.key]
-        target_hash = target_hashes.get(unit.target)
-        if target_hash is None:
-            target_hash = target_hashes[unit.target] = hashlib.sha256(
-                unit.target.encode("utf-8")
-            ).hexdigest()
-        skey = score_key(unit, target_hash)
-        score = score_cache.get(skey)
-        if score is None:
-            score = unit.scorer(gen.completion, unit.target)
-            score_cache.put(skey, score)
-            scores_computed += 1
-        else:
-            score_hits += 1
-        results[unit.uid] = UnitResult(uid=unit.uid, generation=gen, score=score)
+    with span("score"):
+        for unit in units:
+            gen = generations[unit.key]
+            skey = unit_skeys[unit.uid]
+            score = cached_scores.get(skey)
+            if score is not None:
+                score_hits += 1
+            else:
+                score = computed_scores.get(skey)
+                if score is None:
+                    handle = pool_jobs.get(skey)
+                    if handle is not None:
+                        score = handle.result()
+                    else:
+                        score = unit.scorer(gen.completion, unit.target)
+                    score_cache.put(skey, score)
+                    computed_scores[skey] = score
+                    scores_computed += 1
+                else:
+                    score_hits += 1
+            results[unit.uid] = UnitResult(uid=unit.uid, generation=gen, score=score)
 
     unique_keys = len(generations)
+    profile = None
+    if profiler is not None:
+        profile = profiler.snapshot().subtract(profile_before)
     stats = RunStats(
         total_units=len(units),
         generated=len(pending),
@@ -216,6 +327,7 @@ def run(
         scores_computed=scores_computed,
         score_hits=score_hits,
         generation_seconds=generation_seconds,
+        profile=profile,
     )
     manifest = None
     if store is not None:

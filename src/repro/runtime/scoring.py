@@ -1,0 +1,211 @@
+"""Pipelined scoring: overlap metric work with generation.
+
+Scoring BLEU/ChrF is CPU-bound Python — it never overlaps anything
+under the GIL, so even when an executor keeps many provider calls in
+flight, every completed unit used to queue up behind a serial scoring
+loop on the run thread.  :class:`ScoringPool` turns scoring into a
+stage: the runner submits each (scorer, completion, target) triple as
+soon as its generation exists, the pool computes it in a worker
+*process* (real parallelism for the compiled BLEU/ChrF path), and the
+runner collects the scores at assembly time — by which point most of
+them finished while later generations were still being produced.
+
+Determinism: a score is a pure function of (scorer, completion,
+target); the compiled metrics engine is floating-point deterministic on
+one platform, so pool-computed grids are bit-identical to inline ones —
+``tests/test_scoring.py`` pins this across every executor.
+
+Fallbacks keep the pool safe to enable anywhere:
+
+* a scorer with no cross-process identity (a lambda extractor, a
+  closure) cannot be pickled — detected once per scorer and computed
+  inline instead, transparently;
+* a broken pool (worker killed, pickling surprise at call time) retries
+  the affected scores inline rather than failing the run.
+
+The pool is lazy and persistent: workers start on the first submit and
+are reused across runs (``close()`` or the context manager releases
+them), so multi-sweep scripts pay process start-up once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import pickle
+import threading
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
+
+from repro.core.scorers import Score
+from repro.errors import HarnessError
+from repro.perf import span
+
+
+def _score_task(scorer: Callable, completion: str, target: str) -> Score:
+    """Worker-side body: one score, pure function of its arguments."""
+    return scorer(completion, target)
+
+
+class ScoreHandle:
+    """The pending result of one submitted score (duck-typed Future).
+
+    ``result()`` blocks until the score is available; pool failures
+    (a broken worker, an argument that would not pickle after all) are
+    healed by recomputing inline, so a handle always resolves unless the
+    scorer itself raises.
+    """
+
+    __slots__ = ("_future", "_value", "_recompute")
+
+    def __init__(
+        self,
+        future: concurrent.futures.Future | None,
+        value: Score | None,
+        recompute: Callable[[], Score],
+    ) -> None:
+        self._future = future
+        self._value = value
+        self._recompute = recompute
+
+    def result(self) -> Score:
+        if self._future is not None:
+            try:
+                self._value = self._future.result()
+            except (
+                BrokenProcessPool,
+                pickle.PicklingError,
+                # unpicklable arguments surfacing at call time (a stale
+                # picklability verdict, an object that lies about its
+                # picklability): TypeError is what pickle raises for
+                # locks/sockets/etc.  A scorer legitimately raising one
+                # of these recomputes inline and raises there instead.
+                AttributeError,
+                TypeError,
+            ):
+                self._value = self._recompute()
+            self._future = None
+        return self._value
+
+
+class ScoringPool:
+    """Process-pool scorer with a transparent inline fallback.
+
+    ``max_workers`` bounds the worker processes; ``mp_context`` names
+    the :mod:`multiprocessing` start method (``spawn`` by default: safe
+    alongside the runtime's thread pools).  Pass one pool to any number
+    of :func:`repro.runtime.run` calls via ``scoring=``.
+    """
+
+    def __init__(self, max_workers: int = 4, *, mp_context: str = "spawn") -> None:
+        if max_workers <= 0:
+            raise HarnessError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.mp_context = mp_context
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._closed = False
+        self._mu = threading.Lock()
+        # scorer id -> picklable?  scorers are long-lived task attributes;
+        # a stale hit is harmless (submit falls back inline on error)
+        self._picklable: dict[int, bool] = {}
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        with self._mu:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context(self.mp_context),
+                )
+                self._closed = False
+            return self._pool
+
+    def _scorer_picklable(self, scorer: Callable) -> bool:
+        cached = self._picklable.get(id(scorer))
+        if cached is not None:
+            return cached
+        try:
+            pickle.dumps(scorer)
+            ok = True
+        except Exception:
+            ok = False
+        self._picklable[id(scorer)] = ok
+        return ok
+
+    def submit(
+        self, scorer: Callable[[str, str], Score], completion: str, target: str
+    ) -> ScoreHandle:
+        """Queue one score; returns a handle whose ``result()`` blocks.
+
+        Unpicklable scorers are computed inline *now* (the handle is
+        already resolved) so callers never need to special-case them.
+        """
+
+        def recompute() -> Score:
+            with span("score-inline"):
+                return scorer(completion, target)
+
+        if not self._scorer_picklable(scorer):
+            return ScoreHandle(None, recompute(), recompute)
+        try:
+            future = self._ensure_pool().submit(
+                _score_task, scorer, completion, target
+            )
+        except (
+            BrokenProcessPool,
+            pickle.PicklingError,
+            RuntimeError,  # pool shut down concurrently
+        ):
+            return ScoreHandle(None, recompute(), recompute)
+        return ScoreHandle(future, None, recompute)
+
+    def warm(self) -> None:
+        """Start the workers now (otherwise they start on first submit).
+
+        Useful before timing: process start-up (~spawn + import) is paid
+        here instead of inside the measured region.
+        """
+        pool = self._ensure_pool()
+        done = [
+            pool.submit(_score_task, _noop_scorer, "", "")
+            for _ in range(self.max_workers)
+        ]
+        concurrent.futures.wait(done)
+
+    def close(self) -> None:
+        """Shut the workers down and join them (idempotent).
+
+        Same lifecycle as :class:`~repro.runtime.executors.ThreadedExecutor`:
+        a plain ``submit`` after ``close()`` transparently re-creates the
+        worker pool (the caller owns it and must close again), while
+        *re-entering* a closed pool as a context manager raises — the
+        ``with`` block would otherwise silently resurrect workers the
+        caller just paid to tear down.
+        """
+        with self._mu:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ScoringPool":
+        with self._mu:
+            if self._closed:
+                raise HarnessError(
+                    "ScoringPool was closed; create a new pool instead of "
+                    "re-entering the closed one as a context manager"
+                )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoringPool(max_workers={self.max_workers}, "
+            f"mp_context={self.mp_context!r})"
+        )
+
+
+def _noop_scorer(completion: str, target: str) -> Score:
+    """Warm-up body: exercises the worker round trip, scores nothing."""
+    return Score(values={}, answer="")

@@ -273,6 +273,79 @@ class TestRunStore:
             make_generation(0).key
         ) is not None
 
+    def test_mismatched_index_entry_never_poisons_the_read_lru(self, tmp_path):
+        """An index entry pointing at the wrong record raises every time —
+        the mismatched payload must not be served from the LRU later."""
+        store = RunStore(tmp_path / "store")
+        a, b = make_generation(1), make_generation(2)
+        store.put_generations([a, b])
+        # poison: point a's index entry at b's record
+        from repro.persist.records import index_key
+
+        store._index[index_key("gen", a.key)] = store._index[
+            index_key("gen", b.key)
+        ]
+        with pytest.raises(PersistError, match="index points"):
+            store.get_generation(a.key)
+        with pytest.raises(PersistError, match="index points"):
+            store.get_generation(a.key)  # second read: not an LRU hit
+
+    def test_rejects_bad_tuning_params(self, tmp_path):
+        with pytest.raises(PersistError):
+            RunStore(tmp_path / "store", read_cache_entries=-1)
+        with pytest.raises(PersistError):
+            RunStore(tmp_path / "store", snapshot_every=0)
+
+    def test_get_generations_batched(self, tmp_path):
+        store = RunStore(tmp_path / "store", max_segment_bytes=512)
+        gens = [make_generation(i) for i in range(8)]  # spans several segments
+        store.put_generations(gens)
+        store.close()
+        fresh = RunStore(tmp_path / "store")
+        found = fresh.get_generations(
+            [gen.key for gen in gens] + ["f" * 64]  # one absent key
+        )
+        assert set(found) == {gen.key for gen in gens}
+        for gen in gens:
+            assert found[gen.key] == gen
+
+    def test_read_lru_can_be_disabled(self, tmp_path):
+        store = RunStore(tmp_path / "store", read_cache_entries=0)
+        gen = make_generation(0)
+        store.put_generation(gen)
+        assert store.get_generation(gen.key) == gen
+        assert store.get_generation(gen.key) == gen
+        stats = store.stats()
+        assert stats.read_lru_hits == 0  # every read went to disk
+        assert stats.read_lru_misses == 2
+        assert stats.bytes_read > 0
+
+    def test_read_lru_bounded_and_counted(self, tmp_path):
+        store = RunStore(tmp_path / "store", read_cache_entries=2)
+        gens = [make_generation(i) for i in range(3)]
+        store.put_generations(gens)
+        for gen in gens:  # 3 distinct reads into a 2-entry LRU
+            store.get_generation(gen.key)
+        store.get_generation(gens[2].key)  # still resident -> hit
+        store.get_generation(gens[0].key)  # evicted -> disk again
+        stats = store.stats()
+        assert stats.read_lru_hits == 1
+        assert stats.read_lru_misses == 4
+
+    def test_debounced_snapshot_written_during_appends(self, tmp_path):
+        store = RunStore(tmp_path / "store", snapshot_every=4)
+        snapshot = tmp_path / "store" / "index.json"
+        store.put_generations([make_generation(i) for i in range(3)])
+        assert not snapshot.exists()  # below the debounce threshold
+        store.put_generations([make_generation(i) for i in range(3, 8)])
+        assert snapshot.exists()  # threshold crossed inside the append
+        payload = json.loads(snapshot.read_text())
+        assert len(payload["entries"]) == 8
+        # a fresh handle seeded by the snapshot sees every record
+        fresh = RunStore(tmp_path / "store")
+        for i in range(8):
+            assert fresh.get_generation(make_generation(i).key) is not None
+
     def test_stats_counts(self, tmp_path):
         store = RunStore(tmp_path / "store")
         store.put_generations([make_generation(i) for i in range(4)])
@@ -312,6 +385,36 @@ class TestDiskResultCache:
         assert stats["misses"] == 1
         assert stats["puts"] == 1
         assert isinstance(stats["backend"], str)
+        # read-path counters: present on every backend, live on disk
+        assert stats["read_lru_hits"] >= 0
+        assert stats["read_lru_misses"] >= 0
+        assert stats["bytes_read"] >= 0
+        if backend == "disk":
+            assert stats["read_lru_misses"] >= 1  # first read hit the disk
+            assert stats["bytes_read"] > 0
+            cache.get(gen.key)  # second read: served from the decoded LRU
+            assert cache.stats()["read_lru_hits"] >= 1
+        else:
+            assert stats["read_lru_hits"] == 0
+            assert stats["read_lru_misses"] == 0
+            assert stats["bytes_read"] == 0
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    def test_get_many_matches_single_gets(self, backend, tmp_path):
+        if backend == "memory":
+            cache = InMemoryResultCache()
+        else:
+            cache = RunStore(tmp_path / "store").result_cache
+        gens = [make_generation(i) for i in range(4)]
+        cache.put_many(gens[:3])  # one key stays absent
+        found = cache.get_many([gen.key for gen in gens])
+        assert set(found) == {gen.key for gen in gens[:3]}
+        for gen in gens[:3]:
+            assert found[gen.key].cached
+            assert found[gen.key].completion == gen.completion
+        stats = cache.stats()
+        assert stats["hits"] == 3
+        assert stats["misses"] == 1
 
     def test_put_many_batches(self, tmp_path):
         cache = RunStore(tmp_path / "store").result_cache
@@ -409,6 +512,59 @@ class TestResumableSweep:
         assert partial > 0
         assert manifest.stats.cache_hits == partial
         assert manifest.stats.generated == manifest.stats.total_units - partial - manifest.stats.deduplicated
+
+
+def _rotation_writer(store_path: str, batches: int, batch_size: int) -> None:
+    """Append past the rotation threshold, compacting once midway (child)."""
+    from repro.persist import RunStore
+
+    store = RunStore(store_path, max_segment_bytes=16 << 10)
+    for batch in range(batches):
+        store.put_generations(
+            [
+                make_generation(10_000 + batch * batch_size + i)
+                for i in range(batch_size)
+            ]
+        )
+        if batch == batches // 2:
+            store.gc()  # replaces every segment the reader has open
+    store.close()
+
+
+class TestConcurrentReadersDuringRotation:
+    def test_open_handles_never_see_torn_or_stale_records(self, tmp_path):
+        """A reader holding offset-indexed descriptors while another process
+        appends past the rotation threshold (and compacts midway) always
+        reads back exactly the records that were written."""
+        store_path = str(tmp_path / "store")
+        base = [make_generation(i) for i in range(20)]
+        reader = RunStore(store_path, max_segment_bytes=16 << 10)
+        reader.put_generations(base)
+        for gen in base:  # warm the offset index and the persistent fds
+            assert reader.get_generation(gen.key) == gen
+
+        batches, batch_size = 24, 16
+        ctx = multiprocessing.get_context("spawn")
+        writer = ctx.Process(
+            target=_rotation_writer, args=(store_path, batches, batch_size)
+        )
+        writer.start()
+        try:
+            while writer.is_alive():
+                for gen in base:
+                    got = reader.get_generation(gen.key)
+                    assert got == gen, "reader saw a torn or stale record"
+        finally:
+            writer.join(timeout=120)
+        assert writer.exitcode == 0
+
+        # everything the writer appended is readable through the same handle
+        reader.refresh()
+        for batch in range(batches):
+            for i in range(batch_size):
+                expected = make_generation(10_000 + batch * batch_size + i)
+                assert reader.get_generation(expected.key) == expected
+        assert reader.verify().clean
 
 
 def _worker_sweep(store_path: str) -> None:
