@@ -54,17 +54,41 @@ SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
             ("get_many_vs_get", "get_many_ms_per_record", "get_ms_per_record"),
             ("warm_lru_vs_get", "warm_lru_ms_per_record", "get_ms_per_record"),
         ),
+        "mmap_read": (
+            (
+                "mmap_vs_pread",
+                "mmap_get_many_ms_per_record",
+                "pread_get_many_ms_per_record",
+            ),
+        ),
     },
     "scoring": {
         "score_heavy": (("pipelined_vs_serial", "pipelined_ms", "serial_ms"),),
+    },
+    "kernels": {
+        system: (
+            (
+                "vectorized_vs_compiled",
+                "vectorized_ms_per_hyp",
+                "compiled_ms_per_hyp",
+            ),
+            ("batch_vs_compiled", "batch_ms_per_hyp", "compiled_ms_per_hyp"),
+        )
+        for system in ("wilkins", "henson")
     },
 }
 
 # absolute floors, mode-independent: these are ratios of two same-run
 # timings, so they are hardware-normalized by construction.  get_over_put
-# regressing past 2x means the offset-indexed read path came undone.
+# regressing past 2x means the offset-indexed read path came undone;
+# batch_over_compiled past 0.8 means group-vectorized scoring stopped
+# paying for itself (full mode asserts >= 2x, i.e. <= 0.5, in-bench);
+# mmap_over_pread past 1.5 means the zero-copy read path went backwards.
 ABSOLUTE_CAPS: tuple[tuple[str, str, str, float], ...] = (
     ("persist", "records", "get_over_put", 2.0),
+    ("persist", "mmap_read", "mmap_over_pread", 1.5),
+    ("kernels", "wilkins", "batch_over_compiled", 0.8),
+    ("kernels", "wilkins", "vectorized_over_compiled", 1.5),
 )
 
 

@@ -15,7 +15,10 @@ afterwards with ``python -m repro.persist {stats,verify,gc,ls-runs} PATH``.
 ``--score-workers N`` pipelines scoring through a
 :class:`repro.runtime.ScoringPool` of N worker processes (completed
 units are scored while later ones still generate; grids stay
-bit-identical).  ``--profile`` prints the :mod:`repro.perf` phase
+bit-identical); ``--score-workers auto`` hands the choice to an
+:class:`repro.runtime.AdaptiveScoringPool`, whose cost model picks a
+worker count per run (0 = inline) from the observed per-unit score and
+generation costs.  ``--profile`` prints the :mod:`repro.perf` phase
 breakdown of the whole script — where the wall time went, phase by
 phase — and ``--profile-json PATH`` saves it for
 ``python -m repro.perf report PATH``.
@@ -23,7 +26,7 @@ phase — and ``--profile-json PATH`` saves it for
 Usage:  python examples/reproduce_tables.py [--fast]
             [--executor {serial,threads,mpi,async,batched}] [--workers N]
             [--scheduler {plan,adaptive}] [--cache {memory,fs,disk}]
-            [--store PATH] [--score-workers N]
+            [--store PATH] [--score-workers N|auto]
             [--profile] [--profile-json PATH]
 """
 
@@ -94,6 +97,26 @@ def make_scheduler(name: str):
     raise UsageError(f"unknown scheduler {name!r}; choose from {', '.join(SCHEDULERS)}")
 
 
+def make_scoring(spec: str):
+    if spec == "auto":
+        from repro.runtime import AdaptiveScoringPool
+
+        return AdaptiveScoringPool()
+    try:
+        workers = int(spec)
+    except ValueError:
+        raise UsageError(
+            f"--score-workers takes a worker count or 'auto', got {spec!r}"
+        ) from None
+    if workers < 0:
+        raise UsageError(f"--score-workers must be >= 0, got {workers}")
+    if workers == 0:
+        return None
+    from repro.runtime import ScoringPool
+
+    return ScoringPool(max_workers=workers)
+
+
 def make_cache(name: str, store):
     if name == "memory":
         return InMemoryResultCache()
@@ -134,9 +157,11 @@ def main() -> None:
              "one recorded manifest per sweep (see python -m repro.persist)",
     )
     parser.add_argument(
-        "--score-workers", type=int, default=0, metavar="N",
+        "--score-workers", default="0", metavar="N",
         help="pipeline scoring through N worker processes (0 = inline "
-             "scoring on the run thread; grids are bit-identical either way)",
+             "scoring on the run thread; 'auto' = an AdaptiveScoringPool "
+             "sizes the pool per run from its learned cost model; grids "
+             "are bit-identical either way)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -162,11 +187,7 @@ def main() -> None:
         scheduler = make_scheduler(args.scheduler)
         cache_name = args.cache or ("disk" if store is not None else "memory")
         cache = make_cache(cache_name, store)
-        scoring = None
-        if args.score_workers:
-            from repro.runtime import ScoringPool
-
-            scoring = ScoringPool(max_workers=args.score_workers)
+        scoring = make_scoring(args.score_workers)
     except (UsageError, StoreError, HarnessError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         sys.exit(2)

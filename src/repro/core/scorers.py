@@ -5,18 +5,25 @@ the code artifact from the model's markdown response, compare against the
 reference with BLEU and ChrF (sacrebleu-equivalent implementations),
 report both on the 0..100 scale.
 
-Scoring goes through the compiled-metrics engine
-(:mod:`repro.metrics.compiled`): the target is compiled once per
-distinct reference text (LRU-shared process-wide) and each completion is
-scored against the precompiled statistics — numerically identical to the
-plain :func:`~repro.metrics.bleu` / :func:`~repro.metrics.chrf` calls it
-replaces, several times faster on repeated targets.
+Scoring goes through the vectorized kernel engine
+(:mod:`repro.metrics.kernels`): the target is compiled once per
+distinct reference content (LRU-shared process-wide), its n-gram
+vocabulary is interned into numpy count arrays, and each completion is
+scored with vectorized clipped-match counting — numerically identical
+to the plain :func:`~repro.metrics.bleu` / :func:`~repro.metrics.chrf`
+calls it replaces, several times faster per hypothesis.  Setting
+``REPRO_METRIC_KERNELS=0`` routes scoring through the compiled
+``Counter`` path instead (same scores; the equivalence tests pin this).
+
+:meth:`CodeSimilarityScorer.score_batch` scores a whole group of
+completions against one target per call — the unit the scoring pool
+ships to workers, amortizing extraction setup, pickling and IPC.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import MetricError
 from repro.metrics import bleu, chrf
@@ -26,6 +33,12 @@ from repro.metrics.compiled import (
     chrf_compiled,
     compile_reference,
 )
+from repro.metrics.kernels import (
+    bleu_kernel,
+    bleu_kernel_batch,
+    chrf_kernel,
+    chrf_kernel_batch,
+)
 from repro.utils.text import strip_markdown_chatter
 
 # reference implementations (kept for audits and equivalence tests)
@@ -34,10 +47,28 @@ _METRIC_FNS: dict[str, Callable[[str, str], float]] = {
     "chrf": chrf,
 }
 
-# the hot-path implementations actually used for scoring
+# the compiled Counter-path implementations (the kernels' fallback and
+# numerically-identical reference; REPRO_METRIC_KERNELS=0 selects these)
 _COMPILED_FNS: dict[str, Callable[[str, CompiledReference], float]] = {
     "bleu": bleu_compiled,
     "chrf": chrf_compiled,
+}
+
+# the hot-path implementations actually used for scoring: vectorized
+# kernels that fall back to the compiled path per reference when
+# vectorization is unsupported (overflow, no numpy, opt-out)
+_KERNEL_FNS: dict[str, Callable[[str, CompiledReference], float]] = {
+    "bleu": bleu_kernel,
+    "chrf": chrf_kernel,
+}
+
+# group-vectorized variants: score a whole list of hypotheses per call
+# (element-wise bit-identical to the per-hypothesis kernels above)
+_KERNEL_BATCH_FNS: dict[
+    str, Callable[[Sequence[str], CompiledReference], list[float]]
+] = {
+    "bleu": bleu_kernel_batch,
+    "chrf": chrf_kernel_batch,
 }
 
 
@@ -84,6 +115,32 @@ class CodeSimilarityScorer:
         answer = self.extractor(completion)
         compiled = compile_reference(target)
         values = {
-            name: float(_COMPILED_FNS[name](answer, compiled)) for name in self.metrics
+            name: float(_KERNEL_FNS[name](answer, compiled)) for name in self.metrics
         }
         return Score(values=values, answer=answer)
+
+    def score_batch(self, completions: Sequence[str], target: str) -> list[Score]:
+        """Score a whole group of completions against one target.
+
+        Element-wise identical to calling the scorer per completion —
+        the target is compiled (and its kernel vocabularies interned)
+        once, and each metric runs its group-vectorized kernel over all
+        extracted answers in one call, which is what makes batch the
+        preferred shipping unit for :meth:`ScoringPool.submit_many`
+        workers and the inline scoring path.
+        """
+        compiled = compile_reference(target)
+        answers = [self.extractor(completion) for completion in completions]
+        by_metric = {
+            name: _KERNEL_BATCH_FNS[name](answers, compiled)
+            for name in self.metrics
+        }
+        return [
+            Score(
+                values={
+                    name: float(by_metric[name][i]) for name in self.metrics
+                },
+                answer=answer,
+            )
+            for i, answer in enumerate(answers)
+        ]

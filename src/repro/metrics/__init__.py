@@ -12,8 +12,12 @@ Scores are returned in the 0..100 range, matching how the paper reports
 them ("multiplied by a factor of 100").
 
 For hot paths that score many hypotheses against one reference, use the
-numerically identical compiled variants: :func:`compile_reference` once,
-then :func:`bleu_compiled` / :func:`chrf_compiled` per hypothesis.
+numerically identical compiled variants — :func:`compile_reference`
+once, then :func:`bleu_compiled` / :func:`chrf_compiled` per
+hypothesis — or the vectorized kernels :func:`bleu_kernel` /
+:func:`chrf_kernel` (id-interned numpy n-gram counting; bit-equal,
+several times faster per hypothesis) and :func:`score_batch` for whole
+completion groups.
 """
 
 from repro.metrics.bleu import BleuScore, bleu, corpus_bleu
@@ -23,6 +27,14 @@ from repro.metrics.compiled import (
     bleu_compiled,
     chrf_compiled,
     compile_reference,
+)
+from repro.metrics.kernels import (
+    bleu_kernel,
+    bleu_kernel_batch,
+    chrf_kernel,
+    chrf_kernel_batch,
+    kernels_enabled,
+    score_batch,
 )
 from repro.metrics.stats import Aggregate, aggregate, mean, stderr
 from repro.metrics.tokenizers import char_ngrams, ngrams, tokenize_13a
@@ -38,6 +50,12 @@ __all__ = [
     "compile_reference",
     "bleu_compiled",
     "chrf_compiled",
+    "bleu_kernel",
+    "bleu_kernel_batch",
+    "chrf_kernel",
+    "chrf_kernel_batch",
+    "score_batch",
+    "kernels_enabled",
     "Aggregate",
     "aggregate",
     "mean",

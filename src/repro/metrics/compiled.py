@@ -14,15 +14,21 @@ the reference implementations (they share ``_compute_score`` /
 ``_fscore``), so results are numerically identical — property-tested to
 1e-9 in ``tests/test_metrics_compiled.py``, and in practice bit-equal.
 
-:func:`compile_reference` is LRU-cached by reference text, so scorer
-instances, calibration cells and benches that share an artifact also
-share one compiled object.
+:func:`compile_reference` is LRU-cached by reference *content hash*, so
+scorer instances, calibration cells and benches that share an artifact
+also share one compiled object.  The cache capacity is configurable via
+``REPRO_COMPILE_CACHE`` (entries; default 512, 0 disables caching) to
+bound memory on many-artifact sweeps — compiled objects now also carry
+interned numpy n-gram vocabularies (see :mod:`repro.metrics.kernels`),
+so a pinned entry is no longer just a few counters.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from functools import lru_cache
+import hashlib
+import os
+import threading
+from collections import Counter, OrderedDict
 
 from repro.errors import MetricError
 from repro.metrics.bleu import DEFAULT_MAX_ORDER, _compute_score
@@ -43,7 +49,14 @@ class CompiledReference:
     access from executor threads is safe without a lock.
     """
 
-    __slots__ = ("text", "_tokens", "_token_ngrams", "_char_grams", "_char_totals")
+    __slots__ = (
+        "text",
+        "_tokens",
+        "_token_ngrams",
+        "_char_grams",
+        "_char_totals",
+        "_kernels",
+    )
 
     def __init__(self, text: str) -> None:
         self.text = text
@@ -51,6 +64,10 @@ class CompiledReference:
         self._token_ngrams: dict[int, Counter] = {}
         self._char_grams: dict[tuple[int, bool], Counter] = {}
         self._char_totals: dict[tuple[int, bool], int] = {}
+        # interned vectorized-kernel vocabularies, keyed and filled by
+        # repro.metrics.kernels (False marks "vectorization unsupported
+        # for this reference/options", e.g. packed codes would overflow)
+        self._kernels: dict[tuple, object] = {}
 
     @property
     def tokens(self) -> tuple[str, ...]:
@@ -93,10 +110,64 @@ class CompiledReference:
         return f"CompiledReference({self.text[:32]!r}..., ref_len={self.ref_len})"
 
 
-@lru_cache(maxsize=512)
+def _compile_cache_capacity() -> int:
+    """Entries the compile cache may hold (``REPRO_COMPILE_CACHE``)."""
+    raw = os.environ.get("REPRO_COMPILE_CACHE", "")
+    try:
+        return int(raw) if raw else 512
+    except ValueError:
+        return 512
+
+
+_compile_lock = threading.Lock()
+_compile_cache: OrderedDict[str, CompiledReference] = OrderedDict()
+
+
 def compile_reference(text: str) -> CompiledReference:
-    """The shared :class:`CompiledReference` for ``text`` (LRU by content)."""
-    return CompiledReference(text)
+    """The shared :class:`CompiledReference` for ``text`` (LRU by content hash).
+
+    Keyed by the SHA-256 of the reference text rather than the text
+    itself: the key table stays small no matter how large the artifacts
+    are, and the capacity (``REPRO_COMPILE_CACHE``, default 512) bounds
+    how many compiled objects — counters plus interned kernel
+    vocabularies — a many-artifact sweep can pin at once.
+    """
+    # surrogatepass: artifacts decoded with errors="surrogateescape" may
+    # carry lone surrogates; they must hash, not raise
+    key = hashlib.sha256(text.encode("utf-8", "surrogatepass")).hexdigest()
+    with _compile_lock:
+        ref = _compile_cache.get(key)
+        if ref is not None:
+            _compile_cache.move_to_end(key)
+            return ref
+    ref = CompiledReference(text)
+    capacity = _compile_cache_capacity()
+    if capacity <= 0:
+        return ref
+    with _compile_lock:
+        racer = _compile_cache.get(key)
+        if racer is not None:  # a concurrent compile won: share its object
+            _compile_cache.move_to_end(key)
+            return racer
+        _compile_cache[key] = ref
+        while len(_compile_cache) > capacity:
+            _compile_cache.popitem(last=False)
+    return ref
+
+
+def _compile_cache_clear() -> None:
+    with _compile_lock:
+        _compile_cache.clear()
+
+
+def _compile_cache_len() -> int:
+    with _compile_lock:
+        return len(_compile_cache)
+
+
+# lru_cache-compatible management surface (benches/tests call these)
+compile_reference.cache_clear = _compile_cache_clear  # type: ignore[attr-defined]
+compile_reference.cache_len = _compile_cache_len  # type: ignore[attr-defined]
 
 
 def bleu_compiled(

@@ -26,6 +26,7 @@ breakdown (``--profile-json PATH`` saves it), and
 from repro.perf.report import (
     load_profile,
     profile_payload,
+    render_manifest,
     render_profile,
 )
 from repro.perf.spans import (
@@ -45,6 +46,7 @@ __all__ = [
     "PhaseProfile",
     "PhaseTotals",
     "render_profile",
+    "render_manifest",
     "load_profile",
     "profile_payload",
 ]

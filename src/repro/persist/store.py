@@ -18,19 +18,25 @@ in-memory index maps ``kind:key`` to ``(segment, offset, length)``;
 record payloads stay on disk and are read on demand, so a store with
 many thousands of generations costs the process only its key table.
 
-**The read path is lock-free.**  A ``get`` is one ``os.pread`` of
-exactly ``length`` bytes at ``offset`` on a persistent per-segment file
-descriptor — no file open, no seek, no ``fcntl`` round trip.  This is
-safe because segments are strictly append-only (the byte range an index
-entry points at is immutable once scanned), compaction replaces whole
-files via rename (an already-open descriptor keeps reading the old
-inode's complete contents, which for content-addressed records is the
-identical data), and every read re-verifies the record checksum — any
-racy read that does slip through decodes as corrupt and falls back to a
-locked rescan.  ``get_many`` batches lookups and sorts the reads by
-(segment, offset) so a cold sweep touches each segment sequentially,
-and a small read-through LRU caches decoded payloads so each record
-pays its checksum once.
+**The read path is lock-free and zero-copy.**  Each segment is mmapped
+once on first read (``use_mmap=True``, the default) and a ``get`` is a
+``memoryview`` slice of exactly ``length`` bytes at ``offset`` — no
+syscall, no buffer copy; the checksum and the UTF-8 decode consume the
+view in place.  Where ``mmap`` is unavailable or fails (exotic
+filesystems, 32-bit address pressure) the reader falls back to one
+``os.pread`` per record on a persistent per-segment file descriptor —
+still no file open, no seek, no ``fcntl`` round trip.  Either way this
+is safe because segments are strictly append-only (the byte range an
+index entry points at is immutable once scanned), compaction replaces
+whole files via rename (an already-open descriptor or mapping keeps
+reading the old inode's complete contents, which for content-addressed
+records is the identical data), and every read re-verifies the record
+checksum — any racy read that does slip through decodes as corrupt and
+falls back to a locked rescan.  A mapping that is shorter than a newly
+appended record is remapped on demand.  ``get_many`` batches lookups
+and sorts the reads by (segment, offset) so a cold sweep touches each
+segment sequentially, and a small read-through LRU caches decoded
+payloads so each record pays its checksum once.
 
 Crash safety comes from per-record checksums (a torn tail decodes as
 one corrupt record, skipped with a warning and healed by the next
@@ -54,6 +60,11 @@ import json
 import os
 import pathlib
 import threading
+
+try:  # pragma: no cover - present on every supported platform
+    import mmap
+except ImportError:  # pragma: no cover - exotic builds only
+    mmap = None  # type: ignore[assignment]
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Sequence
@@ -95,23 +106,80 @@ INDEX_VERSION = 2
 
 
 class _SegmentReader:
-    """A persistent read-only descriptor for positioned segment reads.
+    """A persistent read-only view over one segment file.
 
-    ``os.pread`` carries its own offset, so one descriptor serves any
-    number of threads without seek races; the descriptor stays valid
-    (reading the original inode's full contents) even after another
-    process compacts the segment away.
+    The preferred read path is a lazily established ``mmap`` of the
+    whole segment: a read is then a ``memoryview`` slice — no syscall,
+    no copy — and the mapping is grown on demand when an index entry
+    points past its end (segments are append-only, so the mapped prefix
+    never changes).  Where ``mmap`` is unavailable or fails, reads fall
+    back — stickily, per reader — to ``os.pread`` on the same
+    descriptor, which carries its own offset and so serves any number
+    of threads without seek races.  Both paths stay valid (reading the
+    original inode's full contents) even after another process compacts
+    the segment away.
     """
 
-    __slots__ = ("fd",)
+    __slots__ = ("fd", "use_mmap", "_map", "_view")
 
-    def __init__(self, path: pathlib.Path) -> None:
+    def __init__(self, path: pathlib.Path, use_mmap: bool = True) -> None:
         self.fd = os.open(path, os.O_RDONLY)
+        self.use_mmap = use_mmap and mmap is not None
+        self._map: "mmap.mmap | None" = None
+        self._view: memoryview | None = None
 
-    def pread(self, offset: int, length: int) -> bytes:
+    def _remap(self, needed: int) -> bool:
+        """(Re)map the segment so at least ``needed`` bytes are visible.
+
+        Returns False without disabling mmap when the file is simply
+        shorter than ``needed`` (a stale index entry — the caller's
+        short-read handling takes over); disables mmap for this reader
+        when the mapping itself fails.
+        """
+        try:
+            size = os.fstat(self.fd).st_size
+        except OSError:
+            return False
+        if size < needed:
+            return False
+        self._release()
+        try:
+            self._map = mmap.mmap(self.fd, size, access=mmap.ACCESS_READ)
+        except (OSError, ValueError, OverflowError):
+            self.use_mmap = False  # sticky: pread from now on
+            return False
+        self._view = memoryview(self._map)
+        return True
+
+    def read(self, offset: int, length: int) -> "bytes | memoryview":
+        """Exactly ``length`` bytes at ``offset`` (or fewer, if stale)."""
+        if self.use_mmap:
+            end = offset + length
+            view = self._view
+            if (view is not None and end <= len(view)) or self._remap(end):
+                return self._view[offset:end]  # type: ignore[index]
         return os.pread(self.fd, length, offset)
 
+    def _release(self) -> None:
+        # exported record slices keep the old mapping's pages alive
+        # until they are garbage collected; a BufferError here just
+        # means such a slice is still live — drop our references and
+        # let refcounting reclaim the map
+        if self._view is not None:
+            try:
+                self._view.release()
+            except BufferError:  # pragma: no cover - exported slice live
+                pass
+            self._view = None
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                pass
+            self._map = None
+
     def close(self) -> None:
+        self._release()
         try:
             os.close(self.fd)
         except OSError:  # pragma: no cover - already closed
@@ -206,6 +274,7 @@ class RunStore:
         fsync: bool = False,
         read_cache_entries: int = 1024,
         snapshot_every: int = 4096,
+        use_mmap: bool = True,
     ) -> None:
         if max_segment_bytes <= 0:
             raise PersistError(
@@ -236,6 +305,7 @@ class RunStore:
         self.fsync = fsync
         self.read_cache_entries = read_cache_entries
         self.snapshot_every = snapshot_every
+        self.use_mmap = use_mmap
         self._lock = FileLock(self.root / "LOCK")
         self._mu = threading.Lock()  # guards index, readers and the read LRU
         self._index: dict[str, tuple[str, int, int]] = {}
@@ -406,7 +476,7 @@ class RunStore:
     def _reader_locked(self, name: str) -> _SegmentReader:
         reader = self._readers.get(name)
         if reader is None:
-            reader = _SegmentReader(self._segments_dir / name)
+            reader = _SegmentReader(self._segments_dir / name, self.use_mmap)
             self._readers[name] = reader
         return reader
 
@@ -418,15 +488,17 @@ class RunStore:
         while len(self._read_lru) > self.read_cache_entries:
             self._read_lru.popitem(last=False)
 
-    def _pread_locked(self, entry: tuple[str, int, int]) -> bytes:
+    def _pread_locked(self, entry: tuple[str, int, int]) -> "bytes | memoryview":
         """One positioned read of an indexed record; caller holds ``_mu``.
 
-        Lock-free with respect to the file lock: the byte range of an
-        indexed entry is immutable (segments are append-only, compaction
-        replaces whole files), and the caller re-checksums the result.
+        Returns a zero-copy memoryview slice on the mmap path, bytes on
+        the pread fallback.  Lock-free with respect to the file lock:
+        the byte range of an indexed entry is immutable (segments are
+        append-only, compaction replaces whole files), and the caller
+        re-checksums the result.
         """
         name, offset, length = entry
-        data = self._reader_locked(name).pread(offset, length)
+        data = self._reader_locked(name).read(offset, length)
         if len(data) != length:
             raise RecordCorruptError(
                 f"short read: wanted {length} bytes at {offset}, got {len(data)}"
@@ -677,6 +749,15 @@ class RunStore:
 
     # -- maintenance ---------------------------------------------------------
 
+    def read_stats(self) -> dict[str, int]:
+        """The read-path counters, without the disk rescan ``stats()`` pays."""
+        with self._mu:
+            return {
+                "read_lru_hits": self._read_lru_hits,
+                "read_lru_misses": self._read_lru_misses,
+                "bytes_read": self._bytes_read,
+            }
+
     def stats(self) -> StoreStats:
         self.refresh()
         with self._mu:
@@ -894,6 +975,10 @@ class DiskResultCache:
 
     def __contains__(self, key: str) -> bool:
         return self._store.get_generation(key) is not None
+
+    def read_stats(self) -> dict[str, int]:
+        """Cheap read-path counters (the runner samples these per run)."""
+        return self._store.read_stats()
 
     def stats(self) -> dict[str, int | str]:
         with self._mu:

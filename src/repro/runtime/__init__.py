@@ -47,7 +47,12 @@ from repro.runtime.executors import (
 )
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.runner import RunResult, RunStats, run, score_key
-from repro.runtime.scoring import ScoreHandle, ScoringPool
+from repro.runtime.scoring import (
+    AdaptiveScoringPool,
+    BatchScoreHandle,
+    ScoreHandle,
+    ScoringPool,
+)
 from repro.runtime.schedule import (
     AdaptiveScheduler,
     ExpectedCostModel,
@@ -81,7 +86,9 @@ __all__ = [
     "FilesystemResultCache",
     "ScoreCache",
     "ScoringPool",
+    "AdaptiveScoringPool",
     "ScoreHandle",
+    "BatchScoreHandle",
     "score_key",
     "run",
     "RunResult",

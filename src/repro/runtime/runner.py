@@ -88,6 +88,10 @@ class RunStats:
     score_hits: int = 0  # units whose score came from the score cache
     generation_seconds: float = 0.0  # summed provider wall-clock of new calls
     profile: PhaseProfile | None = None  # phase breakdown (when profiling)
+    score_workers: int = 0  # scoring worker processes this run used (0 = inline)
+    read_lru_hits: int = 0  # store read-LRU hits during this run (disk cache)
+    read_lru_misses: int = 0  # store read-LRU misses during this run
+    bytes_read: int = 0  # record bytes read from store segments this run
 
     @property
     def hit_rate(self) -> float:
@@ -148,7 +152,12 @@ def run(
     ``scoring`` plugs in a :class:`~repro.runtime.scoring.ScoringPool`:
     score-cache misses are computed in worker processes, overlapping
     generation when the executor streams (serial, threaded) and each
-    other always; grids stay bit-identical to inline scoring.
+    other always; grids stay bit-identical to inline scoring.  Units
+    sharing a scorer and target are submitted as one batched group
+    (one worker call per chunk instead of one per score).  An
+    :class:`~repro.runtime.scoring.AdaptiveScoringPool` additionally
+    chooses its worker count here, per run, from its cost model — and
+    is fed this run's measured per-unit costs afterwards.
     """
     started_unix = time.time()
     started = time.perf_counter()
@@ -163,6 +172,11 @@ def run(
     scheduler = scheduler if scheduler is not None else PlanOrderScheduler()
     score_cache = score_cache if score_cache is not None else ScoreCache()
     units = plan.units
+
+    # a disk-backed cache exposes cheap read-LRU counters; the deltas
+    # over this run land in RunStats (and therefore in the manifest)
+    read_stats_fn = getattr(cache, "read_stats", None) if cache is not None else None
+    reads_before = read_stats_fn() if read_stats_fn is not None else None
 
     # -- result-cache lookup + in-run dedup ----------------------------------
     generations: dict[str, Generation | None] = {}
@@ -222,22 +236,53 @@ def run(
             else:
                 to_compute.setdefault(unit.key, []).append(skey)
 
+    # -- scoring backend resolution ------------------------------------------
+    # an adaptive pool picks its worker count now, from the number of
+    # score computes this run actually needs (0 = score inline)
+    adaptive = scoring if hasattr(scoring, "for_run") else None
+    score_backend = scoring
+    if adaptive is not None:
+        score_backend = adaptive.for_run(
+            sum(len(skeys) for skeys in to_compute.values())
+        )
+
     pool_jobs: dict[Hashable, ScoreHandle] = {}
 
-    def submit_scores(gen_key: str, gen: Generation) -> None:
-        """Queue every score waiting on one resolved generation."""
-        for skey in to_compute.get(gen_key, ()):
-            unit = skey_units[skey]
-            pool_jobs[skey] = scoring.submit(
-                unit.scorer, gen.completion, unit.target
-            )
+    def submit_scores(resolved: list[tuple[str, Generation]]) -> None:
+        """Queue every score waiting on the given resolved generations.
 
-    if scoring is not None:
+        Scores sharing a (scorer, target) pair are submitted as one
+        batched group — one worker call per chunk — when the backend
+        supports it; results are identical to per-score submission.
+        """
+        groups: dict[tuple, list[tuple[Hashable, str]]] = {}
+        for gen_key, gen in resolved:
+            for skey in to_compute.get(gen_key, ()):
+                unit = skey_units[skey]
+                groups.setdefault((id(unit.scorer), unit.target), []).append(
+                    (skey, gen.completion)
+                )
+        submit_many = getattr(score_backend, "submit_many", None)
+        for (_scorer_id, target), entries in groups.items():
+            scorer = skey_units[entries[0][0]].scorer
+            if submit_many is not None and len(entries) > 1:
+                handles = submit_many(
+                    scorer, [completion for _skey, completion in entries], target
+                )
+                for (skey, _completion), handle in zip(entries, handles):
+                    pool_jobs[skey] = handle
+            else:
+                for skey, completion in entries:
+                    pool_jobs[skey] = score_backend.submit(
+                        scorer, completion, target
+                    )
+
+    if score_backend is not None:
         # generations already satisfied from the cache can score now,
         # overlapping the execution phase below
-        for gen_key, gen in generations.items():
-            if gen is not None:
-                submit_scores(gen_key, gen)
+        submit_scores(
+            [(gen_key, gen) for gen_key, gen in generations.items() if gen is not None]
+        )
 
     # -- execution -----------------------------------------------------------
     generation_seconds = 0.0
@@ -251,7 +296,9 @@ def run(
                 f"pending units ({len(pending)} in, {len(ordered)} out)"
             )
         execute_iter = (
-            getattr(executor, "execute_iter", None) if scoring is not None else None
+            getattr(executor, "execute_iter", None)
+            if score_backend is not None
+            else None
         )
         produced: dict[str, Generation] = {}
         with span("generate"):
@@ -260,7 +307,7 @@ def run(
                 # while later units are still generating
                 for gen in execute_iter(ordered):
                     produced[gen.key] = gen
-                    submit_scores(gen.key, gen)
+                    submit_scores([(gen.key, gen)])
             else:
                 produced = executor.execute(ordered)
         missing = [u.uid for u in pending if u.key not in produced]
@@ -269,9 +316,8 @@ def run(
                 f"executor {executor!r} returned no generation for units {missing}"
             )
         generations.update(produced)
-        if scoring is not None and execute_iter is None:
-            for unit in pending:
-                submit_scores(unit.key, produced[unit.key])
+        if score_backend is not None and execute_iter is None:
+            submit_scores([(unit.key, produced[unit.key]) for unit in pending])
         observe = getattr(scheduler, "observe", None)
         for unit in pending:
             gen = produced[unit.key]
@@ -293,6 +339,8 @@ def run(
     results: dict[str, UnitResult] = {}
     computed_scores: dict[Hashable, object] = {}
     scores_computed = score_hits = 0
+    inline_scores = 0
+    inline_score_seconds = 0.0
     with span("score"):
         for unit in units:
             gen = generations[unit.key]
@@ -307,13 +355,43 @@ def run(
                     if handle is not None:
                         score = handle.result()
                     else:
+                        score_started = time.perf_counter()
                         score = unit.scorer(gen.completion, unit.target)
+                        inline_score_seconds += time.perf_counter() - score_started
+                        inline_scores += 1
                     score_cache.put(skey, score)
                     computed_scores[skey] = score
                     scores_computed += 1
                 else:
                     score_hits += 1
             results[unit.uid] = UnitResult(uid=unit.uid, generation=gen, score=score)
+
+    if adaptive is not None:
+        # feed the cost model: inline scoring wall time (pooled scores
+        # overlap generation, so only inline computes carry a clean
+        # per-unit cost) plus this run's per-unit generation cost
+        adaptive.observe_run(
+            scores_computed=inline_scores,
+            score_seconds=inline_score_seconds,
+            generated=len(pending),
+            generation_seconds=generation_seconds,
+        )
+
+    read_lru_hits = read_lru_misses = bytes_read = 0
+    if reads_before is not None:
+        reads_after = read_stats_fn()
+        read_lru_hits = reads_after["read_lru_hits"] - reads_before["read_lru_hits"]
+        read_lru_misses = (
+            reads_after["read_lru_misses"] - reads_before["read_lru_misses"]
+        )
+        bytes_read = reads_after["bytes_read"] - reads_before["bytes_read"]
+
+    if score_backend is not None:
+        score_workers = getattr(score_backend, "max_workers", 0)
+    elif adaptive is not None:
+        score_workers = adaptive.last_workers  # 0: the run scored inline
+    else:
+        score_workers = 0
 
     unique_keys = len(generations)
     profile = None
@@ -328,6 +406,10 @@ def run(
         score_hits=score_hits,
         generation_seconds=generation_seconds,
         profile=profile,
+        score_workers=score_workers,
+        read_lru_hits=read_lru_hits,
+        read_lru_misses=read_lru_misses,
+        bytes_read=bytes_read,
     )
     manifest = None
     if store is not None:

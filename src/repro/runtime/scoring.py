@@ -26,25 +26,53 @@ Fallbacks keep the pool safe to enable anywhere:
 The pool is lazy and persistent: workers start on the first submit and
 are reused across runs (``close()`` or the context manager releases
 them), so multi-sweep scripts pay process start-up once.
+
+Two batching layers ride on top:
+
+* :meth:`ScoringPool.submit_many` ships a whole unit-group —
+  many completions against one target — as a few chunked worker calls
+  instead of one IPC round trip per score.  The worker scores the group
+  through :func:`repro.metrics.kernels.score_batch`, compiling the
+  target and interning its kernel vocabularies once per chunk;
+* :class:`AdaptiveScoringPool` chooses the worker count *per run* from
+  :class:`~repro.runtime.schedule.ExpectedCostModel` EMAs of observed
+  per-unit score cost vs generation cost — including zero workers
+  (inline scoring) when the expected metric work is too small to pay
+  for process round trips.  Cold start is inline: the first run
+  measures, later runs offload.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import math
 import multiprocessing
 import pickle
 import threading
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.scorers import Score
 from repro.errors import HarnessError
+from repro.metrics.kernels import score_batch
 from repro.perf import span
+from repro.runtime.schedule import ExpectedCostModel
+
+# ExpectedCostModel channel keys for the adaptive pool's two EMAs
+SCORE_COST_KEY = "score-unit"
+GENERATION_COST_KEY = "generation-unit"
 
 
 def _score_task(scorer: Callable, completion: str, target: str) -> Score:
     """Worker-side body: one score, pure function of its arguments."""
     return scorer(completion, target)
+
+
+def _score_batch_task(
+    scorer: Callable, completions: Sequence[str], target: str
+) -> list[Score]:
+    """Worker-side body: one unit-group, compiled/interned once per call."""
+    return score_batch(completions, target, scorer)
 
 
 class ScoreHandle:
@@ -80,6 +108,42 @@ class ScoreHandle:
                 # picklability): TypeError is what pickle raises for
                 # locks/sockets/etc.  A scorer legitimately raising one
                 # of these recomputes inline and raises there instead.
+                AttributeError,
+                TypeError,
+            ):
+                self._value = self._recompute()
+            self._future = None
+        return self._value
+
+
+class BatchScoreHandle:
+    """One score inside a submitted batch (same ``result()`` protocol).
+
+    The batch future resolves to the whole chunk's score list; each
+    handle indexes its own entry.  Pool failures heal per score by
+    recomputing inline, exactly like :class:`ScoreHandle`.
+    """
+
+    __slots__ = ("_future", "_index", "_value", "_recompute")
+
+    def __init__(
+        self,
+        future: concurrent.futures.Future,
+        index: int,
+        recompute: Callable[[], Score],
+    ) -> None:
+        self._future = future
+        self._index = index
+        self._value: Score | None = None
+        self._recompute = recompute
+
+    def result(self) -> Score:
+        if self._future is not None:
+            try:
+                self._value = self._future.result()[self._index]
+            except (
+                BrokenProcessPool,
+                pickle.PicklingError,
                 AttributeError,
                 TypeError,
             ):
@@ -158,6 +222,62 @@ class ScoringPool:
             return ScoreHandle(None, recompute(), recompute)
         return ScoreHandle(future, None, recompute)
 
+    def submit_many(
+        self,
+        scorer: Callable[[str, str], Score],
+        completions: Sequence[str],
+        target: str,
+        *,
+        parallelism: int | None = None,
+    ) -> list[ScoreHandle | BatchScoreHandle]:
+        """Queue one unit-group: many completions against one target.
+
+        The group is chunked across ``parallelism`` workers (default:
+        all of them) and each chunk is a single worker call through
+        :func:`repro.metrics.kernels.score_batch` — one pickle of the
+        scorer + target per chunk instead of per score.  Returns one
+        handle per completion, in order; results are element-wise
+        identical to per-completion :meth:`submit`.
+        """
+        completions = list(completions)
+        if not completions:
+            return []
+
+        def inline_chunk(chunk: list[str]) -> list[ScoreHandle]:
+            with span("score-inline"):
+                values = score_batch(chunk, target, scorer)
+            return [
+                ScoreHandle(None, value, lambda value=value: value)
+                for value in values
+            ]
+
+        if not self._scorer_picklable(scorer):
+            return inline_chunk(completions)
+        workers = max(1, parallelism if parallelism is not None else self.max_workers)
+        chunk_size = math.ceil(len(completions) / workers)
+        handles: list[ScoreHandle | BatchScoreHandle] = []
+        for start in range(0, len(completions), chunk_size):
+            chunk = completions[start : start + chunk_size]
+            try:
+                future = self._ensure_pool().submit(
+                    _score_batch_task, scorer, chunk, target
+                )
+            except (
+                BrokenProcessPool,
+                pickle.PicklingError,
+                RuntimeError,  # pool shut down concurrently
+            ):
+                handles.extend(inline_chunk(chunk))
+                continue
+            for index, completion in enumerate(chunk):
+
+                def recompute(completion: str = completion) -> Score:
+                    with span("score-inline"):
+                        return scorer(completion, target)
+
+                handles.append(BatchScoreHandle(future, index, recompute))
+        return handles
+
     def warm(self) -> None:
         """Start the workers now (otherwise they start on first submit).
 
@@ -209,3 +329,142 @@ class ScoringPool:
 def _noop_scorer(completion: str, target: str) -> Score:
     """Warm-up body: exercises the worker round trip, scores nothing."""
     return Score(values={}, answer="")
+
+
+class _SizedPool:
+    """A per-run view of one ScoringPool at a chosen parallelism.
+
+    The inner pool keeps its processes (start-up is paid once); the
+    view only narrows how many chunks a batch is split into, so the
+    adaptive choice never tears workers down mid-sweep.
+    """
+
+    __slots__ = ("_pool", "max_workers")
+
+    def __init__(self, pool: ScoringPool, workers: int) -> None:
+        self._pool = pool
+        self.max_workers = workers
+
+    def submit(
+        self, scorer: Callable[[str, str], Score], completion: str, target: str
+    ) -> ScoreHandle:
+        return self._pool.submit(scorer, completion, target)
+
+    def submit_many(
+        self,
+        scorer: Callable[[str, str], Score],
+        completions: Sequence[str],
+        target: str,
+    ) -> list[ScoreHandle | BatchScoreHandle]:
+        return self._pool.submit_many(
+            scorer, completions, target, parallelism=self.max_workers
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_SizedPool(workers={self.max_workers})"
+
+
+class AdaptiveScoringPool:
+    """A ScoringPool whose worker count is chosen per run by a cost model.
+
+    Two :class:`~repro.runtime.schedule.ExpectedCostModel` EMA channels
+    — observed per-unit score cost (``score-unit``) and per-unit
+    generation cost (``generation-unit``) — decide at ``run()`` time how
+    many workers the run's scoring should use:
+
+    * **no score observations yet** → 0 workers (inline): the cold run
+      measures the real per-unit cost instead of guessing;
+    * **expected total metric work below** ``min_offload_seconds`` →
+      0 workers: the whole batch is cheaper than pool round trips;
+    * otherwise ``ceil(score_cost / generation_cost)`` workers (capped
+      at ``max_workers``): just enough scoring parallelism to keep pace
+      with the executor's generation throughput — all ``max_workers``
+      when generation cost is unknown or zero (warm-cache runs are pure
+      scoring).
+
+    The runner feeds the model back via :meth:`observe_run` after every
+    run, so the choice adapts online; grids stay bit-identical at any
+    worker count.  Pass one instance to any number of ``run()`` calls
+    via ``scoring=`` exactly like a plain pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        *,
+        cost_model: ExpectedCostModel | None = None,
+        mp_context: str = "spawn",
+        min_offload_seconds: float = 0.02,
+    ) -> None:
+        if max_workers <= 0:
+            raise HarnessError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.cost_model = (
+            cost_model if cost_model is not None else ExpectedCostModel()
+        )
+        self.min_offload_seconds = min_offload_seconds
+        self._pool = ScoringPool(max_workers, mp_context=mp_context)
+        self.last_workers = 0  # what the most recent for_run() chose
+
+    def choose_workers(self, n_scores: int) -> int:
+        """Worker count for a run expecting ``n_scores`` score computes."""
+        estimates = self.cost_model.snapshot()
+        score_cost = estimates.get(SCORE_COST_KEY)
+        if score_cost is None or n_scores <= 0:
+            return 0
+        if score_cost * n_scores < self.min_offload_seconds:
+            return 0
+        generation_cost = estimates.get(GENERATION_COST_KEY)
+        if generation_cost is not None and generation_cost > 0:
+            workers = math.ceil(score_cost / generation_cost)
+        else:
+            workers = self.max_workers
+        return max(1, min(self.max_workers, workers))
+
+    def for_run(self, n_scores: int) -> _SizedPool | None:
+        """The scoring backend one run should use (``None`` = inline)."""
+        workers = self.choose_workers(n_scores)
+        self.last_workers = workers
+        return _SizedPool(self._pool, workers) if workers > 0 else None
+
+    def observe_run(
+        self,
+        *,
+        scores_computed: int = 0,
+        score_seconds: float = 0.0,
+        generated: int = 0,
+        generation_seconds: float = 0.0,
+    ) -> None:
+        """Fold one run's measured per-unit costs into the EMAs.
+
+        The runner reports inline scoring time only (pooled scores
+        overlap generation, so their wall time is not a per-unit cost),
+        and generation time for every freshly executed unit.
+        """
+        if scores_computed > 0 and score_seconds > 0:
+            self.cost_model.observe(
+                SCORE_COST_KEY, score_seconds / scores_computed
+            )
+        if generated > 0 and generation_seconds > 0:
+            self.cost_model.observe(
+                GENERATION_COST_KEY, generation_seconds / generated
+            )
+
+    def warm(self) -> None:
+        self._pool.warm()
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "AdaptiveScoringPool":
+        self._pool.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._pool.__exit__(*exc_info)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveScoringPool(max_workers={self.max_workers}, "
+            f"last_workers={self.last_workers})"
+        )

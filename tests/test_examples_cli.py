@@ -36,6 +36,8 @@ def run_script(*args: str) -> subprocess.CompletedProcess:
         (["--cache", "punchcards"], "unknown cache 'punchcards'"),
         (["--cache", "disk"], "--cache disk requires --store"),
         (["--store", str(SCRIPT)], "is not a directory"),
+        (["--score-workers", "many"], "worker count or 'auto'"),
+        (["--score-workers", "-1"], "must be >= 0"),
     ],
 )
 def test_unknown_knobs_exit_cleanly(args, expected):
@@ -60,3 +62,12 @@ def test_valid_factories_build_without_running():
         assert cli.make_cache(name, store=None) is not None
     with pytest.raises(cli.UsageError):
         cli.make_executor("bogus", workers=2)
+    assert cli.make_scoring("0") is None
+    pool = cli.make_scoring("2")
+    assert pool is not None and pool.max_workers == 2
+    pool.close()
+    from repro.runtime import AdaptiveScoringPool
+
+    auto = cli.make_scoring("auto")
+    assert isinstance(auto, AdaptiveScoringPool)
+    auto.close()

@@ -182,6 +182,44 @@ class TestReport:
         with pytest.raises(HarnessError):
             perf.load_profile(bad)
 
+    def test_render_manifest_shows_scoring_and_read_stats(self):
+        payload = {
+            "run_id": "run-123",
+            "plan_name": "configuration",
+            "plan_fingerprint": "ab" * 32,
+            "executor": "SerialExecutor()",
+            "wall_seconds": 1.5,
+            "resumed_from": "run-122",
+            "stats": {
+                "total_units": 24,
+                "generated": 0,
+                "cache_hits": 24,
+                "deduplicated": 0,
+                "scores_computed": 0,
+                "score_hits": 24,
+                "score_workers": 3,
+                "read_lru_hits": 8,
+                "read_lru_misses": 16,
+                "bytes_read": 2048,
+            },
+        }
+        text = perf.render_manifest(payload)
+        assert "run-123" in text
+        assert "resumed" in text and "run-122" in text
+        assert "3 worker process(es)" in text
+        assert "8 hit(s) / 16 miss(es)" in text
+        assert "33% hit rate" in text
+        assert "2.0 KiB" in text
+
+    def test_render_manifest_inline_and_zero_reads(self):
+        text = perf.render_manifest(
+            {"run_id": "r", "stats": {"total_units": 1, "score_workers": 0}}
+        )
+        assert "inline" in text
+        assert "0 hit(s) / 0 miss(es)" in text
+        assert "hit rate" not in text  # no division by zero, no bogus %
+        assert "0 B" in text
+
 
 class TestRuntimeIntegration:
     def test_run_attaches_per_run_profile(self):
@@ -254,6 +292,27 @@ class TestCLI:
         path.write_text(json.dumps(prof.snapshot().as_dict()))
         proc = run_cli(["report", str(path)])
         assert proc.returncode == 0
+        assert "generate" in proc.stdout
+
+    def test_report_renders_run_manifest_with_recorded_profile(self, tmp_path):
+        from repro.core.experiments.configuration import configuration_task
+        from repro.persist import RunStore
+        from repro.runtime import Plan, run
+
+        plan = Plan("perf-cli-manifest")
+        plan.add_eval(configuration_task("adios2"), "sim/o3", epochs=1)
+        with perf.profiling():
+            with RunStore(tmp_path / "store") as store:
+                run(plan, store=store)
+        manifest_path = next((tmp_path / "store" / "manifests").glob("*.json"))
+        proc = run_cli(["report", str(manifest_path)])
+        assert proc.returncode == 0
+        assert "run manifest" in proc.stdout
+        assert "perf-cli-manifest" in proc.stdout
+        assert "inline" in proc.stdout  # score_workers == 0
+        assert "read-LRU" in proc.stdout
+        # the per-run profile recorded in the manifest renders below it
+        assert "phase profile (recorded with the run)" in proc.stdout
         assert "generate" in proc.stdout
 
     def test_missing_profile_is_a_clean_error(self, tmp_path):

@@ -474,6 +474,62 @@ class TestManifests:
     def test_no_store_no_manifest(self):
         assert run(small_plan()).manifest is None
 
+    def test_read_and_scoring_stats_round_trip(self, tmp_path):
+        """score_workers + read-LRU traffic survive the manifest file."""
+        from repro.persist.manifest import RunManifest
+        from repro.runtime.runner import RunStats
+
+        with RunStore(tmp_path / "store") as store:
+            run(small_plan(), store=store)
+        with RunStore(tmp_path / "store") as store:
+            warm = run(small_plan(), store=store)
+        # the warm pass read its generations back from segments
+        assert warm.stats.read_lru_misses > 0
+        assert warm.stats.bytes_read > 0
+        assert warm.stats.score_workers == 0  # inline scoring
+        reloaded = RunStore(tmp_path / "store").manifests()[-1]
+        assert reloaded.stats == warm.stats
+
+        # payload round trip preserves every new field verbatim
+        manifest = RunManifest(
+            run_id="run-test",
+            plan_name="p",
+            plan_fingerprint="f" * 64,
+            unit_keys=("k",),
+            executor="SerialExecutor()",
+            scheduler="plan",
+            cache="InMemoryResultCache()",
+            stats=RunStats(
+                total_units=1, generated=1, cache_hits=0, deduplicated=0,
+                score_workers=3, read_lru_hits=7, read_lru_misses=2,
+                bytes_read=4096,
+            ),
+            started_unix=0.0,
+            wall_seconds=1.0,
+        )
+        back = RunManifest.from_payload(
+            json.loads(json.dumps(manifest.to_payload()))
+        )
+        assert back == manifest
+        assert back.stats.score_workers == 3
+        assert back.stats.read_lru_hits == 7
+        assert back.stats.bytes_read == 4096
+
+    def test_old_manifest_without_read_stats_still_loads(self, tmp_path):
+        """Pre-PR-6 manifests (no read/scoring stat keys) default to zero."""
+        from repro.persist.manifest import RunManifest
+
+        with RunStore(tmp_path / "store") as store:
+            payload = run(small_plan(), store=store).manifest.to_payload()
+        for legacy_missing in (
+            "score_workers", "read_lru_hits", "read_lru_misses", "bytes_read",
+        ):
+            payload["stats"].pop(legacy_missing)
+        old = RunManifest.from_payload(payload)
+        assert old.stats.score_workers == 0
+        assert old.stats.read_lru_hits == 0
+        assert old.stats.bytes_read == 0
+
     def test_explicit_cache_still_records_manifest(self, tmp_path):
         with RunStore(tmp_path / "store") as store:
             outcome = run(small_plan(), cache=InMemoryResultCache(), store=store)
@@ -514,6 +570,92 @@ class TestResumableSweep:
         assert manifest.stats.generated == manifest.stats.total_units - partial - manifest.stats.deduplicated
 
 
+class TestMmapReads:
+    """Zero-copy mmap segment reads: parity, remap, fallback, lifetime."""
+
+    def test_mmap_and_pread_paths_return_identical_records(self, tmp_path):
+        gens = [make_generation(i) for i in range(12)]
+        with RunStore(tmp_path / "store", max_segment_bytes=512) as writer:
+            writer.put_generations(gens)
+        mapped = RunStore(tmp_path / "store", use_mmap=True)
+        plain = RunStore(tmp_path / "store", use_mmap=False)
+        keys = [gen.key for gen in gens]
+        assert mapped.get_generations(keys) == plain.get_generations(keys)
+        for gen in gens:
+            assert mapped.get_generation(gen.key) == plain.get_generation(gen.key)
+        # the mmap store really did map (not silently pread)
+        assert any(r._map is not None for r in mapped._readers.values())
+        assert all(r._map is None for r in plain._readers.values())
+
+    def test_remap_sees_records_appended_past_the_mapping(self, tmp_path):
+        store = RunStore(tmp_path / "store", read_cache_entries=0)
+        first = make_generation(0)
+        store.put_generation(first)
+        assert store.get_generation(first.key) == first  # maps the segment
+        later = make_generation(1)
+        store.put_generation(later)  # same segment, beyond the mapped size
+        assert store.get_generation(later.key) == later  # forces a remap
+        assert store.get_generation(first.key) == first
+
+    def test_pread_fallback_when_mmap_fails(self, tmp_path, monkeypatch):
+        gens = [make_generation(i) for i in range(6)]
+        with RunStore(tmp_path / "store") as writer:
+            writer.put_generations(gens)
+        expected = {
+            gen.key: RunStore(tmp_path / "store").get_generation(gen.key)
+            for gen in gens
+        }
+
+        import repro.persist.store as store_mod
+
+        class _BrokenMmap:
+            ACCESS_READ = store_mod.mmap.ACCESS_READ
+
+            @staticmethod
+            def mmap(*args, **kwargs):
+                raise OSError("mmap refused")
+
+        monkeypatch.setattr(store_mod, "mmap", _BrokenMmap)
+        store = RunStore(tmp_path / "store", read_cache_entries=0)
+        for gen in gens:
+            assert store.get_generation(gen.key) == expected[gen.key]
+        # the failure is sticky per reader: mmap is not retried per record
+        assert all(not r.use_mmap for r in store._readers.values())
+        assert store.read_stats()["bytes_read"] > 0
+
+    def test_live_view_survives_segment_unlink_and_close(self, tmp_path):
+        """An exported record slice stays readable after compaction unlinks
+        the segment, and closing the reader around it must not raise."""
+        from repro.persist.store import _SegmentReader
+
+        gen = make_generation(0)
+        with RunStore(tmp_path / "store") as writer:
+            writer.put_generation(gen)
+        segment = list_segments(Path(tmp_path / "store" / "segments"))[0]
+        length = segment.stat().st_size
+        reader = _SegmentReader(segment)
+        view = reader.read(0, length)
+        assert isinstance(view, memoryview)
+        snapshot = bytes(view)
+        segment.unlink()  # what gc() does to replaced segments
+        assert bytes(view) == snapshot  # the unlinked inode stays valid
+        reader.close()  # BufferError from the live export is swallowed
+        assert bytes(view) == snapshot
+
+    def test_gc_compaction_invalidates_and_rereads_cleanly(self, tmp_path):
+        store = RunStore(
+            tmp_path / "store", max_segment_bytes=512, read_cache_entries=0
+        )
+        gens = [make_generation(i) for i in range(10)]
+        store.put_generations(gens)
+        for gen in gens:  # establish mappings over several segments
+            assert store.get_generation(gen.key) == gen
+        store.gc()
+        for gen in gens:  # fresh mappings over the compacted segment
+            assert store.get_generation(gen.key) == gen
+        assert store.verify().clean
+
+
 def _rotation_writer(store_path: str, batches: int, batch_size: int) -> None:
     """Append past the rotation threshold, compacting once midway (child)."""
     from repro.persist import RunStore
@@ -542,6 +684,8 @@ class TestConcurrentReadersDuringRotation:
         reader.put_generations(base)
         for gen in base:  # warm the offset index and the persistent fds
             assert reader.get_generation(gen.key) == gen
+        # the reader holds live segment mappings across what follows
+        assert any(r._map is not None for r in reader._readers.values())
 
         batches, batch_size = 24, 16
         ctx = multiprocessing.get_context("spawn")

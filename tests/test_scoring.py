@@ -9,6 +9,7 @@ from repro.core.scorers import CodeSimilarityScorer, Score
 from repro.core.task import evaluate
 from repro.errors import HarnessError
 from repro.runtime import (
+    AdaptiveScoringPool,
     AsyncExecutor,
     BatchingExecutor,
     Plan,
@@ -136,6 +137,63 @@ class TestRunnerIntegration:
             warm = run(small_plan(), store=store, scoring=pool)
         assert warm.stats.generated == 0
         assert warm.stats.scores_computed == 0
+
+
+class TestKernelGridIdentity:
+    """Acceptance for the vectorized-kernel PR: the *full* Table-1 grid is
+    bit-identical across every executor with the numpy kernels, batched
+    group scoring, and an adaptive pool in play."""
+
+    def test_full_table1_grid_identical_across_executors(self, pool):
+        from repro.metrics import kernels_enabled
+
+        assert kernels_enabled()  # the fast path, not the fallback
+        baseline = run_configuration(epochs=2)  # all models × all systems
+        for make in (
+            lambda: SerialExecutor(),
+            lambda: ThreadedExecutor(4),
+            lambda: AsyncExecutor(4),
+            lambda: BatchingExecutor(2),
+        ):
+            grid = run_configuration(epochs=2, executor=make(), scoring=pool)
+            assert grids_equal(baseline, grid), repr(make())
+
+    def test_full_grid_identical_with_kernels_disabled(self, monkeypatch):
+        """The compiled fallback scores the same grid bit for bit."""
+        from repro.metrics.compiled import compile_reference
+
+        fast = run_configuration(epochs=2)
+        monkeypatch.setenv("REPRO_METRIC_KERNELS", "0")
+        compile_reference.cache_clear()
+        slow = run_configuration(epochs=2)
+        assert grids_equal(fast, slow)
+
+    def test_adaptive_pool_matches_inline_and_records_choice(self):
+        with AdaptiveScoringPool(max_workers=2) as adaptive:
+            baseline = run_configuration(**SMALL)
+            # cold: no cost observations yet, so the run scores inline
+            cold = run_configuration(**SMALL, scoring=adaptive)
+            assert adaptive.last_workers == 0
+            assert grids_equal(baseline, cold)
+            # the cost model now has observations; whatever worker count
+            # it picks, the grid must not move
+            warm = run_configuration(**SMALL, scoring=adaptive)
+            assert 0 <= adaptive.last_workers <= 2
+            assert grids_equal(baseline, warm)
+
+    def test_adaptive_pool_stats_flow_into_the_manifest(self, tmp_path):
+        from repro.persist import RunStore
+
+        with AdaptiveScoringPool(max_workers=2) as adaptive:
+            with RunStore(tmp_path / "store") as store:
+                run(small_plan(), store=store, scoring=adaptive)
+            with RunStore(tmp_path / "store") as store:
+                outcome = run(small_plan(), store=store, scoring=adaptive)
+        manifest = outcome.manifest
+        assert manifest.stats.score_workers == adaptive.last_workers
+        # the warm pass re-read its generations from store segments
+        assert manifest.stats.read_lru_misses > 0
+        assert manifest.stats.bytes_read > 0
 
 
 class TestExecutorStreaming:
