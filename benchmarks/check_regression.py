@@ -65,6 +65,15 @@ SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
     "scoring": {
         "score_heavy": (("pipelined_vs_serial", "pipelined_ms", "serial_ms"),),
     },
+    "faults": {
+        "overhead": (("policy_vs_baseline", "policy_ms", "baseline_ms"),),
+        **{
+            f"fault_rates_{name}": (
+                ("rate30_vs_rate0", "rate30_ms", "rate0_ms"),
+            )
+            for name in ("serial", "threaded", "async")
+        },
+    },
     "kernels": {
         system: (
             (
@@ -83,9 +92,13 @@ SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
 # regressing past 2x means the offset-indexed read path came undone;
 # batch_over_compiled past 0.8 means group-vectorized scoring stopped
 # paying for itself (full mode asserts >= 2x, i.e. <= 0.5, in-bench);
-# mmap_over_pread past 1.5 means the zero-copy read path went backwards.
+# mmap_over_pread past 1.5 means the zero-copy read path went backwards;
+# policy_over_baseline past 1.05 means arming the fault-tolerance layer
+# costs more than 5% on a healthy run (both timings come from the same
+# alternating best-of-N pass, so the ratio is hardware-normalized).
 ABSOLUTE_CAPS: tuple[tuple[str, str, str, float], ...] = (
     ("persist", "records", "get_over_put", 2.0),
+    ("faults", "overhead", "policy_over_baseline", 1.05),
     ("persist", "mmap_read", "mmap_over_pread", 1.5),
     ("kernels", "wilkins", "batch_over_compiled", 0.8),
     ("kernels", "wilkins", "vectorized_over_compiled", 1.5),

@@ -23,10 +23,24 @@ breakdown of the whole script — where the wall time went, phase by
 phase — and ``--profile-json PATH`` saves it for
 ``python -m repro.perf report PATH``.
 
+The fault-tolerance knobs (see :mod:`repro.runtime.faults`) install a
+:class:`repro.runtime.FaultPolicy` on every sweep: ``--max-attempts``,
+``--retry-budget`` and ``--unit-deadline`` shape the retry loop, and
+``--on-failure isolate`` quarantines units that stay down instead of
+aborting the run (the failure set lands in the run's manifest; inspect
+with ``python -m repro.persist ls-runs --failures PATH``).
+``--resume-failed RUN_ID`` (with ``--store``) prints a prior run's
+quarantined units, re-runs the sweeps against the same store — only
+failed/missing units re-execute, everything else is a cache hit — and
+reports ``units_failed`` before → after.
+
 Usage:  python examples/reproduce_tables.py [--fast]
             [--executor {serial,threads,mpi,async,batched}] [--workers N]
             [--scheduler {plan,adaptive}] [--cache {memory,fs,disk}]
             [--store PATH] [--score-workers N|auto]
+            [--on-failure {raise,isolate,skip}] [--max-attempts N]
+            [--retry-budget N] [--unit-deadline SECONDS]
+            [--resume-failed RUN_ID]
             [--profile] [--profile-json PATH]
 """
 
@@ -117,6 +131,39 @@ def make_scoring(spec: str):
     return ScoringPool(max_workers=workers)
 
 
+def make_faults(args):
+    """A :class:`repro.runtime.FaultPolicy`, or None when untouched.
+
+    The default run carries no fault layer at all (zero overhead);
+    touching any fault knob — or resuming, which implies quarantine
+    semantics — builds one policy shared by every sweep.
+    """
+    tuned = (
+        args.on_failure,
+        args.max_attempts,
+        args.retry_budget,
+        args.unit_deadline,
+    )
+    if all(value is None for value in tuned) and args.resume_failed is None:
+        return None
+    from repro.runtime import FaultPolicy, RetryPolicy
+
+    retry = (
+        RetryPolicy()
+        if args.max_attempts is None
+        else RetryPolicy(max_attempts=args.max_attempts)
+    )
+    on_failure = args.on_failure
+    if on_failure is None:
+        on_failure = "isolate" if args.resume_failed is not None else "raise"
+    return FaultPolicy(
+        retry=retry,
+        unit_deadline_s=args.unit_deadline,
+        retry_budget=args.retry_budget,
+        on_failure=on_failure,
+    )
+
+
 def make_cache(name: str, store):
     if name == "memory":
         return InMemoryResultCache()
@@ -164,6 +211,32 @@ def main() -> None:
              "are bit-identical either way)",
     )
     parser.add_argument(
+        "--on-failure", default=None, choices=("raise", "isolate", "skip"),
+        help="what to do with a unit that stays down after retries: raise "
+             "(default, abort the sweep), isolate (quarantine it, record it "
+             "on the manifest, keep going) or skip (quarantine and assemble "
+             "partial results)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="attempts per unit for transient provider errors (default: 3)",
+    )
+    parser.add_argument(
+        "--retry-budget", type=int, default=None, metavar="N",
+        help="cap the total retries shared by a whole run (default: unlimited)",
+    )
+    parser.add_argument(
+        "--unit-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-unit wall-clock deadline across all attempts "
+             "(default: none)",
+    )
+    parser.add_argument(
+        "--resume-failed", default=None, metavar="RUN_ID",
+        help="re-run only the units a prior run quarantined (requires "
+             "--store; find run ids with python -m repro.persist ls-runs "
+             "--failures PATH)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="print the repro.perf phase breakdown of the whole script",
     )
@@ -188,9 +261,25 @@ def main() -> None:
         cache_name = args.cache or ("disk" if store is not None else "memory")
         cache = make_cache(cache_name, store)
         scoring = make_scoring(args.score_workers)
+        faults = make_faults(args)
+        resume_prior = None
+        if args.resume_failed is not None:
+            if store is None:
+                raise UsageError("--resume-failed requires --store PATH")
+            resume_prior = store.manifest(args.resume_failed)
+            if resume_prior is None:
+                raise UsageError(
+                    f"store at {args.store} has no recorded run "
+                    f"{args.resume_failed!r}"
+                )
     except (UsageError, StoreError, HarnessError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         sys.exit(2)
+    if resume_prior is not None:
+        print(f"resuming after {resume_prior.describe()}")
+        for failure in resume_prior.failures:
+            print(f"    {failure.describe()}")
+        print()
     profiling = args.profile or args.profile_json is not None
     profile_ctx = perf.profiling() if profiling else contextlib.nullcontext()
     started = time.perf_counter()
@@ -199,23 +288,25 @@ def main() -> None:
         with profile_ctx as prof:
             grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
                                       scheduler=scheduler, store=store,
-                                      scoring=scoring)
+                                      scoring=scoring, faults=faults)
             print(render_grid_table(grid1, "Table 1: workflow configuration"))
             print()
 
             grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
-                                   scheduler=scheduler, store=store, scoring=scoring)
+                                   scheduler=scheduler, store=store, scoring=scoring,
+                                   faults=faults)
             print(render_grid_table(grid2, "Table 2: task code annotation"))
             print()
 
             grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
-                                    scheduler=scheduler, store=store, scoring=scoring)
+                                    scheduler=scheduler, store=store, scoring=scoring,
+                                    faults=faults)
             print(render_grid_table(grid3, "Table 3: task code translation"))
             print()
 
             comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
                                      scheduler=scheduler, store=store,
-                                     scoring=scoring)
+                                     scoring=scoring, faults=faults)
             print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
             print()
 
@@ -227,6 +318,7 @@ def main() -> None:
                 results = run_prompt_sensitivity(
                     experiment, epochs=1, executor=executor, cache=cache,
                     scheduler=scheduler, store=store, scoring=scoring,
+                    faults=faults,
                 )
                 print(render_figure1(results, title))
                 print()
@@ -255,6 +347,11 @@ def main() -> None:
     if store is not None:
         print(f"store: {store.stats().describe()}; "
               f"{len(store.manifests())} run manifest(s) recorded")
+    if resume_prior is not None:
+        healed = store.latest_manifest(resume_prior.plan_fingerprint)
+        after = len(healed.failures) if healed is not None else 0
+        print(f"resume-failed: units_failed {len(resume_prior.failures)} "
+              f"-> {after}")
     if profiling:
         profile = prof.snapshot()
         print()

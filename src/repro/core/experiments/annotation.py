@@ -58,6 +58,7 @@ def run_annotation(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 2 grid."""
     return run_grid_sweep(
@@ -71,4 +72,5 @@ def run_annotation(
         scheduler=scheduler,
         store=store,
         scoring=scoring,
+        faults=faults,
     )

@@ -116,6 +116,7 @@ def run_grid_sweep(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> ExperimentGrid:
     """Plan and run a rows × models sweep through the runtime.
 
@@ -123,9 +124,14 @@ def run_grid_sweep(
     :class:`~repro.runtime.plan.Plan` over all cells (so a parallel
     executor sees the whole sweep at once), one run, one grid.
     ``store`` makes the sweep durable and resumable (see
-    :mod:`repro.persist`).
+    :mod:`repro.persist`); ``faults`` installs a
+    :class:`~repro.runtime.faults.FaultPolicy` — with an isolating
+    policy, cells whose units were quarantined are simply absent from
+    the grid (``grid.cell`` raises for them) until a resumed run heals
+    them, instead of one bad unit aborting the whole sweep.
     """
     # imported here: repro.runtime builds on repro.core
+    from repro.errors import UnitFailedError
     from repro.runtime import Plan, run
 
     plan = Plan(name)
@@ -135,8 +141,13 @@ def run_grid_sweep(
         for model in models:
             specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring)
+                  store=store, scoring=scoring, faults=faults)
     grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
     for (row, model), spec in specs.items():
-        grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))
+        try:
+            grid.add(row, model, cell_from_eval(outcome.eval_result(spec)))
+        except UnitFailedError:
+            # quarantined cell: recorded on the run (and its manifest),
+            # healed by re-running against the same store
+            continue
     return grid

@@ -68,6 +68,7 @@ def run_configuration(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> ExperimentGrid:
     """Sweep models × systems; returns the Table 1 grid."""
     return run_grid_sweep(
@@ -81,4 +82,5 @@ def run_configuration(
         scheduler=scheduler,
         store=store,
         scoring=scoring,
+        faults=faults,
     )

@@ -52,6 +52,7 @@ def run_fewshot(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> FewshotComparison:
     """Run both shot modes and average over the configuration systems."""
     plan = Plan("fewshot")
@@ -64,7 +65,8 @@ def run_fewshot(
                     task, f"sim/{model}", epochs=epochs
                 )
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring)
+                  store=store, scoring=scoring,
+                  faults=faults)
 
     def averaged(fewshot: bool) -> dict[str, CellResult]:
         out: dict[str, CellResult] = {}

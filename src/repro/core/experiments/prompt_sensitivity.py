@@ -51,6 +51,7 @@ def run_prompt_sensitivity(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> dict[Hashable, dict[str, dict[str, float]]]:
     """Sweep conditions × variants × models.
 
@@ -68,7 +69,8 @@ def run_prompt_sensitivity(
                     task, f"sim/{model}", epochs=epochs
                 )
     outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring)
+                  store=store, scoring=scoring,
+                  faults=faults)
     out: dict[Hashable, dict[str, dict[str, float]]] = {}
     for condition in conditions:
         out[condition] = {

@@ -59,6 +59,7 @@ def run_translation(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> ExperimentGrid:
     """Sweep models × directions; returns the Table 3 grid."""
     return run_grid_sweep(
@@ -72,4 +73,5 @@ def run_translation(
         scheduler=scheduler,
         store=store,
         scoring=scoring,
+        faults=faults,
     )

@@ -90,6 +90,7 @@ def evaluate(
     scheduler=None,
     store=None,
     scoring=None,
+    faults=None,
 ) -> EvalResult:
     """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
@@ -106,5 +107,5 @@ def evaluate(
     spec = plan.add_eval(task, model, epochs=epochs, config=config)
     return run(
         plan, executor=executor, cache=cache, scheduler=scheduler, store=store,
-        scoring=scoring,
+        scoring=scoring, faults=faults,
     ).eval_result(spec)

@@ -56,8 +56,46 @@ class CalibrationError(ModelError):
     """Bisection calibration failed to bracket the requested target score."""
 
 
+class DeadlineExceededError(ModelError):
+    """A generation (or an execution shard) blew its wall-clock deadline.
+
+    Carries the measured ``elapsed_s``, the ``deadline_s`` that was
+    exceeded, and — for sharded execution — the ``rank`` that was still
+    running.  Never retried: the budget the deadline protects is already
+    spent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        elapsed_s: float = 0.0,
+        deadline_s: float | None = None,
+        rank: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        self.rank = rank
+
+
 class HarnessError(ReproError):
     """Misuse of the evaluation harness (task/solver/scorer plumbing)."""
+
+
+class UnitFailedError(HarnessError):
+    """Results of a unit quarantined by the fault policy were accessed.
+
+    Raised at assembly time (``RunResult.eval_result``) when an eval's
+    unit set includes failures isolated by
+    :class:`~repro.runtime.faults.FaultPolicy`; carries the
+    :class:`~repro.runtime.faults.UnitFailure` records so callers can
+    decide to resume, skip, or surface them.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
 
 
 class MetricError(ReproError):

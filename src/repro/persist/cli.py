@@ -5,12 +5,15 @@ Commands:
 * ``stats``   — record/segment/manifest counts and on-disk size;
 * ``verify``  — full checksum audit; exit 1 when the store is unclean;
 * ``gc``      — compact segments, drop stale/corrupt/orphan records;
-* ``ls-runs`` — list recorded run manifests, oldest first.
+* ``ls-runs`` — list recorded run manifests, oldest first; with
+  ``--failures``, expand each run's quarantined-unit records (the
+  triage surface of the quarantine-and-resume workflow).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -22,24 +25,34 @@ def _open(path: str) -> RunStore:
     return RunStore(path, create=False)
 
 
-def cmd_stats(store: RunStore) -> int:
+def cmd_stats(store: RunStore, args: argparse.Namespace) -> int:
     print(store.stats().describe())
     return 0
 
 
-def cmd_verify(store: RunStore) -> int:
+def cmd_verify(store: RunStore, args: argparse.Namespace) -> int:
     report = store.verify()
     print(report.describe())
     return 0 if report.clean else 1
 
 
-def cmd_gc(store: RunStore) -> int:
+def cmd_gc(store: RunStore, args: argparse.Namespace) -> int:
     print(store.gc().describe())
     return 0
 
 
-def cmd_ls_runs(store: RunStore) -> int:
+def cmd_ls_runs(store: RunStore, args: argparse.Namespace) -> int:
     manifests = store.manifests()
+    if getattr(args, "failures", False):
+        manifests = [m for m in manifests if m.failures]
+        if not manifests:
+            print("no runs with recorded failures")
+            return 0
+        for manifest in manifests:
+            print(manifest.describe())
+            for failure in manifest.failures:
+                print(f"    {failure.describe()}")
+        return 0
     if not manifests:
         print("no runs recorded")
         return 0
@@ -65,6 +78,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name, (_handler, help_text) in COMMANDS.items():
         command = sub.add_parser(name, help=help_text)
         command.add_argument("store", help="path to the store directory")
+        if name == "ls-runs":
+            command.add_argument(
+                "--failures",
+                action="store_true",
+                help="show only runs with quarantined units, one detail "
+                "line per recorded failure",
+            )
     args = parser.parse_args(argv)
     handler, _ = COMMANDS[args.command]
     try:
@@ -72,7 +92,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return handler(store)
+    try:
+        return handler(store, args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,6 +27,11 @@ from typing import Any
 
 from repro.errors import HarnessError, PersistError
 from repro.perf import PhaseProfile
+from repro.runtime.faults import (
+    UnitFailure,
+    failure_from_payload,
+    failure_payload,
+)
 from repro.runtime.plan import Plan
 from repro.runtime.runner import RunStats
 
@@ -63,6 +68,7 @@ class RunManifest:
     started_unix: float
     wall_seconds: float
     resumed_from: str | None = None  # run_id of the latest same-fingerprint run
+    failures: tuple[UnitFailure, ...] = ()  # units quarantined by the policy
 
     @property
     def total_units(self) -> int:
@@ -72,6 +78,7 @@ class RunManifest:
         payload = asdict(self)
         payload["unit_keys"] = list(self.unit_keys)
         payload["stats"] = asdict(self.stats)
+        payload["failures"] = [failure_payload(f) for f in self.failures]
         return payload
 
     @staticmethod
@@ -99,6 +106,10 @@ class RunManifest:
                 started_unix=payload["started_unix"],
                 wall_seconds=payload["wall_seconds"],
                 resumed_from=payload.get("resumed_from"),
+                failures=tuple(
+                    failure_from_payload(f)
+                    for f in payload.get("failures", ())
+                ),
             )
         except (KeyError, TypeError, HarnessError) as exc:
             raise PersistError(f"malformed run manifest: {exc}") from None
@@ -107,8 +118,10 @@ class RunManifest:
         """One ``ls-runs`` line: id, plan, and how units were satisfied."""
         s = self.stats
         resumed = f" resumed_from={self.resumed_from}" if self.resumed_from else ""
+        failed = f" failed={len(self.failures)}" if self.failures else ""
         return (
             f"{self.run_id}  plan={self.plan_name!r} units={s.total_units} "
             f"generated={s.generated} cache_hits={s.cache_hits} "
-            f"dedup={s.deduplicated} wall={self.wall_seconds:.2f}s{resumed}"
+            f"dedup={s.deduplicated} wall={self.wall_seconds:.2f}s"
+            f"{failed}{resumed}"
         )

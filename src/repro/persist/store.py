@@ -704,10 +704,21 @@ class RunStore:
         cache: object,
         started_unix: float,
         wall_seconds: float,
+        failures: Sequence = (),
+        resumed_from: str | None = None,
     ) -> RunManifest:
-        """Durably record one executed run; links repeats of the same plan."""
+        """Durably record one executed run; links repeats of the same plan.
+
+        ``failures`` persists the run's quarantined
+        :class:`~repro.runtime.faults.UnitFailure` records, so a later
+        session can resume exactly the failed units.  ``resumed_from``
+        pins the predecessor explicitly (``runtime.run(resume_from=…)``);
+        when omitted, the latest same-fingerprint run is linked.
+        """
         fingerprint = plan_fingerprint(plan)
-        previous = self.latest_manifest(fingerprint)
+        if resumed_from is None:
+            previous = self.latest_manifest(fingerprint)
+            resumed_from = previous.run_id if previous is not None else None
         manifest = RunManifest(
             run_id=make_run_id(started_unix, fingerprint),
             plan_name=plan.name,
@@ -719,13 +730,22 @@ class RunStore:
             stats=stats,
             started_unix=started_unix,
             wall_seconds=wall_seconds,
-            resumed_from=previous.run_id if previous is not None else None,
+            resumed_from=resumed_from,
+            failures=tuple(failures),
         )
         blob = json.dumps(manifest.to_payload(), sort_keys=True, indent=1)
         write_atomic(
             self._manifests_dir / f"{manifest.run_id}.json", blob.encode("ascii")
         )
         return manifest
+
+    def manifest(self, run_id: str) -> RunManifest | None:
+        """One recorded run by id (``None`` when absent or unreadable)."""
+        path = self._manifests_dir / f"{run_id}.json"
+        try:
+            return RunManifest.from_payload(json.loads(path.read_text()))
+        except (OSError, ValueError, PersistError):
+            return None
 
     def manifests(self) -> list[RunManifest]:
         """Every recorded run, oldest first."""

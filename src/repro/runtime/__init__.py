@@ -40,10 +40,18 @@ from repro.runtime.executors import (
     AsyncExecutor,
     Executor,
     MpiShardExecutor,
-    RetryPolicy,
     SerialExecutor,
     ThreadedExecutor,
     generate_unit,
+)
+from repro.runtime.faults import (
+    FailedGeneration,
+    FaultPolicy,
+    FaultState,
+    RetryPolicy,
+    UnitFailure,
+    active_faults,
+    fault_scope,
 )
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.runner import RunResult, RunStats, run, score_key
@@ -75,6 +83,12 @@ __all__ = [
     "MpiShardExecutor",
     "AsyncExecutor",
     "RetryPolicy",
+    "FaultPolicy",
+    "FaultState",
+    "UnitFailure",
+    "FailedGeneration",
+    "fault_scope",
+    "active_faults",
     "BatchingExecutor",
     "group_units_by_model",
     "Scheduler",

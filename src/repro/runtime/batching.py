@@ -19,12 +19,15 @@ end-to-end offline and is asserted bit-identical to serial execution.
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 import time
 from typing import Sequence
 
-from repro.errors import HarnessError
+from repro.errors import HarnessError, ModelError
 from repro.llm.api import get_model
 
+from repro.runtime.executors import generate_unit
+from repro.runtime.faults import FailedGeneration
 from repro.runtime.units import Generation, WorkUnit
 
 
@@ -54,6 +57,12 @@ class BatchingExecutor:
                 f"group_concurrency must be positive, got {group_concurrency}"
             )
         self.group_concurrency = group_concurrency
+        # survivors of failed generate_batch groups, keyed by generation
+        # key: when one poisoned prompt fails a whole batched call, the
+        # siblings that then succeeded individually are remembered here
+        # so a retry of the group never re-generates them
+        self._salvaged: dict[str, Generation] = {}
+        self._salvage_mu = threading.Lock()
 
     def execute(self, units: Sequence[WorkUnit]) -> dict[str, Generation]:
         if not units:
@@ -77,25 +86,86 @@ class BatchingExecutor:
     def _execute_group(
         self, model: str, units: list[WorkUnit]
     ) -> dict[str, Generation]:
+        # units salvaged from an earlier failed attempt at this group are
+        # served from memory — only the genuinely unresolved ones reach
+        # the provider again
+        with self._salvage_mu:
+            done = {
+                unit.key: self._salvaged[unit.key]
+                for unit in units
+                if unit.key in self._salvaged
+            }
+        todo = [unit for unit in units if unit.key not in done]
+        if not todo:
+            with self._salvage_mu:
+                for key in done:
+                    self._salvaged.pop(key, None)
+            return done
         # Model.generate_batch owns the dispatch: one provider round-trip
         # when the provider implements generate_batch (output count
         # validated there), graceful per-request generate otherwise
         started = time.perf_counter()
-        outputs = get_model(model).generate_batch(
-            [(unit.prompt, unit.config) for unit in units]
-        )
-        elapsed = time.perf_counter() - started
-        per_unit = elapsed / len(units)  # amortized batch cost
-        return {
-            unit.key: Generation(
-                key=unit.key,
-                model=unit.model,
-                completion=output.completion,
-                usage=output.usage,
-                elapsed_s=per_unit,
+        try:
+            outputs = get_model(model).generate_batch(
+                [(unit.prompt, unit.config) for unit in todo]
             )
-            for unit, output in zip(units, outputs)
-        }
+        except ModelError:
+            done.update(self._fallback_per_unit(todo))
+            with self._salvage_mu:
+                for key in done:
+                    self._salvaged.pop(key, None)
+            return done
+        elapsed = time.perf_counter() - started
+        per_unit = elapsed / len(todo)  # amortized batch cost
+        done.update(
+            {
+                unit.key: Generation(
+                    key=unit.key,
+                    model=unit.model,
+                    completion=output.completion,
+                    usage=output.usage,
+                    elapsed_s=per_unit,
+                )
+                for unit, output in zip(todo, outputs)
+            }
+        )
+        with self._salvage_mu:
+            for key in done:
+                self._salvaged.pop(key, None)
+        return done
+
+    def _fallback_per_unit(
+        self, units: list[WorkUnit]
+    ) -> dict[str, Generation]:
+        """Drive a failed group's units individually, salvaging survivors.
+
+        Every unit is attempted (under the active
+        :class:`~repro.runtime.faults.FaultPolicy` when one is
+        installed, so each gets its own retry/deadline/isolation).  With
+        no policy — or with ``on_failure="raise"`` — the first failure
+        is re-raised only *after* all siblings ran, and the successes
+        are kept in the salvage memo: a retried group re-generates the
+        poisoned unit alone.
+        """
+        produced: dict[str, Generation] = {}
+        first_error: BaseException | None = None
+        for unit in units:
+            try:
+                gen = generate_unit(unit)
+            except Exception as exc:  # raise-mode: finish siblings first
+                if first_error is None:
+                    first_error = exc
+                continue
+            produced[unit.key] = gen
+            if not isinstance(gen, FailedGeneration):
+                with self._salvage_mu:
+                    self._salvaged[unit.key] = gen
+        if first_error is not None:
+            raise first_error
+        with self._salvage_mu:
+            for key in produced:
+                self._salvaged.pop(key, None)
+        return produced
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BatchingExecutor(group_concurrency={self.group_concurrency})"

@@ -27,25 +27,34 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import re
 import threading
 import time
-from dataclasses import dataclass
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
-from repro.errors import (
-    CalibrationError,
-    GenerationError,
-    HarnessError,
-    ModelError,
-    UnknownModelError,
-)
+from repro.errors import DeadlineExceededError, HarnessError, ModelError
 from repro.llm.api import as_async, get_model
 from repro.llm.types import ChatMessage
+from repro.runtime.faults import (
+    FailedGeneration,
+    RetryPolicy,
+    active_faults,
+)
 from repro.runtime.units import Generation, WorkUnit
 
+__all__ = [
+    "generate_unit",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "MpiShardExecutor",
+    "AsyncExecutor",
+    "RetryPolicy",  # moved to repro.runtime.faults; re-exported for imports
+]
 
-def generate_unit(unit: WorkUnit) -> Generation:
-    """Run one unit's model call; pure function of the unit's content."""
+
+def _generate_once(unit: WorkUnit) -> Generation:
+    """One raw model call for one unit; no retry, no policy."""
     started = time.perf_counter()
     output = get_model(unit.model).generate(unit.prompt, unit.config)
     return Generation(
@@ -55,6 +64,23 @@ def generate_unit(unit: WorkUnit) -> Generation:
         usage=output.usage,
         elapsed_s=time.perf_counter() - started,
     )
+
+
+def generate_unit(unit: WorkUnit) -> "Generation | FailedGeneration":
+    """Run one unit's model call; pure function of the unit's content.
+
+    The single funnel every sync executor goes through: when a
+    :func:`~repro.runtime.faults.fault_scope` is active, the call runs
+    under its :class:`~repro.runtime.faults.FaultPolicy` — deterministic
+    retry/backoff, per-unit deadline, run-shared retry budget, and
+    failure isolation (a quarantined unit comes back as a
+    :class:`~repro.runtime.faults.FailedGeneration` instead of raising).
+    Without a scope this is exactly the raw provider call it always was.
+    """
+    state = active_faults()
+    if state is not None:
+        return state.run_unit(unit, _generate_once)
+    return _generate_once(unit)
 
 
 @runtime_checkable
@@ -210,6 +236,7 @@ class MpiShardExecutor:
 
         from repro.errors import CommunicatorError
 
+        started = time.perf_counter()
         try:
             launch = mpiexec(
                 rank_main,
@@ -219,54 +246,24 @@ class MpiShardExecutor:
             )
         except CommunicatorError as exc:
             # a rank failure wraps the provider's exception; unwrap it so
-            # all executors surface the same exception types (genuine
-            # communicator timeouts/deadlocks have no cause and re-raise)
+            # all executors surface the same exception types.  A genuine
+            # communicator timeout/deadlock has no cause: surface it as a
+            # typed deadline error carrying the stuck rank and elapsed
+            # wall clock instead of a bare re-raise with no context.
             if exc.__cause__ is not None:
                 raise exc.__cause__
-            raise
+            match = re.search(r"mpi-rank-(\d+)", str(exc))
+            raise DeadlineExceededError(
+                f"MPI shard execution missed its {self.timeout}s deadline: "
+                f"{exc}",
+                elapsed_s=time.perf_counter() - started,
+                deadline_s=self.timeout,
+                rank=int(match.group(1)) if match else None,
+            ) from exc
         return launch[0]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MpiShardExecutor(nprocs={self.nprocs})"
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Retry/backoff for transient provider failures.
-
-    A call is retried when it raises a :class:`~repro.errors.ModelError`
-    that is plausibly transient — rate limits, timeouts, 5xx-shaped
-    failures a real endpoint emits.  Deterministic failures
-    (:class:`~repro.errors.UnknownModelError`,
-    :class:`~repro.errors.GenerationError`,
-    :class:`~repro.errors.CalibrationError`) and non-model exceptions
-    are never retried: they would fail identically every attempt.
-
-    Backoff is exponential (``base_delay * 2**attempt``, capped at
-    ``max_delay``) and deliberately jitter-free so runs stay
-    reproducible; spread load across clients by varying ``base_delay``.
-    """
-
-    max_attempts: int = 3
-    base_delay: float = 0.05
-    max_delay: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise HarnessError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.base_delay < 0 or self.max_delay < 0:
-            raise HarnessError("retry delays must be non-negative")
-
-    def is_retryable(self, exc: BaseException) -> bool:
-        return isinstance(exc, ModelError) and not isinstance(
-            exc, (UnknownModelError, GenerationError, CalibrationError)
-        )
-
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
-        return min(self.max_delay, self.base_delay * (2 ** attempt))
 
 
 class AsyncExecutor:
@@ -346,11 +343,30 @@ class AsyncExecutor:
     async def _execute(self, units: list[WorkUnit]) -> dict[str, Generation]:
         pool = self._ensure_pool()
         semaphore = asyncio.Semaphore(self.max_concurrency)
+        state = active_faults()
 
-        async def one(unit: WorkUnit) -> Generation:
+        async def generate_once(unit: WorkUnit) -> Generation:
             provider = as_async(get_model(unit.model).provider, pool)
             messages = [ChatMessage.user(unit.prompt)]
+            started = time.perf_counter()
+            output = await provider.agenerate(messages, unit.config)
+            return Generation(
+                key=unit.key,
+                model=unit.model,
+                completion=output.completion,
+                usage=output.usage,
+                elapsed_s=time.perf_counter() - started,
+            )
+
+        async def one(unit: WorkUnit) -> "Generation | FailedGeneration":
             async with semaphore:
+                if state is not None:
+                    # the run's FaultPolicy owns retry/deadline/isolation;
+                    # the executor's own RetryPolicy applies only outside
+                    # a fault scope
+                    return await state.run_unit_async(unit, generate_once)
+                provider = as_async(get_model(unit.model).provider, pool)
+                messages = [ChatMessage.user(unit.prompt)]
                 started = time.perf_counter()
                 output = await self._generate_with_retry(
                     provider, messages, unit

@@ -24,7 +24,7 @@ from repro.core.task import (
     SampleResult,
     Task,
 )
-from repro.errors import HarnessError
+from repro.errors import HarnessError, UnitFailedError
 from repro.llm.api import Model, get_model, register_instance
 from repro.llm.types import GenerateConfig
 
@@ -45,24 +45,63 @@ class EvalSpec:
     epochs: int
     sample_units: tuple[tuple[Sample, tuple[str, ...]], ...]
 
-    def assemble(self, results: Mapping[str, UnitResult]) -> EvalResult:
-        """Rebuild the eval result this spec describes from unit results."""
+    def assemble(
+        self,
+        results: Mapping[str, UnitResult],
+        *,
+        failures: "Mapping[str, object] | None" = None,
+        skip_failed: bool = False,
+    ) -> EvalResult:
+        """Rebuild the eval result this spec describes from unit results.
+
+        ``failures`` maps quarantined uids to their
+        :class:`~repro.runtime.faults.UnitFailure` records (runs under a
+        ``FaultPolicy`` with ``on_failure != "raise"``).  A spec touched
+        by failures raises :class:`~repro.errors.UnitFailedError`
+        carrying those records — unless ``skip_failed`` is set, in which
+        case failed epochs are dropped (and samples with no surviving
+        epoch dropped entirely), assembling a partial result.
+        """
+        failures = failures or {}
+        failed_here: list[object] = []
         samples: list[SampleResult] = []
         for sample, uids in self.sample_units:
-            try:
-                per_epoch = [results[uid] for uid in uids]
-            except KeyError as missing:
-                raise HarnessError(
-                    f"run is missing unit {missing} for task {self.task_name!r}; "
-                    "was the plan executed by repro.runtime.run?"
-                ) from None
-            samples.append(
-                SampleResult(
-                    sample=sample,
-                    prompt=sample.input,
-                    scores=[r.score for r in per_epoch],
-                    completions=[r.completion for r in per_epoch],
+            per_epoch: list[UnitResult] = []
+            for uid in uids:
+                unit_result = results.get(uid)
+                if unit_result is not None:
+                    per_epoch.append(unit_result)
+                    continue
+                failure = failures.get(uid)
+                if failure is None:
+                    raise HarnessError(
+                        f"run is missing unit {uid!r} for task "
+                        f"{self.task_name!r}; was the plan executed by "
+                        "repro.runtime.run?"
+                    )
+                failed_here.append(failure)
+            if per_epoch or not uids:
+                samples.append(
+                    SampleResult(
+                        sample=sample,
+                        prompt=sample.input,
+                        scores=[r.score for r in per_epoch],
+                        completions=[r.completion for r in per_epoch],
+                    )
                 )
+        if failed_here and not skip_failed:
+            raise UnitFailedError(
+                f"{len(failed_here)} unit(s) of task {self.task_name!r} × "
+                f"{self.model_name!r} were quarantined by the fault policy; "
+                "re-run the plan against the same store to heal them, or "
+                'assemble with on_failure="skip" for partial results',
+                failures=tuple(failed_here),
+            )
+        if failed_here and not samples:
+            raise UnitFailedError(
+                f"every unit of task {self.task_name!r} × "
+                f"{self.model_name!r} failed; nothing to assemble",
+                failures=tuple(failed_here),
             )
         return EvalResult(
             task_name=self.task_name,

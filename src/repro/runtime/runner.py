@@ -26,6 +26,7 @@ store-io spans) is attached as :attr:`RunStats.profile`.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import time
 from dataclasses import dataclass
@@ -40,6 +41,13 @@ if TYPE_CHECKING:  # repro.persist builds on repro.runtime, not vice versa
 
 from repro.runtime.cache import ResultCache, ScoreCache
 from repro.runtime.executors import Executor, SerialExecutor
+from repro.runtime.faults import (
+    FailedGeneration,
+    FaultPolicy,
+    FaultState,
+    UnitFailure,
+    fault_scope,
+)
 from repro.runtime.plan import EvalSpec, Plan
 from repro.runtime.schedule import PlanOrderScheduler, Scheduler
 from repro.runtime.scoring import ScoreHandle, ScoringPool
@@ -92,6 +100,9 @@ class RunStats:
     read_lru_hits: int = 0  # store read-LRU hits during this run (disk cache)
     read_lru_misses: int = 0  # store read-LRU misses during this run
     bytes_read: int = 0  # record bytes read from store segments this run
+    units_failed: int = 0  # units quarantined by the fault policy
+    units_retried: int = 0  # units that needed at least one retry
+    retry_seconds: float = 0.0  # failed-attempt time + backoff sleeps
 
     @property
     def hit_rate(self) -> float:
@@ -106,10 +117,25 @@ class RunResult:
     results: Mapping[str, UnitResult]
     stats: RunStats
     manifest: "RunManifest | None" = None  # recorded when a store was used
+    failures: Mapping[str, UnitFailure] = None  # uid -> quarantined failure
+    on_failure: str = "raise"  # the run's FaultPolicy disposition
+
+    def __post_init__(self) -> None:
+        if self.failures is None:
+            self.failures = {}
 
     def eval_result(self, spec: EvalSpec) -> EvalResult:
-        """The :class:`EvalResult` for one ``add_eval`` handle."""
-        return spec.assemble(self.results)
+        """The :class:`EvalResult` for one ``add_eval`` handle.
+
+        An eval whose units were quarantined by the fault policy raises
+        :class:`~repro.errors.UnitFailedError` here (``isolate`` mode)
+        or silently drops the failed epochs/samples (``skip`` mode).
+        """
+        return spec.assemble(
+            self.results,
+            failures=self.failures,
+            skip_failed=self.on_failure == "skip",
+        )
 
     def __getitem__(self, uid: str) -> UnitResult:
         return self.results[uid]
@@ -124,6 +150,8 @@ def run(
     scheduler: Scheduler | None = None,
     store: "RunStore | None" = None,
     scoring: ScoringPool | None = None,
+    faults: FaultPolicy | None = None,
+    resume_from: str | None = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
 
@@ -158,9 +186,41 @@ def run(
     :class:`~repro.runtime.scoring.AdaptiveScoringPool` additionally
     chooses its worker count here, per run, from its cost model — and
     is fed this run's measured per-unit costs afterwards.
+
+    ``faults`` installs a :class:`~repro.runtime.faults.FaultPolicy` for
+    the execution phase: every executor gains the same deterministic
+    retry/backoff, per-unit deadlines and a run-shared retry budget, and
+    — with ``on_failure="isolate"``/``"skip"`` — units that exhaust
+    their chances are quarantined as per-uid
+    :class:`~repro.runtime.faults.UnitFailure` records instead of
+    aborting the sweep.  Failures are never cached, so re-running the
+    same plan against the same store re-executes exactly the quarantined
+    units; ``resume_from`` makes that linkage explicit by validating the
+    prior run's manifest (same plan fingerprint) and recording it as
+    this run's predecessor.
     """
     started_unix = time.time()
     started = time.perf_counter()
+    if resume_from is not None:
+        if store is None:
+            raise HarnessError(
+                "resume_from requires a store (the failure set to resume "
+                "lives in the prior run's manifest)"
+            )
+        from repro.persist.manifest import plan_fingerprint
+
+        prior = store.manifest(resume_from)
+        if prior is None:
+            raise HarnessError(
+                f"store at {store.root} has no recorded run {resume_from!r}"
+            )
+        if prior.plan_fingerprint != plan_fingerprint(plan):
+            raise HarnessError(
+                f"run {resume_from!r} executed a different plan "
+                f"(fingerprint {prior.plan_fingerprint[:12]}…); resume "
+                "must replay the same plan against the same store"
+            )
+    fault_state = FaultState(faults) if faults is not None else None
     profiler = active_profiler()
     profile_before = profiler.snapshot() if profiler is not None else None
     if store is not None:
@@ -286,6 +346,8 @@ def run(
 
     # -- execution -----------------------------------------------------------
     generation_seconds = 0.0
+    failed: dict[str, FailedGeneration] = {}  # generation key -> failure
+    ok_units: list = []  # executed units that actually produced a generation
     if pending:
         ordered = scheduler.order(pending)
         if len(ordered) != len(pending) or {u.uid for u in ordered} != {
@@ -301,41 +363,68 @@ def run(
             else None
         )
         produced: dict[str, Generation] = {}
-        with span("generate"):
+        scope = (
+            fault_scope(fault_state)
+            if fault_state is not None
+            else contextlib.nullcontext()
+        )
+        with scope, span("generate"):
             if execute_iter is not None:
                 # streaming: completed units flow into the scoring pool
                 # while later units are still generating
                 for gen in execute_iter(ordered):
                     produced[gen.key] = gen
-                    submit_scores([(gen.key, gen)])
+                    if not isinstance(gen, FailedGeneration):
+                        submit_scores([(gen.key, gen)])
             else:
                 produced = executor.execute(ordered)
+        failed = {
+            key: gen
+            for key, gen in produced.items()
+            if isinstance(gen, FailedGeneration)
+        }
         missing = [u.uid for u in pending if u.key not in produced]
         if missing:
             raise HarnessError(
                 f"executor {executor!r} returned no generation for units {missing}"
             )
         generations.update(produced)
+        ok_units = (
+            [unit for unit in pending if unit.key not in failed]
+            if failed
+            else list(pending)
+        )
         if score_backend is not None and execute_iter is None:
-            submit_scores([(unit.key, produced[unit.key]) for unit in pending])
+            submit_scores([(unit.key, produced[unit.key]) for unit in ok_units])
         observe = getattr(scheduler, "observe", None)
-        for unit in pending:
+        for unit in ok_units:
             gen = produced[unit.key]
             generation_seconds += gen.elapsed_s
             if observe is not None:
                 observe(unit, gen.elapsed_s)
-        if cache is not None:
+        if cache is not None and ok_units:
+            # quarantined failures never enter the cache: the next run
+            # against the same cache/store re-executes exactly them
             with span("cache-put"):
                 put_many = getattr(cache, "put_many", None)
                 if put_many is not None:
                     # one lock acquisition / append batch for backends that
                     # support it (in-memory, disk); semantics identical
-                    put_many([produced[unit.key] for unit in pending])
+                    put_many([produced[unit.key] for unit in ok_units])
                 else:
-                    for unit in pending:
+                    for unit in ok_units:
                         cache.put(produced[unit.key])
 
     # -- scoring + assembly --------------------------------------------------
+    # failures become per-uid records (deduplicated units sharing a
+    # failed generation key all fail together) and are excluded from
+    # scoring; EvalSpec.assemble surfaces them per evaluation
+    failures: dict[str, UnitFailure] = {}
+    if failed:
+        for unit in units:
+            failure = failed.get(unit.key)
+            if failure is not None:
+                failures[unit.uid] = failure.unit_failure(unit.uid)
     results: dict[str, UnitResult] = {}
     computed_scores: dict[Hashable, object] = {}
     scores_computed = score_hits = 0
@@ -344,6 +433,8 @@ def run(
     with span("score"):
         for unit in units:
             gen = generations[unit.key]
+            if isinstance(gen, FailedGeneration):
+                continue
             skey = unit_skeys[unit.uid]
             score = cached_scores.get(skey)
             if score is not None:
@@ -373,7 +464,7 @@ def run(
         adaptive.observe_run(
             scores_computed=inline_scores,
             score_seconds=inline_score_seconds,
-            generated=len(pending),
+            generated=len(ok_units),
             generation_seconds=generation_seconds,
         )
 
@@ -399,7 +490,7 @@ def run(
         profile = profiler.snapshot().subtract(profile_before)
     stats = RunStats(
         total_units=len(units),
-        generated=len(pending),
+        generated=len(ok_units),
         cache_hits=cache_hits,
         deduplicated=len(units) - unique_keys,
         scores_computed=scores_computed,
@@ -410,6 +501,9 @@ def run(
         read_lru_hits=read_lru_hits,
         read_lru_misses=read_lru_misses,
         bytes_read=bytes_read,
+        units_failed=len(failures),
+        units_retried=fault_state.units_retried if fault_state is not None else 0,
+        retry_seconds=fault_state.retry_seconds if fault_state is not None else 0.0,
     )
     manifest = None
     if store is not None:
@@ -421,5 +515,14 @@ def run(
             cache=cache,
             started_unix=started_unix,
             wall_seconds=time.perf_counter() - started,
+            failures=tuple(failures.values()),
+            resumed_from=resume_from,
         )
-    return RunResult(plan=plan, results=results, stats=stats, manifest=manifest)
+    return RunResult(
+        plan=plan,
+        results=results,
+        stats=stats,
+        manifest=manifest,
+        failures=failures,
+        on_failure=faults.on_failure if faults is not None else "raise",
+    )

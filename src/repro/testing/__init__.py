@@ -1,0 +1,23 @@
+"""Chaos-engineering harness: deterministic fault injection for tests.
+
+Everything here exists to *prove* the fault-tolerance layer
+(:mod:`repro.runtime.faults`) — inject provider faults, store I/O
+faults and scoring-worker deaths on a fixed seed, then assert the
+harness heals around them with bit-identical results.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultyProvider,
+    FaultyStore,
+    faulty_models,
+    kill_pool_workers,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyProvider",
+    "FaultyStore",
+    "faulty_models",
+    "kill_pool_workers",
+]

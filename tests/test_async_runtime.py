@@ -284,17 +284,26 @@ class TestBatchedGeneration:
     def test_wrong_batch_size_is_detected(self):
         class Lossy:
             name = "plain/echo-lossy"
+            calls = 0
 
-            def generate(self, messages, config):  # pragma: no cover
-                raise AssertionError
+            def generate(self, messages, config):
+                Lossy.calls += 1
+                return echo_output(self.name)
 
             def generate_batch(self, requests):
                 return [echo_output(self.name)]  # one short
 
         plan = Plan("p")
         plan.add_eval(simple_task("lossy-task"), Model(Lossy()), epochs=2)
+        # the Model layer detects the short batch...
         with pytest.raises(ModelError, match="outputs"):
-            run(plan, executor=BatchingExecutor())
+            get_model("plain/echo-lossy").generate_batch(
+                [("a", None), ("b", None)]
+            )
+        # ...and the executor heals it by driving the group per-request
+        outcome = run(plan, executor=BatchingExecutor())
+        assert Lossy.calls == 2
+        assert outcome.stats.generated == 2
 
     def test_group_units_by_model_preserves_plan_order(self):
         plan = Plan("p")
