@@ -85,6 +85,15 @@ SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
         )
         for system in ("wilkins", "henson")
     },
+    "serve": {
+        "remote_records": (
+            (
+                "remote_vs_local",
+                "remote_get_many_ms_per_record",
+                "local_get_many_ms_per_record",
+            ),
+        ),
+    },
 }
 
 # absolute floors, mode-independent: these are ratios of two same-run
@@ -95,13 +104,18 @@ SECTION_TRACKED: dict[str, dict[str, tuple[tuple[str, str, str], ...]]] = {
 # mmap_over_pread past 1.5 means the zero-copy read path went backwards;
 # policy_over_baseline past 1.05 means arming the fault-tolerance layer
 # costs more than 5% on a healthy run (both timings come from the same
-# alternating best-of-N pass, so the ratio is hardware-normalized).
+# alternating best-of-N pass, so the ratio is hardware-normalized);
+# remote_get_over_local_get past 25x means the networked store's
+# pipelined loopback reads lost their batching (measured ~1.3x on an
+# idle machine; the cap absorbs CI loopback jitter, while a client that
+# stops pipelining or pooling overshoots it by an order of magnitude).
 ABSOLUTE_CAPS: tuple[tuple[str, str, str, float], ...] = (
     ("persist", "records", "get_over_put", 2.0),
     ("faults", "overhead", "policy_over_baseline", 1.05),
     ("persist", "mmap_read", "mmap_over_pread", 1.5),
     ("kernels", "wilkins", "batch_over_compiled", 0.8),
     ("kernels", "wilkins", "vectorized_over_compiled", 1.5),
+    ("serve", "remote_records", "remote_get_over_local_get", 25.0),
 )
 
 
@@ -122,6 +136,15 @@ def compare_entries(
 ) -> list[str]:
     """Normalized-timing comparison of one section; returns failure labels."""
     failures: list[str] = []
+    for key in sorted(set(fresh) - set(baseline)):
+        # symmetric with the vanished-entry case below: a timing the
+        # baseline has never seen is ungated, which is exactly when a
+        # regression slips in — fail until the baseline is regenerated
+        failures.append(
+            f"{key} present in fresh run but absent from baseline "
+            "(regenerate the baseline to start gating it)"
+        )
+        print(f"  {key}: absent from baseline [REGRESSED]")
     for key, base in sorted(baseline.items()):
         entry = fresh.get(key)
         if entry is None:
@@ -130,6 +153,17 @@ def compare_entries(
             print(f"  {key}: missing from fresh run [REGRESSED]")
             continue
         for label, fast_field, naive_field in tracked_for(base):
+            missing = [
+                f"{role} field {field!r}"
+                for role, source in (("baseline", base), ("fresh", entry))
+                for field in (fast_field, naive_field)
+                if field not in source
+            ]
+            if missing:
+                # name the file and field instead of dying on a KeyError
+                failures.append(f"{key}/{label}: {'; '.join(missing)}")
+                print(f"  {key}/{label}: {'; '.join(missing)} [REGRESSED]")
+                continue
             base_norm = base[fast_field] / max(base[naive_field], 1e-9)
             fresh_norm = entry[fast_field] / max(entry[naive_field], 1e-9)
             ratio = fresh_norm / max(base_norm, 1e-9)

@@ -6,11 +6,15 @@ evaluation runtime: ``--executor`` picks the backend and one shared
 result cache spans the whole run, so e.g. the Figure 1 ``original``
 rows reuse the epoch-0 generations already produced for Tables 1-3.
 
-With ``--store PATH`` the run is durable: generations, scores and one
-manifest per sweep land in an on-disk :class:`repro.persist.RunStore`,
-so re-running the script against the same store performs zero model
-generations (and N concurrent runs may share one store).  Inspect it
-afterwards with ``python -m repro.persist {stats,verify,gc,ls-runs} PATH``.
+With ``--store PATH_OR_URL`` the run is durable: generations, scores and
+one manifest per sweep land in a :class:`repro.persist.RunStore`, so
+re-running the script against the same store performs zero model
+generations (and N concurrent runs may share one store).  A plain path
+opens an on-disk store in this process; ``tcp://host:port`` or
+``unix:///path/to.sock`` connects to a shared store server
+(``python -m repro.serve``), so many machines hit one warm cache.  All
+runtime knobs travel as one :class:`repro.runtime.RunConfig`.  Inspect a
+local store with ``python -m repro.persist {stats,verify,gc,ls-runs} PATH``.
 
 ``--score-workers N`` pipelines scoring through a
 :class:`repro.runtime.ScoringPool` of N worker processes (completed
@@ -37,7 +41,7 @@ reports ``units_failed`` before → after.
 Usage:  python examples/reproduce_tables.py [--fast]
             [--executor {serial,threads,mpi,async,batched}] [--workers N]
             [--scheduler {plan,adaptive}] [--cache {memory,fs,disk}]
-            [--store PATH] [--score-workers N|auto]
+            [--store PATH_OR_URL] [--score-workers N|auto]
             [--on-failure {raise,isolate,skip}] [--max-attempts N]
             [--retry-budget N] [--unit-deadline SECONDS]
             [--resume-failed RUN_ID]
@@ -62,6 +66,7 @@ from repro.core.experiments import (
     run_translation,
 )
 from repro.data import TABLE1, TABLE2, TABLE3
+from repro.errors import ReproError
 from repro.reporting import (
     compare_with_paper,
     render_fewshot_table,
@@ -171,8 +176,8 @@ def make_cache(name: str, store):
         return FilesystemResultCache()
     if name == "disk":
         if store is None:
-            raise UsageError("--cache disk requires --store PATH")
-        return store.result_cache
+            raise UsageError("--cache disk requires --store PATH_OR_URL")
+        return store.result_cache  # local or remote: same facade
     raise UsageError(f"unknown cache {name!r}; choose from {', '.join(CACHES)}")
 
 
@@ -199,9 +204,11 @@ def main() -> None:
              "or disk when --store is given)",
     )
     parser.add_argument(
-        "--store", default=None, metavar="PATH",
-        help="durable run store directory: on-disk cross-process cache plus "
-             "one recorded manifest per sweep (see python -m repro.persist)",
+        "--store", default=None, metavar="PATH_OR_URL",
+        help="durable run store: a directory path (on-disk cross-process "
+             "cache plus one recorded manifest per sweep; see python -m "
+             "repro.persist), or tcp://host:port / unix:///path/to.sock for "
+             "a shared store server (python -m repro.serve)",
     )
     parser.add_argument(
         "--score-workers", default="0", metavar="N",
@@ -253,15 +260,22 @@ def main() -> None:
     try:
         store = None
         if args.store is not None:
-            from repro.persist import RunStore
+            from repro.serve import open_store
 
-            store = RunStore(args.store)
+            store = open_store(args.store)
         executor = make_executor(args.executor, args.workers)
         scheduler = make_scheduler(args.scheduler)
         cache_name = args.cache or ("disk" if store is not None else "memory")
         cache = make_cache(cache_name, store)
         scoring = make_scoring(args.score_workers)
         faults = make_faults(args)
+        from repro.runtime import RunConfig
+
+        config = RunConfig(
+            executor=executor, cache=cache, scheduler=scheduler, store=store,
+            scoring=scoring, faults=faults,
+            store_url=args.store if store is not None else None,
+        )
         resume_prior = None
         if args.resume_failed is not None:
             if store is None:
@@ -286,27 +300,19 @@ def main() -> None:
 
     try:
         with profile_ctx as prof:
-            grid1 = run_configuration(epochs=epochs, executor=executor, cache=cache,
-                                      scheduler=scheduler, store=store,
-                                      scoring=scoring, faults=faults)
+            grid1 = run_configuration(epochs=epochs, config=config)
             print(render_grid_table(grid1, "Table 1: workflow configuration"))
             print()
 
-            grid2 = run_annotation(epochs=epochs, executor=executor, cache=cache,
-                                   scheduler=scheduler, store=store, scoring=scoring,
-                                   faults=faults)
+            grid2 = run_annotation(epochs=epochs, config=config)
             print(render_grid_table(grid2, "Table 2: task code annotation"))
             print()
 
-            grid3 = run_translation(epochs=epochs, executor=executor, cache=cache,
-                                    scheduler=scheduler, store=store, scoring=scoring,
-                                    faults=faults)
+            grid3 = run_translation(epochs=epochs, config=config)
             print(render_grid_table(grid3, "Table 3: task code translation"))
             print()
 
-            comparison = run_fewshot(epochs=epochs, executor=executor, cache=cache,
-                                     scheduler=scheduler, store=store,
-                                     scoring=scoring, faults=faults)
+            comparison = run_fewshot(epochs=epochs, config=config)
             print(render_fewshot_table(comparison, "Table 5: few-shot vs zero-shot"))
             print()
 
@@ -315,11 +321,7 @@ def main() -> None:
                 ("annotation", "Figure 1(b): annotation"),
                 ("translation", "Figure 1(c): translation"),
             ):
-                results = run_prompt_sensitivity(
-                    experiment, epochs=1, executor=executor, cache=cache,
-                    scheduler=scheduler, store=store, scoring=scoring,
-                    faults=faults,
-                )
+                results = run_prompt_sensitivity(experiment, epochs=1, config=config)
                 print(render_figure1(results, title))
                 print()
 
@@ -339,16 +341,24 @@ def main() -> None:
               f"{len(cache)} cached generations)")
     finally:
         # release worker processes and snapshot the store index even when
-        # a sweep fails midway
+        # a sweep fails midway; query the summary first — a remote client
+        # cannot answer stats once its connection pool is closed
         if scoring is not None:
             scoring.close()
+        store_summary = healed = None
         if store is not None:
+            try:
+                store_summary = (f"store: {store.stats().describe()}; "
+                                 f"{len(store.manifests())} run manifest(s) "
+                                 "recorded")
+                if resume_prior is not None:
+                    healed = store.latest_manifest(resume_prior.plan_fingerprint)
+            except ReproError:
+                pass  # mid-sweep failure already propagating; don't mask it
             store.close()
-    if store is not None:
-        print(f"store: {store.stats().describe()}; "
-              f"{len(store.manifests())} run manifest(s) recorded")
+    if store_summary is not None:
+        print(store_summary)
     if resume_prior is not None:
-        healed = store.latest_manifest(resume_prior.plan_fingerprint)
         after = len(healed.failures) if healed is not None else 0
         print(f"resume-failed: units_failed {len(resume_prior.failures)} "
               f"-> {after}")

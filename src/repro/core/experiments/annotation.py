@@ -53,6 +53,7 @@ def run_annotation(
     *,
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -67,6 +68,7 @@ def run_annotation(
         models,
         lambda system: annotation_task(system, variant=variant),
         epochs=epochs,
+        config=config,
         executor=executor,
         cache=cache,
         scheduler=scheduler,

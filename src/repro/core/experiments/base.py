@@ -111,6 +111,7 @@ def run_grid_sweep(
     task_for_row: Callable[[Hashable], object],
     *,
     epochs: int,
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -123,6 +124,9 @@ def run_grid_sweep(
     The shared body of the grid-shaped experiment runners: one
     :class:`~repro.runtime.plan.Plan` over all cells (so a parallel
     executor sees the whole sweep at once), one run, one grid.
+    ``config`` is a :class:`~repro.runtime.config.RunConfig` carrying
+    every runtime knob at once (the documented path); the individual
+    keyword knobs remain as a deprecation shim and merge into it.
     ``store`` makes the sweep durable and resumable (see
     :mod:`repro.persist`); ``faults`` installs a
     :class:`~repro.runtime.faults.FaultPolicy` — with an isolating
@@ -140,8 +144,8 @@ def run_grid_sweep(
         task = task_for_row(row)
         for model in models:
             specs[(row, model)] = plan.add_eval(task, f"sim/{model}", epochs=epochs)
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring, faults=faults)
+    outcome = run(plan, config=config, executor=executor, cache=cache,
+                  scheduler=scheduler, store=store, scoring=scoring, faults=faults)
     grid = ExperimentGrid(name=name, row_keys=list(rows), models=list(models))
     for (row, model), spec in specs.items():
         try:

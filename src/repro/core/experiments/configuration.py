@@ -63,6 +63,7 @@ def run_configuration(
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
     fewshot: bool = False,
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -77,6 +78,7 @@ def run_configuration(
         models,
         lambda system: configuration_task(system, variant=variant, fewshot=fewshot),
         epochs=epochs,
+        config=config,
         executor=executor,
         cache=cache,
         scheduler=scheduler,

@@ -47,6 +47,7 @@ def run_fewshot(
     systems: Sequence[str] = CONFIGURATION_SYSTEMS,
     *,
     epochs: int = DEFAULT_EPOCHS,
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -64,8 +65,8 @@ def run_fewshot(
                 specs[(fewshot, system, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring,
+    outcome = run(plan, config=config, executor=executor, cache=cache,
+                  scheduler=scheduler, store=store, scoring=scoring,
                   faults=faults)
 
     def averaged(fewshot: bool) -> dict[str, CellResult]:

@@ -46,6 +46,7 @@ def run_prompt_sensitivity(
     variants: Sequence[str] = PROMPT_VARIANTS,
     conditions: Sequence[Hashable] | None = None,
     epochs: int = 1,
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -68,8 +69,8 @@ def run_prompt_sensitivity(
                 specs[(condition, variant, model)] = plan.add_eval(
                     task, f"sim/{model}", epochs=epochs
                 )
-    outcome = run(plan, executor=executor, cache=cache, scheduler=scheduler,
-                  store=store, scoring=scoring,
+    outcome = run(plan, config=config, executor=executor, cache=cache,
+                  scheduler=scheduler, store=store, scoring=scoring,
                   faults=faults)
     out: dict[Hashable, dict[str, dict[str, float]]] = {}
     for condition in conditions:

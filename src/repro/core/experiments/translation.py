@@ -54,6 +54,7 @@ def run_translation(
     *,
     epochs: int = DEFAULT_EPOCHS,
     variant: str = "original",
+    config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -68,6 +69,7 @@ def run_translation(
         models,
         lambda direction: translation_task(*direction, variant=variant),
         epochs=epochs,
+        config=config,
         executor=executor,
         cache=cache,
         scheduler=scheduler,

@@ -85,6 +85,7 @@ def evaluate(
     *,
     epochs: int = DEFAULT_EPOCHS,
     config: GenerateConfig | None = None,
+    run_config=None,
     executor=None,
     cache=None,
     scheduler=None,
@@ -94,11 +95,14 @@ def evaluate(
 ) -> EvalResult:
     """Run ``task`` against ``model`` for ``epochs`` repeated trials.
 
-    ``executor`` selects the runtime execution backend (serial by
-    default), ``cache`` an optional result cache, ``scheduler`` the
-    dispatch-order policy, and ``store`` an optional durable
-    :class:`~repro.persist.RunStore` (cross-process cache + run
-    manifest); see :mod:`repro.runtime` and :mod:`repro.persist`.
+    ``run_config`` is a :class:`~repro.runtime.config.RunConfig` bundling
+    every runtime knob (the documented path; named to avoid colliding
+    with ``config``, the per-call :class:`GenerateConfig`).  The
+    individual knobs — ``executor`` (execution backend), ``cache``
+    (result cache), ``scheduler`` (dispatch order), ``store`` (durable
+    :class:`~repro.persist.RunStore`), ``scoring``, ``faults`` — remain
+    as a deprecation shim and merge into the config; see
+    :mod:`repro.runtime` and :mod:`repro.persist`.
     """
     # imported here: repro.runtime builds on this module's data types
     from repro.runtime import Plan, run
@@ -106,6 +110,6 @@ def evaluate(
     plan = Plan(f"evaluate/{task.name}")
     spec = plan.add_eval(task, model, epochs=epochs, config=config)
     return run(
-        plan, executor=executor, cache=cache, scheduler=scheduler, store=store,
-        scoring=scoring, faults=faults,
+        plan, config=run_config, executor=executor, cache=cache,
+        scheduler=scheduler, store=store, scoring=scoring, faults=faults,
     ).eval_result(spec)

@@ -44,6 +44,22 @@ class ModelError(ReproError):
     """A model provider failed to produce a response."""
 
 
+class RemoteStoreError(StoreError, ModelError):
+    """A networked run-store request failed after the client's retries.
+
+    Deliberately *both* a :class:`StoreError` (it is a persistence
+    failure: callers treating the remote store as storage catch it where
+    they catch any store problem) and a :class:`ModelError` that is not
+    one of the deterministic subclasses — so
+    :meth:`repro.runtime.faults.RetryPolicy.is_retryable` classifies a
+    transient network fault exactly like a transient provider fault, and
+    a :class:`~repro.runtime.faults.FaultPolicy`-armed run retries /
+    quarantines it instead of aborting.  The client's own reconnect loop
+    uses the same :class:`~repro.runtime.faults.RetryPolicy` machinery
+    before this is ever raised.
+    """
+
+
 class UnknownModelError(ModelError):
     """The requested model name is not registered."""
 

@@ -23,10 +23,9 @@ import hashlib
 import itertools
 import os
 from dataclasses import asdict, dataclass
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.errors import HarnessError, PersistError
-from repro.perf import PhaseProfile
 from repro.runtime.faults import (
     UnitFailure,
     failure_from_payload,
@@ -77,23 +76,18 @@ class RunManifest:
     def to_payload(self) -> dict[str, Any]:
         payload = asdict(self)
         payload["unit_keys"] = list(self.unit_keys)
-        payload["stats"] = asdict(self.stats)
+        # stats persist in the unified repro.stats schema (kind "run");
+        # key names are the historical field names, so old consumers
+        # keep working and old manifests rehydrate below
+        payload["stats"] = self.stats.as_dict()
         payload["failures"] = [failure_payload(f) for f in self.failures]
         return payload
 
     @staticmethod
     def from_payload(payload: dict[str, Any]) -> "RunManifest":
         try:
-            stats_payload = dict(payload["stats"])
-            # the phase profile serializes as a nested dict (asdict);
-            # rebuild the dataclass so round-tripped stats stay typed
-            profile = stats_payload.pop("profile", None)
-            stats = RunStats(
-                **stats_payload,
-                profile=PhaseProfile.from_dict(profile)
-                if profile is not None
-                else None,
-            )
+            # accepts both unified-schema stats and pre-schema payloads
+            stats = RunStats.from_dict(payload["stats"])
             return RunManifest(
                 run_id=payload["run_id"],
                 plan_name=payload["plan_name"],
@@ -125,3 +119,45 @@ class RunManifest:
             f"dedup={s.deduplicated} wall={self.wall_seconds:.2f}s"
             f"{failed}{resumed}"
         )
+
+
+def build_manifest(
+    *,
+    plan: Plan,
+    stats: RunStats,
+    executor: object,
+    scheduler: object,
+    cache: object,
+    started_unix: float,
+    wall_seconds: float,
+    failures: Sequence[UnitFailure] = (),
+    resumed_from: str | None = None,
+    latest_for: Callable[[str], "RunManifest | None"] | None = None,
+) -> RunManifest:
+    """Assemble one :class:`RunManifest` for an executed run.
+
+    The shared body of :meth:`repro.persist.RunStore.record_run` and the
+    networked store client's ``record_run`` — the manifest is built the
+    same way whether it is written to a local directory or shipped over
+    the wire.  ``latest_for`` (fingerprint → latest same-plan manifest)
+    supplies the implicit ``resumed_from`` link when the caller did not
+    pin a predecessor explicitly.
+    """
+    fingerprint = plan_fingerprint(plan)
+    if resumed_from is None and latest_for is not None:
+        previous = latest_for(fingerprint)
+        resumed_from = previous.run_id if previous is not None else None
+    return RunManifest(
+        run_id=make_run_id(started_unix, fingerprint),
+        plan_name=plan.name,
+        plan_fingerprint=fingerprint,
+        unit_keys=tuple(unit.key for unit in plan.units),
+        executor=repr(executor),
+        scheduler=repr(scheduler),
+        cache=repr(cache),
+        stats=stats,
+        started_unix=started_unix,
+        wall_seconds=wall_seconds,
+        resumed_from=resumed_from,
+        failures=tuple(failures),
+    )

@@ -74,11 +74,13 @@ from repro.errors import PersistError, RecordCorruptError, StoreError
 from repro.perf import span
 from repro.runtime.cache import ScoreCache
 from repro.runtime.units import Generation
+from repro.stats import stats_dict
 
 from repro.persist.locking import FileLock
-from repro.persist.manifest import RunManifest, make_run_id, plan_fingerprint
+from repro.persist.manifest import RunManifest, build_manifest
 from repro.persist.records import (
     GEN_KIND,
+    RECORD_KINDS,
     SCORE_KIND,
     decode_record,
     disk_score_key,
@@ -200,6 +202,32 @@ class StoreStats:
     read_lru_hits: int = 0  # record reads served from the decoded-payload LRU
     read_lru_misses: int = 0  # record reads that went to disk
     bytes_read: int = 0  # record bytes this process pread from segments
+
+    def as_dict(self) -> dict[str, Any]:
+        """Unified stats payload (``repro.stats`` schema, kind ``"store"``)."""
+        return stats_dict(
+            "store",
+            root=self.root,
+            segments=self.segments,
+            segment_bytes=self.segment_bytes,
+            generations=self.generations,
+            scores=self.scores,
+            manifests=self.manifests,
+            corrupt_skipped=self.corrupt_skipped,
+            read_lru_hits=self.read_lru_hits,
+            read_lru_misses=self.read_lru_misses,
+            bytes_read=self.bytes_read,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "StoreStats":
+        """Rebuild from :meth:`as_dict` output (marker keys ignored)."""
+        from repro.stats import strip_markers
+
+        try:
+            return cls(**strip_markers(payload))
+        except TypeError as exc:
+            raise PersistError(f"malformed store-stats payload: {exc}") from None
 
     def describe(self) -> str:
         return (
@@ -679,6 +707,37 @@ class RunStore:
     def put_score(self, disk_key: str, gen_key: str, score: Score) -> None:
         self._append_payloads([score_payload(disk_key, gen_key, score)])
 
+    # -- raw record I/O (the networked store server's shard surface) ---------
+
+    def get_records(self, kind: str, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Batched raw record payloads for one kind; absent keys omitted.
+
+        The JSON-ready form the wire protocol ships verbatim — no
+        decode-to-dataclass/re-encode round trip on the server.
+        """
+        if kind not in RECORD_KINDS:
+            raise PersistError(f"unknown record kind {kind!r}")
+        return self._read_many(kind, keys)
+
+    def put_records(self, payloads: Sequence[dict[str, Any]]) -> int:
+        """Append raw record payloads (as produced by the record codecs).
+
+        Each payload must carry a valid ``kind`` and ``key``; the append
+        is one group-commit exactly like :meth:`put_generations`.
+        """
+        batch = list(payloads)
+        for payload in batch:
+            if (
+                not isinstance(payload, dict)
+                or payload.get("kind") not in RECORD_KINDS
+                or not isinstance(payload.get("key"), str)
+            ):
+                raise PersistError(
+                    f"malformed record payload: {str(payload)[:80]!r}"
+                )
+        self._append_payloads(batch)
+        return len(batch)
+
     # -- runtime integration -------------------------------------------------
 
     @property
@@ -715,29 +774,27 @@ class RunStore:
         pins the predecessor explicitly (``runtime.run(resume_from=…)``);
         when omitted, the latest same-fingerprint run is linked.
         """
-        fingerprint = plan_fingerprint(plan)
-        if resumed_from is None:
-            previous = self.latest_manifest(fingerprint)
-            resumed_from = previous.run_id if previous is not None else None
-        manifest = RunManifest(
-            run_id=make_run_id(started_unix, fingerprint),
-            plan_name=plan.name,
-            plan_fingerprint=fingerprint,
-            unit_keys=tuple(unit.key for unit in plan.units),
-            executor=repr(executor),
-            scheduler=repr(scheduler),
-            cache=repr(cache),
+        manifest = build_manifest(
+            plan=plan,
             stats=stats,
+            executor=executor,
+            scheduler=scheduler,
+            cache=cache,
             started_unix=started_unix,
             wall_seconds=wall_seconds,
+            failures=failures,
             resumed_from=resumed_from,
-            failures=tuple(failures),
+            latest_for=self.latest_manifest,
         )
+        self.put_manifest(manifest)
+        return manifest
+
+    def put_manifest(self, manifest: RunManifest) -> None:
+        """Durably write one already-built manifest (atomic rename)."""
         blob = json.dumps(manifest.to_payload(), sort_keys=True, indent=1)
         write_atomic(
             self._manifests_dir / f"{manifest.run_id}.json", blob.encode("ascii")
         )
-        return manifest
 
     def manifest(self, run_id: str) -> RunManifest | None:
         """One recorded run by id (``None`` when absent or unreadable)."""
@@ -1004,16 +1061,17 @@ class DiskResultCache:
         with self._mu:
             hits, misses, puts = self._hits, self._misses, self._puts
         store_stats = self._store.stats()
-        return {
-            "backend": "disk",
-            "entries": store_stats.generations,
-            "hits": hits,
-            "misses": misses,
-            "puts": puts,
-            "read_lru_hits": store_stats.read_lru_hits,
-            "read_lru_misses": store_stats.read_lru_misses,
-            "bytes_read": store_stats.bytes_read,
-        }
+        return stats_dict(
+            "result_cache",
+            backend="disk",
+            entries=store_stats.generations,
+            hits=hits,
+            misses=misses,
+            puts=puts,
+            read_lru_hits=store_stats.read_lru_hits,
+            read_lru_misses=store_stats.read_lru_misses,
+            bytes_read=store_stats.bytes_read,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiskResultCache({str(self._store.root)!r})"
@@ -1069,13 +1127,14 @@ class DiskScoreCache:
 
     def stats(self) -> dict[str, int | str]:
         with self._mu:
-            return {
-                "backend": "disk",
-                "entries": len(self._memory),
-                "disk_hits": self._disk_hits,
-                "disk_puts": self._disk_puts,
-                "unpersistable": self._unpersistable,
-            }
+            return stats_dict(
+                "score_cache",
+                backend="disk",
+                entries=len(self._memory),
+                disk_hits=self._disk_hits,
+                disk_puts=self._disk_puts,
+                unpersistable=self._unpersistable,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiskScoreCache({str(self._store.root)!r}, entries={len(self)})"

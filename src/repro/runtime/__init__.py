@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro.runtime.batching import BatchingExecutor, group_units_by_model
+from repro.runtime.config import RunConfig
 from repro.runtime.cache import (
     FilesystemResultCache,
     InMemoryResultCache,
@@ -105,6 +106,7 @@ __all__ = [
     "BatchScoreHandle",
     "score_key",
     "run",
+    "RunConfig",
     "RunResult",
     "RunStats",
 ]

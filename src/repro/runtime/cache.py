@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import Hashable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import HarnessError
+from repro.stats import stats_dict
 from repro.store.filesystem import SimFilesystem
 
 from repro.runtime.units import Generation
@@ -55,7 +56,9 @@ class ResultCache(Protocol):
       last-writer-wins on duplicates (all writers hold identical
       content for a given key, so the race is benign).
     * ``__len__()`` — number of distinct keys currently cached.
-    * ``stats()`` — introspection dict with at least ``backend`` (str),
+    * ``stats()`` — introspection dict in the unified ``repro.stats``
+      schema (``schema``/``kind`` markers, kind ``"result_cache"``) with
+      at least ``backend`` (str),
       ``entries``, ``hits``, ``misses`` and ``puts`` counters, plus the
       read-path counters ``read_lru_hits``, ``read_lru_misses`` and
       ``bytes_read`` (how many record reads the backing storage served
@@ -138,17 +141,18 @@ class InMemoryResultCache:
 
     def stats(self) -> dict[str, int | str]:
         with self._lock:
-            return {
-                "backend": "memory",
-                "entries": len(self._entries),
-                "hits": self._hits,
-                "misses": self._misses,
-                "puts": self._puts,
+            return stats_dict(
+                "result_cache",
+                backend="memory",
+                entries=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
                 # no backing storage: the read path never leaves the dict
-                "read_lru_hits": 0,
-                "read_lru_misses": 0,
-                "bytes_read": 0,
-            }
+                read_lru_hits=0,
+                read_lru_misses=0,
+                bytes_read=0,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"InMemoryResultCache(entries={len(self)})"
@@ -206,17 +210,18 @@ class FilesystemResultCache:
     def stats(self) -> dict[str, int | str]:
         with self._lock:
             hits, misses, puts = self._hits, self._misses, self._puts
-        return {
-            "backend": "sim-fs",
-            "entries": len(self),
-            "hits": hits,
-            "misses": misses,
-            "puts": puts,
+        return stats_dict(
+            "result_cache",
+            backend="sim-fs",
+            entries=len(self),
+            hits=hits,
+            misses=misses,
+            puts=puts,
             # simulated filesystem: entries are held as objects, no byte I/O
-            "read_lru_hits": 0,
-            "read_lru_misses": 0,
-            "bytes_read": 0,
-        }
+            read_lru_hits=0,
+            read_lru_misses=0,
+            bytes_read=0,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FilesystemResultCache(prefix={self._prefix!r}, entries={len(self)})"

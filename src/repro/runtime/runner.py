@@ -29,17 +29,19 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Hashable, Mapping
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping
 
 from repro.core.task import EvalResult
 from repro.errors import HarnessError
 from repro.perf import PhaseProfile, active_profiler, span
+from repro.stats import stats_dict, strip_markers
 
 if TYPE_CHECKING:  # repro.persist builds on repro.runtime, not vice versa
     from repro.persist import RunManifest, RunStore
 
 from repro.runtime.cache import ResultCache, ScoreCache
+from repro.runtime.config import RunConfig
 from repro.runtime.executors import Executor, SerialExecutor
 from repro.runtime.faults import (
     FailedGeneration,
@@ -108,6 +110,43 @@ class RunStats:
     def hit_rate(self) -> float:
         return self.cache_hits / self.total_units if self.total_units else 0.0
 
+    def as_dict(self) -> dict[str, Any]:
+        """Unified stats payload (``repro.stats`` schema, kind ``"run"``).
+
+        Key names match the dataclass fields — the shape manifests have
+        always persisted — plus the schema/kind markers; the profile
+        nests as its own dict.
+        """
+        payload = stats_dict("run")
+        for spec in fields(self):
+            payload[spec.name] = getattr(self, spec.name)
+        payload["profile"] = (
+            self.profile.as_dict() if self.profile is not None else None
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunStats":
+        """Rehydrate from :meth:`as_dict` output *or* a pre-schema payload.
+
+        Tolerant in both directions: marker keys and unknown future keys
+        are ignored, and fields absent from old payloads keep their
+        dataclass defaults.
+        """
+        body = strip_markers(dict(payload))
+        profile = body.pop("profile", None)
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {key: value for key, value in body.items() if key in known}
+        try:
+            return cls(
+                **kwargs,
+                profile=PhaseProfile.from_dict(profile)
+                if profile is not None
+                else None,
+            )
+        except TypeError as exc:
+            raise HarnessError(f"malformed run-stats payload: {exc}") from None
+
 
 @dataclass
 class RunResult:
@@ -144,6 +183,7 @@ class RunResult:
 def run(
     plan: Plan,
     *,
+    config: "RunConfig | None" = None,
     executor: Executor | None = None,
     cache: ResultCache | None = None,
     score_cache: ScoreCache | None = None,
@@ -198,7 +238,29 @@ def run(
     units; ``resume_from`` makes that linkage explicit by validating the
     prior run's manifest (same plan fingerprint) and recording it as
     this run's predecessor.
+
+    ``config`` is the documented way to set all of the above at once: a
+    :class:`~repro.runtime.config.RunConfig` carrying the same eight
+    knobs as one immutable value.  The individual keyword arguments
+    remain as a deprecation shim and merge into the config; supplying a
+    knob both ways raises :class:`~repro.errors.HarnessError`.
     """
+    merged = (config if config is not None else RunConfig()).merged_with_kwargs(
+        executor=executor,
+        cache=cache,
+        score_cache=score_cache,
+        scheduler=scheduler,
+        store=store,
+        scoring=scoring,
+        faults=faults,
+        resume_from=resume_from,
+    )
+    executor, cache, score_cache, scheduler = (
+        merged.executor, merged.cache, merged.score_cache, merged.scheduler,
+    )
+    store, scoring, faults, resume_from = (
+        merged.store, merged.scoring, merged.faults, merged.resume_from,
+    )
     started_unix = time.time()
     started = time.perf_counter()
     if resume_from is not None:

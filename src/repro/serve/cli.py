@@ -1,0 +1,119 @@
+"""``python -m repro.serve`` — boot a store server from the shell.
+
+Typical service::
+
+    python -m repro.serve --root runs/served --shards 4 --tcp 0.0.0.0:9045
+
+Same-machine sharing without TCP::
+
+    python -m repro.serve --root runs/served --unix /tmp/repro-store.sock
+
+``--tcp host:0`` binds an ephemeral port; ``--ready-file PATH`` writes
+one JSON object with the *bound* endpoints once listening (the file CI
+and tests poll instead of racing the boot).  SIGINT/SIGTERM shut down
+cleanly: listeners close first, then every shard store snapshots its
+index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import pathlib
+import signal
+import sys
+from typing import Any
+
+from repro.errors import ReproError
+
+from repro.serve.server import StoreServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="serve a sharded run store over TCP and/or a unix socket",
+    )
+    parser.add_argument(
+        "--root", required=True, help="service directory holding the shard stores"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of shard stores (must match the directory once created)",
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on TCP (PORT 0 binds an ephemeral port)",
+    )
+    parser.add_argument("--unix", metavar="PATH", help="listen on a unix socket")
+    parser.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write bound endpoints as JSON once listening",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every shard append (durability over throughput)",
+    )
+    return parser
+
+
+def _parse_tcp(value: str) -> tuple[str, int]:
+    host, colon, port = value.rpartition(":")
+    if not colon or not port.isdigit():
+        raise SystemExit(f"--tcp expects HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    server = StoreServer(args.root, shards=args.shards, fsync=args.fsync)
+    endpoints: dict[str, Any] = {"shards": server.n_shards}
+    if args.tcp:
+        host, port = await server.start_tcp(*_parse_tcp(args.tcp))
+        endpoints["tcp"] = [host, port]
+        print(f"listening on tcp://{host}:{port}", flush=True)
+    if args.unix:
+        path = await server.start_unix(args.unix)
+        endpoints["unix"] = path
+        print(f"listening on unix://{path}", flush=True)
+    if args.ready_file:
+        pathlib.Path(args.ready_file).write_text(json.dumps(endpoints))
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    stop_task = asyncio.ensure_future(stop.wait())
+    try:
+        await asyncio.wait(
+            [serve_task, stop_task], return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        for task in (serve_task, stop_task):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        await server.aclose()
+        print("store server stopped", flush=True)
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.tcp and not args.unix:
+        build_parser().error("give at least one of --tcp / --unix")
+    try:
+        return asyncio.run(_serve(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130

@@ -1,0 +1,534 @@
+"""The store client: a local ``RunStore`` face over a remote socket.
+
+:class:`RemoteRunStore` speaks the frame protocol to a
+:class:`~repro.serve.server.StoreServer` and exposes the same surface
+:func:`repro.runtime.run` already consumes from a local
+:class:`~repro.persist.RunStore` — ``result_cache`` /
+``score_cache()`` / ``record_run`` / ``manifest`` / ``stats()`` — so
+``run(plan, config=RunConfig.from_url("tcp://host:port"))`` is the only
+change a sweep needs to share one cache across machines.
+
+Transport behaviour, in one place (:class:`StoreClient`):
+
+* **pooling** — a small stack of connected sockets, checked out per
+  request batch and returned on success, so concurrent threads of one
+  process multiplex the server without a handshake per call;
+* **pipelining** — a batch is written as N back-to-back frames in one
+  ``sendall``, then the N responses are read in order; large
+  ``get_many``/``put_many`` calls split into bounded chunks that travel
+  this way, so latency is paid once per batch, not once per chunk;
+* **retries** — every transport fault (refused, reset, torn frame, a
+  server restart between batches) tears down the connection and replays
+  the whole batch on a fresh one, on the deterministic
+  :class:`~repro.runtime.faults.RetryPolicy` backoff schedule.  Replay
+  is safe because the store is content-addressed: gets are reads and
+  re-putting a record writes identical bytes.  Exhausted retries raise
+  :class:`~repro.errors.RemoteStoreError`, which is *also* a retryable
+  :class:`~repro.errors.ModelError` — so a run wrapped in a
+  :class:`~repro.runtime.faults.FaultPolicy` treats a flaky store link
+  like a flaky provider instead of aborting the sweep.
+
+Errors the *server* reports (unknown op, malformed payload) re-raise as
+:class:`~repro.errors.PersistError`/:class:`~repro.errors.StoreError` —
+deterministic, not worth a retry.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.core.scorers import Score
+from repro.errors import PersistError, RemoteStoreError, StoreError
+from repro.persist.manifest import RunManifest, build_manifest
+from repro.persist.records import (
+    GEN_KIND,
+    SCORE_KIND,
+    disk_score_key,
+    generation_from_payload,
+    generation_payload,
+    score_from_payload,
+    score_payload,
+)
+from repro.runtime.cache import ScoreCache
+from repro.runtime.faults import FaultPolicy, RetryPolicy
+from repro.runtime.units import Generation
+from repro.stats import stats_dict
+
+from repro.serve.protocol import encode_frame, read_frame
+
+#: keys / records per pipelined frame — bounds frame size, not batch size
+CHUNK = 512
+
+
+def _as_retry(policy: "RetryPolicy | FaultPolicy | None") -> RetryPolicy:
+    if policy is None:
+        return RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=1.0)
+    if isinstance(policy, FaultPolicy):
+        return policy.retry
+    return policy
+
+
+class StoreClient:
+    """Pooled, pipelined, retrying frame transport to one server address.
+
+    ``address`` is ``("tcp", (host, port))`` or ``("unix", path)`` (see
+    :func:`repro.serve.url.parse_store_url`).  Thread-safe: each request
+    batch checks a private socket out of the pool.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, Any],
+        *,
+        retry: "RetryPolicy | FaultPolicy | None" = None,
+        pool_size: int = 4,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        family, target = address
+        if family not in ("tcp", "unix"):
+            raise StoreError(f"unknown address family {family!r}")
+        self.address = (family, target)
+        self.retry = _as_retry(retry)
+        self.pool_size = pool_size
+        self.connect_timeout = connect_timeout
+        self._mu = threading.Lock()
+        self._pool: list[socket.socket] = []
+        self._closed = False
+
+    # -- connection pool -----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        family, target = self.address
+        try:
+            if family == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.connect_timeout)
+                sock.connect(str(target))
+            else:
+                host, port = target
+                sock = socket.create_connection(
+                    (host, port), timeout=self.connect_timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise RemoteStoreError(
+                f"cannot connect to store at {self.describe_address()}: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        return sock
+
+    def _checkout(self) -> socket.socket:
+        with self._mu:
+            if self._closed:
+                raise StoreError("store client is closed")
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._mu:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(sock)
+                return
+        sock.close()
+
+    def describe_address(self) -> str:
+        family, target = self.address
+        if family == "unix":
+            return f"unix://{target}"
+        host, port = target
+        return f"tcp://{host}:{port}"
+
+    def close(self) -> None:
+        with self._mu:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            sock.close()
+
+    # -- request path --------------------------------------------------------
+
+    def request_many(
+        self, requests: Sequence[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Pipeline a batch: N frames out, N responses back, in order.
+
+        The whole batch replays on a fresh connection after any
+        transport fault — safe because every op is idempotent.  Server
+        error frames are raised (typed) after transport success.
+        """
+        if not requests:
+            return []
+        wire = b"".join(encode_frame(request) for request in requests)
+        last: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                time.sleep(self.retry.delay(attempt - 1))
+            try:
+                sock = self._checkout()
+            except RemoteStoreError as exc:
+                last = exc
+                continue
+            try:
+                sock.sendall(wire)
+                responses = []
+                for _ in requests:
+                    response = read_frame(sock)
+                    if response is None:
+                        raise RemoteStoreError(
+                            "server closed the connection mid-batch"
+                        )
+                    responses.append(response)
+            except (OSError, RemoteStoreError) as exc:
+                sock.close()  # poisoned: never back into the pool
+                last = exc
+                continue
+            self._checkin(sock)
+            return [self._checked(response) for response in responses]
+        raise RemoteStoreError(
+            f"store at {self.describe_address()} unreachable after "
+            f"{self.retry.max_attempts} attempts: {last}"
+        ) from last
+
+    def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self.request_many([request])[0]
+
+    @staticmethod
+    def _checked(response: dict[str, Any]) -> dict[str, Any]:
+        if response.get("ok"):
+            return response
+        error = response.get("error", "unknown server error")
+        error_type = response.get("error_type", "StoreError")
+        if error_type == "PersistError":
+            raise PersistError(f"server: {error}")
+        raise StoreError(f"server ({error_type}): {error}")
+
+
+class RemoteRunStore:
+    """A :class:`~repro.persist.RunStore`-shaped client for one server.
+
+    Drop-in wherever ``runtime.run`` takes a ``store``: same
+    ``result_cache`` / ``score_cache()`` / ``record_run`` / ``manifest``
+    / ``manifests`` / ``latest_manifest`` / ``stats`` surface, with
+    every record round-tripping through the server's shards instead of
+    a local directory.  ``root`` is the URL — it only ever appears in
+    messages and provenance.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        address: tuple[str, Any],
+        *,
+        retry: "RetryPolicy | FaultPolicy | None" = None,
+        pool_size: int = 4,
+    ) -> None:
+        self.url = url
+        self.client = StoreClient(address, retry=retry, pool_size=pool_size)
+        self._result_cache: RemoteResultCache | None = None
+
+    @property
+    def root(self) -> str:
+        return self.url
+
+    # -- raw records (chunked + pipelined) -----------------------------------
+
+    def get_records(
+        self, kind: str, keys: Sequence[str]
+    ) -> dict[str, dict[str, Any]]:
+        keys = list(keys)
+        requests = [
+            {"op": "get_records", "kind": kind, "keys": keys[i : i + CHUNK]}
+            for i in range(0, len(keys), CHUNK)
+        ]
+        records: dict[str, dict[str, Any]] = {}
+        for response in self.client.request_many(requests):
+            records.update(response["records"])
+        return records
+
+    def put_records(self, payloads: Sequence[dict[str, Any]]) -> int:
+        payloads = list(payloads)
+        requests = [
+            {"op": "put_records", "payloads": payloads[i : i + CHUNK]}
+            for i in range(0, len(payloads), CHUNK)
+        ]
+        return sum(
+            response["count"] for response in self.client.request_many(requests)
+        )
+
+    # -- generations and scores ----------------------------------------------
+
+    def get_generation(self, key: str) -> Generation | None:
+        found = self.get_generations([key])
+        return found.get(key)
+
+    def get_generations(self, keys: Sequence[str]) -> dict[str, Generation]:
+        return {
+            key: generation_from_payload(payload)
+            for key, payload in self.get_records(GEN_KIND, keys).items()
+        }
+
+    def put_generation(self, generation: Generation) -> None:
+        self.put_generations([generation])
+
+    def put_generations(self, generations: Iterable[Generation]) -> None:
+        batch = [generation_payload(gen) for gen in generations]
+        if batch:
+            self.put_records(batch)
+
+    def get_score(self, disk_key: str) -> Score | None:
+        found = self.get_records(SCORE_KIND, [disk_key])
+        payload = found.get(disk_key)
+        return score_from_payload(payload) if payload is not None else None
+
+    def put_score(self, disk_key: str, gen_key: str, score: Score) -> None:
+        self.put_records([score_payload(disk_key, gen_key, score)])
+
+    # -- runtime integration -------------------------------------------------
+
+    @property
+    def result_cache(self) -> "RemoteResultCache":
+        if self._result_cache is None:
+            self._result_cache = RemoteResultCache(self)
+        return self._result_cache
+
+    def score_cache(self, maxsize: int = 4096) -> "RemoteScoreCache":
+        return RemoteScoreCache(self, maxsize=maxsize)
+
+    # -- manifests -----------------------------------------------------------
+
+    def record_run(
+        self,
+        *,
+        plan,
+        stats,
+        executor: object,
+        scheduler: object,
+        cache: object,
+        started_unix: float,
+        wall_seconds: float,
+        failures: Sequence = (),
+        resumed_from: str | None = None,
+    ) -> RunManifest:
+        """Build the manifest locally, ship the payload; same linkage rules
+        as :meth:`repro.persist.RunStore.record_run` (the predecessor
+        lookup asks the server for the latest same-fingerprint run)."""
+        manifest = build_manifest(
+            plan=plan,
+            stats=stats,
+            executor=executor,
+            scheduler=scheduler,
+            cache=cache,
+            started_unix=started_unix,
+            wall_seconds=wall_seconds,
+            failures=failures,
+            resumed_from=resumed_from,
+            latest_for=self.latest_manifest,
+        )
+        self.put_manifest(manifest)
+        return manifest
+
+    def put_manifest(self, manifest: RunManifest) -> None:
+        self.client.request(
+            {"op": "put_manifest", "manifest": manifest.to_payload()}
+        )
+
+    def manifest(self, run_id: str) -> RunManifest | None:
+        response = self.client.request({"op": "get_manifest", "run_id": run_id})
+        payload = response["manifest"]
+        return RunManifest.from_payload(payload) if payload is not None else None
+
+    def manifests(self) -> list[RunManifest]:
+        response = self.client.request({"op": "manifests"})
+        return [RunManifest.from_payload(p) for p in response["manifests"]]
+
+    def latest_manifest(self, fingerprint: str | None = None) -> RunManifest | None:
+        response = self.client.request(
+            {"op": "latest_manifest", "fingerprint": fingerprint}
+        )
+        payload = response["manifest"]
+        return RunManifest.from_payload(payload) if payload is not None else None
+
+    # -- introspection -------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.client.request({"op": "ping"})
+
+    def shard_stats(self) -> "list[StoreStats]":
+        from repro.persist.store import StoreStats
+
+        response = self.client.request({"op": "stats"})
+        return [StoreStats.from_dict(payload) for payload in response["stats"]]
+
+    def stats(self) -> "StoreStats":
+        """Service-wide totals as one StoreStats, rooted at the URL."""
+        from repro.persist.store import StoreStats
+
+        shards = self.shard_stats()
+        return StoreStats(
+            root=self.url,
+            segments=sum(s.segments for s in shards),
+            segment_bytes=sum(s.segment_bytes for s in shards),
+            generations=sum(s.generations for s in shards),
+            scores=sum(s.scores for s in shards),
+            manifests=sum(s.manifests for s in shards),
+            corrupt_skipped=sum(s.corrupt_skipped for s in shards),
+            read_lru_hits=sum(s.read_lru_hits for s in shards),
+            read_lru_misses=sum(s.read_lru_misses for s in shards),
+            bytes_read=sum(s.bytes_read for s in shards),
+        )
+
+    def read_stats(self) -> dict[str, int]:
+        return self.client.request({"op": "read_stats"})["read_stats"]
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteRunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteRunStore({self.url!r})"
+
+
+class RemoteResultCache:
+    """:class:`~repro.runtime.cache.ResultCache` face of a remote store.
+
+    The fourth backend next to memory / sim-fs / disk: identical
+    protocol (including batched ``get_many``/``put_many`` and the
+    ``read_stats`` hook the runner samples), with entries living on the
+    server's shards — shared by every process pointed at the URL.
+    """
+
+    def __init__(self, store: RemoteRunStore) -> None:
+        self._store = store
+        self._mu = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+
+    @property
+    def store(self) -> RemoteRunStore:
+        return self._store
+
+    def get(self, key: str) -> Generation | None:
+        gen = self._store.get_generation(key)
+        with self._mu:
+            if gen is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return gen.as_cached() if gen is not None else None
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Generation]:
+        found = self._store.get_generations(keys)
+        with self._mu:
+            self._hits += len(found)
+            self._misses += len(keys) - len(found)
+        return {key: gen.as_cached() for key, gen in found.items()}
+
+    def put(self, generation: Generation) -> None:
+        self._store.put_generation(generation)
+        with self._mu:
+            self._puts += 1
+
+    def put_many(self, generations: Iterable[Generation]) -> None:
+        batch = list(generations)
+        self._store.put_generations(batch)
+        with self._mu:
+            self._puts += len(batch)
+
+    def __len__(self) -> int:
+        return self._store.stats().generations
+
+    def __contains__(self, key: str) -> bool:
+        return self._store.get_generation(key) is not None
+
+    def read_stats(self) -> dict[str, int]:
+        return self._store.read_stats()
+
+    def stats(self) -> dict[str, int | str]:
+        with self._mu:
+            hits, misses, puts = self._hits, self._misses, self._puts
+        store_stats = self._store.stats()
+        return stats_dict(
+            "result_cache",
+            backend="remote",
+            entries=store_stats.generations,
+            hits=hits,
+            misses=misses,
+            puts=puts,
+            read_lru_hits=store_stats.read_lru_hits,
+            read_lru_misses=store_stats.read_lru_misses,
+            bytes_read=store_stats.bytes_read,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteResultCache({self._store.url!r})"
+
+
+class RemoteScoreCache:
+    """Write-through score memo over the remote store.
+
+    Same layering as :class:`~repro.persist.DiskScoreCache`: a local LRU
+    in front, durable score records behind — here on the server's
+    shards, so warm scores are shared across machines too.
+    """
+
+    def __init__(self, store: RemoteRunStore, maxsize: int = 4096) -> None:
+        self._store = store
+        self._memory = ScoreCache(maxsize)
+        self._mu = threading.Lock()
+        self._disk_hits = 0
+        self._disk_puts = 0
+        self._unpersistable = 0
+
+    def get(self, key: Hashable) -> object | None:
+        score = self._memory.get(key)
+        if score is not None:
+            return score
+        dkey = disk_score_key(key)
+        if dkey is None:
+            return None
+        score = self._store.get_score(dkey)
+        if score is None:
+            return None
+        self._memory.put(key, score)
+        with self._mu:
+            self._disk_hits += 1
+        return score
+
+    def put(self, key: Hashable, score: object) -> None:
+        self._memory.put(key, score)
+        dkey = disk_score_key(key)
+        if dkey is None or not isinstance(score, Score):
+            with self._mu:
+                self._unpersistable += 1
+            return
+        assert isinstance(key, tuple)  # disk_score_key validated the shape
+        self._store.put_score(dkey, key[0], score)
+        with self._mu:
+            self._disk_puts += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> dict[str, int | str]:
+        with self._mu:
+            return stats_dict(
+                "score_cache",
+                backend="remote",
+                entries=len(self._memory),
+                disk_hits=self._disk_hits,
+                disk_puts=self._disk_puts,
+                unpersistable=self._unpersistable,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteScoreCache({self._store.url!r}, entries={len(self)})"
