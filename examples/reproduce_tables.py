@@ -22,10 +22,20 @@ units are scored while later ones still generate; grids stay
 bit-identical); ``--score-workers auto`` hands the choice to an
 :class:`repro.runtime.AdaptiveScoringPool`, whose cost model picks a
 worker count per run (0 = inline) from the observed per-unit score and
-generation costs.  ``--profile`` prints the :mod:`repro.perf` phase
+generation costs.  ``--profile`` prints the :mod:`repro.obs` phase
 breakdown of the whole script — where the wall time went, phase by
 phase — and ``--profile-json PATH`` saves it for
-``python -m repro.perf report PATH``.
+``python -m repro.obs report PATH``.
+
+``--trace`` arms distributed tracing and the metrics registry for the
+whole script: every sweep gets a trace id (printed at the end, one line
+per run), spans cross the scoring-pool and store-server process
+boundaries, and with ``--store`` each run's trace and metrics snapshot
+land on its manifest (``python -m repro.obs trace RUN_ID --store ...
+--chrome out.json`` exports it later).  ``--trace-chrome PATH``
+additionally saves the last sweep's trace as Chrome trace-event JSON,
+ready for ``chrome://tracing`` or Perfetto.  Grids are bit-identical
+with telemetry on or off.
 
 The fault-tolerance knobs (see :mod:`repro.runtime.faults`) install a
 :class:`repro.runtime.FaultPolicy` on every sweep: ``--max-attempts``,
@@ -46,6 +56,7 @@ Usage:  python examples/reproduce_tables.py [--fast]
             [--retry-budget N] [--unit-deadline SECONDS]
             [--resume-failed RUN_ID]
             [--profile] [--profile-json PATH]
+            [--trace] [--trace-chrome PATH]
 """
 
 from __future__ import annotations
@@ -56,7 +67,7 @@ import json
 import sys
 import time
 
-from repro import perf
+from repro import obs
 
 from repro.core.experiments import (
     run_annotation,
@@ -245,12 +256,24 @@ def main() -> None:
     )
     parser.add_argument(
         "--profile", action="store_true",
-        help="print the repro.perf phase breakdown of the whole script",
+        help="print the repro.obs phase breakdown of the whole script",
     )
     parser.add_argument(
         "--profile-json", default=None, metavar="PATH",
         help="save the phase profile as JSON (implies --profile; render "
-             "later with python -m repro.perf report PATH)",
+             "later with python -m repro.obs report PATH)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="arm distributed tracing + the metrics registry: one trace "
+             "per sweep (ids printed at the end), spans crossing scoring "
+             "pool and store server, trace + metrics on each manifest "
+             "when --store is given",
+    )
+    parser.add_argument(
+        "--trace-chrome", default=None, metavar="PATH",
+        help="save the last sweep's trace as Chrome trace-event JSON "
+             "(implies --trace; open in chrome://tracing or Perfetto)",
     )
     args = parser.parse_args()
     epochs = 2 if args.fast else 5
@@ -295,11 +318,19 @@ def main() -> None:
             print(f"    {failure.describe()}")
         print()
     profiling = args.profile or args.profile_json is not None
-    profile_ctx = perf.profiling() if profiling else contextlib.nullcontext()
+    profile_ctx = obs.profiling() if profiling else contextlib.nullcontext()
+    tracing = args.trace or args.trace_chrome is not None
+    traces: list = []
+    trace_ctx = (
+        obs.tracing(obs.Tracer(on_finish=traces.append))
+        if tracing
+        else contextlib.nullcontext()
+    )
+    meter_ctx = obs.metering() if tracing else contextlib.nullcontext()
     started = time.perf_counter()
 
     try:
-        with profile_ctx as prof:
+        with profile_ctx as prof, trace_ctx, meter_ctx:
             grid1 = run_configuration(epochs=epochs, config=config)
             print(render_grid_table(grid1, "Table 1: workflow configuration"))
             print()
@@ -362,14 +393,26 @@ def main() -> None:
         after = len(healed.failures) if healed is not None else 0
         print(f"resume-failed: units_failed {len(resume_prior.failures)} "
               f"-> {after}")
+    if tracing:
+        print(f"\n=== traces ({len(traces)} run(s)) ===")
+        for trace in traces:
+            print(f"{trace.trace_id}  {trace.name:<32} "
+                  f"{len(trace.spans):>5} spans  {trace.root.duration_s:.2f}s")
+        if store is not None:
+            print("[persisted on each run manifest; export with python -m "
+                  "repro.obs trace RUN_ID --store ... --chrome out.json]")
+        if args.trace_chrome is not None and traces:
+            traces[-1].write_chrome(args.trace_chrome)
+            print(f"[chrome trace of {traces[-1].name} saved to "
+                  f"{args.trace_chrome}; open in chrome://tracing or Perfetto]")
     if profiling:
         profile = prof.snapshot()
         print()
-        print(perf.render_profile(
-            profile, title="phase profile (whole script, repro.perf)"
+        print(obs.render_profile(
+            profile, title="phase profile (whole script, repro.obs)"
         ))
         if args.profile_json is not None:
-            payload = perf.profile_payload(
+            payload = obs.profile_payload(
                 profile,
                 script="reproduce_tables",
                 executor=args.executor,
@@ -379,7 +422,7 @@ def main() -> None:
             with open(args.profile_json, "w") as handle:
                 json.dump(payload, handle, indent=1, sort_keys=True)
             print(f"\n[profile saved to {args.profile_json}; render with "
-                  f"python -m repro.perf report {args.profile_json}]")
+                  f"python -m repro.obs report {args.profile_json}]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,109 @@
+"""Observability: phase profiles, distributed traces, metrics, trends.
+
+The telemetry layer of the runtime, grown out of the PR-5 ``repro.perf``
+span profiler (which remains importable as a deprecation shim).  Four
+concerns, one ``span()``:
+
+* **Phase profiling** (:mod:`repro.obs.spans`) — nestable wall-time
+  aggregation into a :class:`PhaseProfile` breakdown tree.
+* **Distributed tracing** (:mod:`repro.obs.trace`) — identified spans
+  (trace id / span id / parent id, wall-clock start + duration) that
+  cross the scoring-pool and store-server process boundaries and export
+  as Chrome trace-event JSON.
+* **Metrics** (:mod:`repro.obs.metrics`) — labeled
+  Counter/Gauge/Histogram registries with Prometheus text exposition,
+  served live by the store server's ``metrics`` op.
+* **Trend reports** (:mod:`repro.obs.trend`) — cross-run
+  cache-efficiency / retry / phase-time tables aggregated from a
+  store's run manifests.
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.profiling() as prof, obs.tracing() as tracer:
+        run(plan, ...)                      # each run gets a trace id
+    print(obs.render_profile(prof.snapshot()))
+
+Everything is zero cost when disarmed: a bare :func:`span` with no
+profiler *and* no tracer active returns a shared no-op context manager,
+and :func:`active_registry` is just a module-global read.
+
+CLI: ``python -m repro.obs report|trace|trend`` (see
+:mod:`repro.obs.cli`).
+"""
+
+from repro.obs import trace as _trace_mod  # noqa: F401  (import order)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    metering,
+    render_prometheus,
+)
+from repro.obs.report import (
+    load_profile,
+    profile_payload,
+    render_manifest,
+    render_profile,
+)
+from repro.obs.spans import (
+    PhaseProfile,
+    PhaseTotals,
+    Profiler,
+    active_profiler,
+    profiling,
+    span,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    Trace,
+    Tracer,
+    active_tracer,
+    fold_remote_spans,
+    make_span_dict,
+    new_span_id,
+    propagation_context,
+    tracing,
+)
+
+__all__ = [
+    # spans / profiling
+    "span",
+    "profiling",
+    "active_profiler",
+    "Profiler",
+    "PhaseProfile",
+    "PhaseTotals",
+    # tracing
+    "tracing",
+    "active_tracer",
+    "Tracer",
+    "Trace",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "propagation_context",
+    "fold_remote_spans",
+    "make_span_dict",
+    "new_span_id",
+    # metrics
+    "metering",
+    "active_registry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_prometheus",
+    "METRICS_SCHEMA",
+    "DEFAULT_BUCKETS",
+    # reports
+    "render_profile",
+    "render_manifest",
+    "load_profile",
+    "profile_payload",
+]

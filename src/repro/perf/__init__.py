@@ -1,40 +1,23 @@
-"""Phase instrumentation: where a sweep's wall time actually goes.
+"""Deprecated alias for :mod:`repro.obs` (the observability layer).
 
-The runtime's hot paths (generation, scoring, cache lookups, store I/O)
-are wrapped in nestable :func:`span` timers.  With no profiler active a
-span costs one global load and a no-op context manager; inside a
-:func:`profiling` block every span accumulates into a thread-safe
-:class:`Profiler`, whose :class:`PhaseProfile` snapshots break a run
-down phase by phase.
-
-Quickstart::
-
-    from repro import perf
-    from repro.core.experiments import run_configuration
-
-    with perf.profiling() as prof:
-        run_configuration(epochs=2)
-    print(perf.render_profile(prof.snapshot()))
-
-:func:`repro.runtime.run` attaches a per-run profile to its
-:class:`~repro.runtime.runner.RunStats` whenever a profiler is active,
-``examples/reproduce_tables.py --profile`` prints the whole-script
-breakdown (``--profile-json PATH`` saves it), and
-``python -m repro.perf report PATH`` renders a saved profile.
+``repro.perf`` grew into ``repro.obs`` when the span profiler gained
+distributed tracing, a metrics registry, and cross-run trend reports.
+Everything importable from here forwards to :mod:`repro.obs` — same
+objects, same process-wide active profiler — so existing code and the
+``python -m repro.perf report`` CLI keep working unchanged.  New code
+should import :mod:`repro.obs` directly.
 """
 
-from repro.perf.report import (
-    load_profile,
-    profile_payload,
-    render_manifest,
-    render_profile,
-)
-from repro.perf.spans import (
+from repro.obs import (  # noqa: F401
     PhaseProfile,
     PhaseTotals,
     Profiler,
     active_profiler,
+    load_profile,
+    profile_payload,
     profiling,
+    render_manifest,
+    render_profile,
     span,
 )
 

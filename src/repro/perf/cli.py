@@ -1,77 +1,14 @@
-"""CLI for the perf instrumentation layer.
+"""Deprecated ``python -m repro.perf`` CLI — forwards to ``repro.obs``.
 
-Usage::
-
-    python -m repro.perf report PROFILE.json
-    python -m repro.perf report STORE/manifests/run-....json
-
-renders a profile saved by ``examples/reproduce_tables.py
---profile-json PROFILE.json`` (or any JSON produced by
-:meth:`repro.perf.PhaseProfile.as_dict` /
-:func:`repro.perf.profile_payload`) — or, given a run-manifest JSON
-from a :class:`repro.persist.RunStore`, the run's stats (units,
-chosen scoring worker count, store read-LRU traffic) followed by its
-recorded per-run phase profile.
+Only the ``report`` subcommand exists here, for compatibility with
+pre-obs scripts; ``python -m repro.obs`` additionally offers ``trace``
+and ``trend``.
 """
 
 from __future__ import annotations
 
-import argparse
-import sys
-
-from repro.errors import HarnessError
-from repro.perf.report import (
-    is_manifest_payload,
-    load_payload,
-    render_manifest,
-    render_profile,
-)
-from repro.perf.spans import PhaseProfile
+from repro.obs.cli import main as _obs_main
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.perf", description=__doc__
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    report = sub.add_parser(
-        "report", help="render a saved phase profile or run manifest"
-    )
-    report.add_argument(
-        "profile",
-        help="profile JSON (--profile-json output) or a run-manifest JSON "
-        "from a store's manifests/ directory",
-    )
-    try:
-        args = parser.parse_args(argv)
-    except SystemExit as exc:
-        return 2 if exc.code not in (0, None) else 0
-    try:
-        payload = load_payload(args.profile)
-        if is_manifest_payload(payload):
-            out = [render_manifest(payload, title=f"run manifest — {args.profile}")]
-            recorded = (payload.get("stats") or {}).get("profile")
-            if recorded:
-                out += [
-                    "",
-                    render_profile(
-                        PhaseProfile.from_dict(recorded),
-                        title="phase profile (recorded with the run)",
-                    ),
-                ]
-            rendered = "\n".join(out)
-        else:
-            if isinstance(payload, dict) and "profile" in payload:
-                payload = payload["profile"]  # the --profile-json wrapper
-            rendered = render_profile(
-                PhaseProfile.from_dict(payload),
-                title=f"phase profile — {args.profile}",
-            )
-    except HarnessError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    try:
-        print(rendered)
-    except BrokenPipeError:  # e.g. piped into head; not an error
-        return 0
-    return 0
+    return _obs_main(argv)

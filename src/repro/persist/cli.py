@@ -1,13 +1,20 @@
 """Store maintenance CLI: ``python -m repro.persist <command> <store>``.
 
+``<store>`` is a local directory or a ``tcp://`` / ``unix://`` URL of a
+running ``python -m repro.serve`` service (``verify`` and ``gc`` need
+the files and stay local-only).
+
 Commands:
 
-* ``stats``   — record/segment/manifest counts and on-disk size;
+* ``stats``   — record/segment/manifest counts and on-disk size; for a
+  served store, also the server's live metrics digest (uptime, per-op
+  latency quantiles);
 * ``verify``  — full checksum audit; exit 1 when the store is unclean;
 * ``gc``      — compact segments, drop stale/corrupt/orphan records;
 * ``ls-runs`` — list recorded run manifests, oldest first; with
   ``--failures``, expand each run's quarantined-unit records (the
-  triage surface of the quarantine-and-resume workflow).
+  triage surface of the quarantine-and-resume workflow); with
+  ``--trace``, add each run's trace id and span count.
 """
 
 from __future__ import annotations
@@ -20,13 +27,51 @@ from typing import Sequence
 from repro.errors import StoreError
 from repro.persist.store import RunStore
 
+#: commands that read shard files directly and so cannot run over a URL
+LOCAL_ONLY = ("verify", "gc")
 
-def _open(path: str) -> RunStore:
-    return RunStore(path, create=False)
+
+def _open(path: str, command: str):
+    from repro.serve.url import open_store, parse_store_url
+
+    family, target = parse_store_url(path)
+    if family == "local":
+        return RunStore(target, create=False)
+    if command in LOCAL_ONLY:
+        raise StoreError(
+            f"'{command}' needs the store files; run it on the server's "
+            f"--root directory, not on {path!r}"
+        )
+    return open_store(path)
+
+
+def _metrics_digest(store) -> str | None:
+    """A short live-metrics block for served stores (None for local)."""
+    metrics = getattr(store, "metrics", None)
+    if metrics is None:
+        return None
+    summary = metrics()["summary"]
+    lines = [
+        "live metrics:",
+        f"  uptime          {summary['uptime_seconds']:.1f}s",
+        f"  requests served {summary['requests_served']}"
+        f" (in flight {summary['in_flight']:.0f})",
+    ]
+    for op, digest in sorted(summary["ops"].items()):
+        lines.append(
+            f"  op {op:<16} n={digest['count']:<6} "
+            f"p50={digest['p50_s'] * 1e3:.2f}ms "
+            f"p95={digest['p95_s'] * 1e3:.2f}ms "
+            f"p99={digest['p99_s'] * 1e3:.2f}ms"
+        )
+    return "\n".join(lines)
 
 
 def cmd_stats(store: RunStore, args: argparse.Namespace) -> int:
     print(store.stats().describe())
+    digest = _metrics_digest(store)
+    if digest is not None:
+        print(digest)
     return 0
 
 
@@ -41,8 +86,19 @@ def cmd_gc(store: RunStore, args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_line(manifest) -> str:
+    trace = manifest.trace
+    if not isinstance(trace, dict):
+        return "    trace -"
+    trace_id = trace.get("trace_id", "?")
+    spans = trace.get("spans")
+    count = len(spans) if isinstance(spans, list) else 0
+    return f"    trace {trace_id} ({count} spans)"
+
+
 def cmd_ls_runs(store: RunStore, args: argparse.Namespace) -> int:
     manifests = store.manifests()
+    show_trace = getattr(args, "trace", False)
     if getattr(args, "failures", False):
         manifests = [m for m in manifests if m.failures]
         if not manifests:
@@ -50,6 +106,8 @@ def cmd_ls_runs(store: RunStore, args: argparse.Namespace) -> int:
             return 0
         for manifest in manifests:
             print(manifest.describe())
+            if show_trace:
+                print(_trace_line(manifest))
             for failure in manifest.failures:
                 print(f"    {failure.describe()}")
         return 0
@@ -58,6 +116,8 @@ def cmd_ls_runs(store: RunStore, args: argparse.Namespace) -> int:
         return 0
     for manifest in manifests:
         print(manifest.describe())
+        if show_trace:
+            print(_trace_line(manifest))
     return 0
 
 
@@ -85,10 +145,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                 help="show only runs with quarantined units, one detail "
                 "line per recorded failure",
             )
+            command.add_argument(
+                "--trace",
+                action="store_true",
+                help="add each run's trace id and span count",
+            )
     args = parser.parse_args(argv)
     handler, _ = COMMANDS[args.command]
     try:
-        store = _open(args.store)
+        store = _open(args.store, args.command)
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -68,6 +68,10 @@ class RunManifest:
     wall_seconds: float
     resumed_from: str | None = None  # run_id of the latest same-fingerprint run
     failures: tuple[UnitFailure, ...] = ()  # units quarantined by the policy
+    # repro.stats/2 observability payloads (absent on pre-2 manifests):
+    # the run's recorded Trace.as_dict() and a MetricsRegistry snapshot
+    trace: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
 
     @property
     def total_units(self) -> int:
@@ -81,6 +85,10 @@ class RunManifest:
         # keep working and old manifests rehydrate below
         payload["stats"] = self.stats.as_dict()
         payload["failures"] = [failure_payload(f) for f in self.failures]
+        # optional observability payloads stay optional on disk too
+        for key in ("trace", "metrics"):
+            if payload[key] is None:
+                del payload[key]
         return payload
 
     @staticmethod
@@ -104,6 +112,8 @@ class RunManifest:
                     failure_from_payload(f)
                     for f in payload.get("failures", ())
                 ),
+                trace=payload.get("trace"),
+                metrics=payload.get("metrics"),
             )
         except (KeyError, TypeError, HarnessError) as exc:
             raise PersistError(f"malformed run manifest: {exc}") from None
@@ -133,6 +143,8 @@ def build_manifest(
     failures: Sequence[UnitFailure] = (),
     resumed_from: str | None = None,
     latest_for: Callable[[str], "RunManifest | None"] | None = None,
+    trace: dict[str, Any] | None = None,
+    metrics: dict[str, Any] | None = None,
 ) -> RunManifest:
     """Assemble one :class:`RunManifest` for an executed run.
 
@@ -160,4 +172,6 @@ def build_manifest(
         wall_seconds=wall_seconds,
         resumed_from=resumed_from,
         failures=tuple(failures),
+        trace=trace,
+        metrics=metrics,
     )

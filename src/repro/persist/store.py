@@ -71,7 +71,7 @@ from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.scorers import Score
 from repro.errors import PersistError, RecordCorruptError, StoreError
-from repro.perf import span
+from repro.obs import span
 from repro.runtime.cache import ScoreCache
 from repro.runtime.units import Generation
 from repro.stats import stats_dict
@@ -765,6 +765,8 @@ class RunStore:
         wall_seconds: float,
         failures: Sequence = (),
         resumed_from: str | None = None,
+        trace: dict | None = None,
+        metrics: dict | None = None,
     ) -> RunManifest:
         """Durably record one executed run; links repeats of the same plan.
 
@@ -773,6 +775,8 @@ class RunStore:
         session can resume exactly the failed units.  ``resumed_from``
         pins the predecessor explicitly (``runtime.run(resume_from=…)``);
         when omitted, the latest same-fingerprint run is linked.
+        ``trace``/``metrics`` attach the run's observability payloads
+        (a serialized :class:`~repro.obs.Trace` and a metrics snapshot).
         """
         manifest = build_manifest(
             plan=plan,
@@ -785,6 +789,8 @@ class RunStore:
             failures=failures,
             resumed_from=resumed_from,
             latest_for=self.latest_manifest,
+            trace=trace,
+            metrics=metrics,
         )
         self.put_manifest(manifest)
         return manifest

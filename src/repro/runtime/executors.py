@@ -35,6 +35,7 @@ from typing import Iterator, Protocol, Sequence, runtime_checkable
 from repro.errors import DeadlineExceededError, HarnessError, ModelError
 from repro.llm.api import as_async, get_model
 from repro.llm.types import ChatMessage
+from repro.obs import active_tracer, span
 from repro.runtime.faults import (
     FailedGeneration,
     RetryPolicy,
@@ -76,11 +77,17 @@ def generate_unit(unit: WorkUnit) -> "Generation | FailedGeneration":
     failure isolation (a quarantined unit comes back as a
     :class:`~repro.runtime.faults.FailedGeneration` instead of raising).
     Without a scope this is exactly the raw provider call it always was.
+
+    Each call is wrapped in a ``span("unit")`` — per-unit latency
+    visibility for every sync executor (serial, threaded, MPI-shard),
+    retries included.  The constant span name keeps phase profiles
+    compact; traces still record one identified span per unit.
     """
-    state = active_faults()
-    if state is not None:
-        return state.run_unit(unit, _generate_once)
-    return _generate_once(unit)
+    with span("unit"):
+        state = active_faults()
+        if state is not None:
+            return state.run_unit(unit, _generate_once)
+        return _generate_once(unit)
 
 
 @runtime_checkable
@@ -359,6 +366,23 @@ class AsyncExecutor:
             )
 
         async def one(unit: WorkUnit) -> "Generation | FailedGeneration":
+            tracer = active_tracer()
+            if tracer is None:
+                return await one_inner(unit)
+            # interleaved tasks share this thread, so the per-unit span
+            # is folded post-hoc (record_span) instead of riding the
+            # thread's span-nesting stack
+            start_unix = time.time()
+            t0 = time.perf_counter()
+            gen = await one_inner(unit)
+            tracer.record_span(
+                "unit",
+                start_unix=start_unix,
+                duration_s=time.perf_counter() - t0,
+            )
+            return gen
+
+        async def one_inner(unit: WorkUnit) -> "Generation | FailedGeneration":
             async with semaphore:
                 if state is not None:
                     # the run's FaultPolicy owns retry/deadline/isolation;

@@ -34,7 +34,13 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Mapping
 
 from repro.core.task import EvalResult
 from repro.errors import HarnessError
-from repro.perf import PhaseProfile, active_profiler, span
+from repro.obs import (
+    PhaseProfile,
+    active_profiler,
+    active_registry,
+    active_tracer,
+    span,
+)
 from repro.stats import stats_dict, strip_markers
 
 if TYPE_CHECKING:  # repro.persist builds on repro.runtime, not vice versa
@@ -105,6 +111,7 @@ class RunStats:
     units_failed: int = 0  # units quarantined by the fault policy
     units_retried: int = 0  # units that needed at least one retry
     retry_seconds: float = 0.0  # failed-attempt time + backoff sleeps
+    trace_id: str | None = None  # distributed-trace id (when tracing was on)
 
     @property
     def hit_rate(self) -> float:
@@ -194,6 +201,97 @@ def run(
     resume_from: str | None = None,
 ) -> RunResult:
     """Execute every unit of ``plan`` and score it against its target.
+
+    See :func:`_run_impl` for the execution pipeline itself; this
+    wrapper owns the run's **distributed trace**: when a
+    :func:`repro.obs.tracing` tracer is active, the run opens its own
+    trace (``run:<plan name>``), every span inside — including spans
+    folded back from scoring-pool workers and the remote store server —
+    is recorded with ids/parents/wall-clock placement, and the finished
+    trace lands on the run's manifest (and its id on
+    :attr:`RunStats.trace_id`).  A run started while another trace is
+    already open simply folds its spans into the outer trace.  Telemetry
+    never changes results: grids are bit-identical with tracing on or
+    off.
+    """
+    tracer = active_tracer()
+    handle = tracer.begin_trace(f"run:{plan.name}") if tracer is not None else None
+    kwargs = dict(
+        config=config,
+        executor=executor,
+        cache=cache,
+        score_cache=score_cache,
+        scheduler=scheduler,
+        store=store,
+        scoring=scoring,
+        faults=faults,
+        resume_from=resume_from,
+    )
+    if handle is None:
+        return _run_impl(plan, **kwargs)
+    finished: list = []
+
+    def finish_trace():
+        trace = tracer.end_trace(handle)
+        finished.append(trace)
+        return trace
+
+    try:
+        return _run_impl(plan, _finish_trace=finish_trace, **kwargs)
+    finally:
+        if not finished:  # the run raised before its trace was sealed
+            tracer.end_trace(handle)
+
+
+def _publish_run_metrics(registry, plan: Plan, stats: RunStats) -> None:
+    """Fold one run's counters into the ambient metrics registry."""
+    labels = {"plan": plan.name}
+    registry.counter("repro_runs_total", "runs executed", ("plan",)).inc(**labels)
+    units = registry.counter(
+        "repro_run_units_total",
+        "units by how they were satisfied",
+        ("plan", "outcome"),
+    )
+    for outcome, count in (
+        ("generated", stats.generated),
+        ("cache_hit", stats.cache_hits),
+        ("deduplicated", stats.deduplicated),
+        ("failed", stats.units_failed),
+    ):
+        if count:
+            units.inc(count, outcome=outcome, **labels)
+    for name, help_text, value in (
+        ("repro_scores_computed_total", "scorer invocations", stats.scores_computed),
+        ("repro_score_hits_total", "score-cache hits", stats.score_hits),
+        ("repro_units_retried_total", "units needing retries", stats.units_retried),
+        ("repro_read_lru_hits_total", "store read-LRU hits", stats.read_lru_hits),
+        ("repro_read_lru_misses_total", "store read-LRU misses", stats.read_lru_misses),
+        ("repro_store_bytes_read_total", "segment bytes read", stats.bytes_read),
+    ):
+        if value:
+            registry.counter(name, help_text, ("plan",)).inc(value, **labels)
+    registry.histogram(
+        "repro_generation_seconds",
+        "summed provider wall-clock per run",
+        ("plan",),
+    ).observe(stats.generation_seconds, **labels)
+
+
+def _run_impl(
+    plan: Plan,
+    *,
+    config: "RunConfig | None" = None,
+    executor: Executor | None = None,
+    cache: ResultCache | None = None,
+    score_cache: ScoreCache | None = None,
+    scheduler: Scheduler | None = None,
+    store: "RunStore | None" = None,
+    scoring: ScoringPool | None = None,
+    faults: FaultPolicy | None = None,
+    resume_from: str | None = None,
+    _finish_trace: Callable[[], Any] | None = None,
+) -> RunResult:
+    """The execution pipeline behind :func:`run`.
 
     Results are independent of the executor *and* scheduler choice:
     seeds live inside the units, and generations are keyed by content,
@@ -550,6 +648,10 @@ def run(
     profile = None
     if profiler is not None:
         profile = profiler.snapshot().subtract(profile_before)
+    # seal the run's distributed trace (if any) before stats are frozen,
+    # so the trace id travels with the stats and the span set is complete
+    trace = _finish_trace() if _finish_trace is not None else None
+    wall_seconds = time.perf_counter() - started
     stats = RunStats(
         total_units=len(units),
         generated=len(ok_units),
@@ -566,7 +668,11 @@ def run(
         units_failed=len(failures),
         units_retried=fault_state.units_retried if fault_state is not None else 0,
         retry_seconds=fault_state.retry_seconds if fault_state is not None else 0.0,
+        trace_id=trace.trace_id if trace is not None else None,
     )
+    registry = active_registry()
+    if registry is not None:
+        _publish_run_metrics(registry, plan, stats)
     manifest = None
     if store is not None:
         manifest = store.record_run(
@@ -576,9 +682,11 @@ def run(
             scheduler=scheduler,
             cache=cache,
             started_unix=started_unix,
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=wall_seconds,
             failures=tuple(failures.values()),
             resumed_from=resume_from,
+            trace=trace.as_dict() if trace is not None else None,
+            metrics=registry.snapshot() if registry is not None else None,
         )
     return RunResult(
         plan=plan,

@@ -49,13 +49,14 @@ import math
 import multiprocessing
 import pickle
 import threading
+import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from repro.core.scorers import Score
 from repro.errors import HarnessError
 from repro.metrics.kernels import score_batch
-from repro.perf import span
+from repro.obs import fold_remote_spans, make_span_dict, propagation_context, span
 from repro.runtime.schedule import ExpectedCostModel
 
 # ExpectedCostModel channel keys for the adaptive pool's two EMAs
@@ -75,6 +76,53 @@ def _score_batch_task(
     return score_batch(completions, target, scorer)
 
 
+def _score_task_traced(
+    scorer: Callable, completion: str, target: str, parent_id: str | None
+) -> tuple[Score, dict]:
+    """Traced worker body: the score plus a span dict for the parent.
+
+    The span is timed on the worker's own wall clock and stamped with
+    the worker pid; ``parent_id`` (the submitting thread's current span)
+    links it into the run's trace when the handle folds it back.
+    """
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    score = scorer(completion, target)
+    return score, make_span_dict(
+        "score-worker",
+        parent_id=parent_id,
+        start_unix=start_unix,
+        duration_s=time.perf_counter() - t0,
+    )
+
+
+def _score_batch_task_traced(
+    scorer: Callable, completions: Sequence[str], target: str, parent_id: str | None
+) -> tuple[list[Score], dict]:
+    """Traced worker body for one chunk: scores plus one chunk span."""
+    start_unix = time.time()
+    t0 = time.perf_counter()
+    scores = score_batch(completions, target, scorer)
+    return scores, make_span_dict(
+        f"score-worker-batch[{len(completions)}]",
+        parent_id=parent_id,
+        start_unix=start_unix,
+        duration_s=time.perf_counter() - t0,
+    )
+
+
+def _chunk_folder() -> Callable[[dict], None]:
+    """A fold-once callable: many handles share one chunk's span."""
+    folded = []
+
+    def fold(span_dict: dict) -> None:
+        if not folded:
+            folded.append(True)
+            fold_remote_spans([span_dict])
+
+    return fold
+
+
 class ScoreHandle:
     """The pending result of one submitted score (duck-typed Future).
 
@@ -84,22 +132,28 @@ class ScoreHandle:
     scorer itself raises.
     """
 
-    __slots__ = ("_future", "_value", "_recompute")
+    __slots__ = ("_future", "_value", "_recompute", "_fold")
 
     def __init__(
         self,
         future: concurrent.futures.Future | None,
         value: Score | None,
         recompute: Callable[[], Score],
+        fold: Callable[[dict], None] | None = None,
     ) -> None:
         self._future = future
         self._value = value
         self._recompute = recompute
+        self._fold = fold  # set iff the worker task returns (score, span)
 
     def result(self) -> Score:
         if self._future is not None:
             try:
-                self._value = self._future.result()
+                resolved = self._future.result()
+                if self._fold is not None:
+                    resolved, span_dict = resolved
+                    self._fold(span_dict)
+                self._value = resolved
             except (
                 BrokenProcessPool,
                 pickle.PicklingError,
@@ -124,23 +178,29 @@ class BatchScoreHandle:
     recomputing inline, exactly like :class:`ScoreHandle`.
     """
 
-    __slots__ = ("_future", "_index", "_value", "_recompute")
+    __slots__ = ("_future", "_index", "_value", "_recompute", "_fold")
 
     def __init__(
         self,
         future: concurrent.futures.Future,
         index: int,
         recompute: Callable[[], Score],
+        fold: Callable[[dict], None] | None = None,
     ) -> None:
         self._future = future
         self._index = index
         self._value: Score | None = None
         self._recompute = recompute
+        self._fold = fold  # shared fold-once: one span per chunk
 
     def result(self) -> Score:
         if self._future is not None:
             try:
-                self._value = self._future.result()[self._index]
+                resolved = self._future.result()
+                if self._fold is not None:
+                    resolved, span_dict = resolved
+                    self._fold(span_dict)
+                self._value = resolved[self._index]
             except (
                 BrokenProcessPool,
                 pickle.PicklingError,
@@ -210,17 +270,27 @@ class ScoringPool:
 
         if not self._scorer_picklable(scorer):
             return ScoreHandle(None, recompute(), recompute)
+        # with a trace open, the worker times itself and ships a span
+        # back alongside the score (folded at result() time)
+        ctx = propagation_context()
         try:
-            future = self._ensure_pool().submit(
-                _score_task, scorer, completion, target
-            )
+            if ctx is not None:
+                future = self._ensure_pool().submit(
+                    _score_task_traced, scorer, completion, target,
+                    ctx.get("parent"),
+                )
+            else:
+                future = self._ensure_pool().submit(
+                    _score_task, scorer, completion, target
+                )
         except (
             BrokenProcessPool,
             pickle.PicklingError,
             RuntimeError,  # pool shut down concurrently
         ):
             return ScoreHandle(None, recompute(), recompute)
-        return ScoreHandle(future, None, recompute)
+        fold = (lambda s: fold_remote_spans([s])) if ctx is not None else None
+        return ScoreHandle(future, None, recompute, fold=fold)
 
     def submit_many(
         self,
@@ -255,13 +325,20 @@ class ScoringPool:
             return inline_chunk(completions)
         workers = max(1, parallelism if parallelism is not None else self.max_workers)
         chunk_size = math.ceil(len(completions) / workers)
+        ctx = propagation_context()
         handles: list[ScoreHandle | BatchScoreHandle] = []
         for start in range(0, len(completions), chunk_size):
             chunk = completions[start : start + chunk_size]
             try:
-                future = self._ensure_pool().submit(
-                    _score_batch_task, scorer, chunk, target
-                )
+                if ctx is not None:
+                    future = self._ensure_pool().submit(
+                        _score_batch_task_traced, scorer, chunk, target,
+                        ctx.get("parent"),
+                    )
+                else:
+                    future = self._ensure_pool().submit(
+                        _score_batch_task, scorer, chunk, target
+                    )
             except (
                 BrokenProcessPool,
                 pickle.PicklingError,
@@ -269,13 +346,16 @@ class ScoringPool:
             ):
                 handles.extend(inline_chunk(chunk))
                 continue
+            # the chunk's handles share one fold-once so its worker span
+            # is recorded a single time however many results are read
+            fold = _chunk_folder() if ctx is not None else None
             for index, completion in enumerate(chunk):
 
                 def recompute(completion: str = completion) -> Score:
                     with span("score-inline"):
                         return scorer(completion, target)
 
-                handles.append(BatchScoreHandle(future, index, recompute))
+                handles.append(BatchScoreHandle(future, index, recompute, fold=fold))
         return handles
 
     def warm(self) -> None:

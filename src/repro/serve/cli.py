@@ -10,9 +10,12 @@ Same-machine sharing without TCP::
 
 ``--tcp host:0`` binds an ephemeral port; ``--ready-file PATH`` writes
 one JSON object with the *bound* endpoints once listening (the file CI
-and tests poll instead of racing the boot).  SIGINT/SIGTERM shut down
-cleanly: listeners close first, then every shard store snapshots its
-index.
+and tests poll instead of racing the boot).  ``--metrics-file PATH``
+dumps the server's live metrics as Prometheus text every
+``--metrics-interval`` seconds (atomic replace, so a node-exporter
+textfile collector can scrape it) and once more at shutdown.
+SIGINT/SIGTERM shut down cleanly: listeners close first, then every
+shard store snapshots its index.
 """
 
 from __future__ import annotations
@@ -27,8 +30,25 @@ import sys
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs import render_prometheus
 
 from repro.serve.server import StoreServer
+
+
+def _dump_metrics(server: StoreServer, path: pathlib.Path) -> None:
+    """Atomically replace ``path`` with the registry's Prometheus text."""
+    text = render_prometheus(server.registry.snapshot())
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+async def _metrics_pump(
+    server: StoreServer, path: pathlib.Path, interval: float
+) -> None:
+    while True:
+        await asyncio.sleep(max(interval, 0.1))
+        _dump_metrics(server, path)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync every shard append (durability over throughput)",
     )
+    parser.add_argument(
+        "--metrics-file",
+        metavar="PATH",
+        help="dump live metrics as Prometheus text to PATH periodically "
+        "and at shutdown (atomic replace; textfile-collector friendly)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=15.0,
+        help="seconds between --metrics-file dumps (default 15)",
+    )
     return parser
 
 
@@ -90,17 +122,30 @@ async def _serve(args: argparse.Namespace) -> int:
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError):
             loop.add_signal_handler(sig, stop.set)
+    metrics_path = (
+        pathlib.Path(args.metrics_file) if args.metrics_file else None
+    )
     serve_task = asyncio.ensure_future(server.serve_forever())
     stop_task = asyncio.ensure_future(stop.wait())
+    tasks = [serve_task, stop_task]
+    if metrics_path is not None:
+        _dump_metrics(server, metrics_path)  # exists as soon as we listen
+        tasks.append(
+            asyncio.ensure_future(
+                _metrics_pump(server, metrics_path, args.metrics_interval)
+            )
+        )
     try:
         await asyncio.wait(
             [serve_task, stop_task], return_when=asyncio.FIRST_COMPLETED
         )
     finally:
-        for task in (serve_task, stop_task):
+        for task in tasks:
             task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await task
+        if metrics_path is not None:
+            _dump_metrics(server, metrics_path)  # final totals
         await server.aclose()
         print("store server stopped", flush=True)
     return 0

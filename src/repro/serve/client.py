@@ -42,6 +42,13 @@ from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.scorers import Score
 from repro.errors import PersistError, RemoteStoreError, StoreError
+from repro.obs import (
+    fold_remote_spans,
+    make_span_dict,
+    new_span_id,
+    propagation_context,
+    render_prometheus,
+)
 from repro.persist.manifest import RunManifest, build_manifest
 from repro.persist.records import (
     GEN_KIND,
@@ -162,7 +169,42 @@ class StoreClient:
         """
         if not requests:
             return []
-        wire = b"".join(encode_frame(request) for request in requests)
+        ctx = propagation_context()
+        if ctx is None:
+            wire = b"".join(encode_frame(request) for request in requests)
+            return self._exchange(requests, wire)
+        # One client span covers the whole pipelined batch; every frame
+        # carries its id as the trace parent, so the server-side spans
+        # nest under it.  The span id is minted up front (it must travel
+        # in the frames), the span itself is folded only after transport
+        # success — a replayed batch therefore never double-records.
+        op = str(requests[0].get("op", "?"))
+        batch_span = new_span_id()
+        frame_ctx = {"id": ctx["id"], "parent": batch_span}
+        wire = b"".join(
+            encode_frame({**request, "trace": frame_ctx})
+            for request in requests
+        )
+        start_unix = time.time()
+        t0 = time.perf_counter()
+        responses = self._exchange(requests, wire)
+        spans = [
+            make_span_dict(
+                f"remote:{op}",
+                parent_id=ctx.get("parent"),
+                start_unix=start_unix,
+                duration_s=time.perf_counter() - t0,
+                span_id=batch_span,
+            )
+        ]
+        for response in responses:
+            spans.extend(response.get("spans") or ())
+        fold_remote_spans(spans)
+        return responses
+
+    def _exchange(
+        self, requests: Sequence[dict[str, Any]], wire: bytes
+    ) -> list[dict[str, Any]]:
         last: Exception | None = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
@@ -312,6 +354,8 @@ class RemoteRunStore:
         wall_seconds: float,
         failures: Sequence = (),
         resumed_from: str | None = None,
+        trace: dict | None = None,
+        metrics: dict | None = None,
     ) -> RunManifest:
         """Build the manifest locally, ship the payload; same linkage rules
         as :meth:`repro.persist.RunStore.record_run` (the predecessor
@@ -327,6 +371,8 @@ class RemoteRunStore:
             failures=failures,
             resumed_from=resumed_from,
             latest_for=self.latest_manifest,
+            trace=trace,
+            metrics=metrics,
         )
         self.put_manifest(manifest)
         return manifest
@@ -383,6 +429,19 @@ class RemoteRunStore:
 
     def read_stats(self) -> dict[str, int]:
         return self.client.request({"op": "read_stats"})["read_stats"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's live metrics: a ``repro.metrics/1`` snapshot under
+        ``"metrics"`` plus the per-op/per-shard ``"summary"`` digest."""
+        response = self.client.request({"op": "metrics"})
+        return {
+            "metrics": response["metrics"],
+            "summary": response["summary"],
+        }
+
+    def dump_metrics(self) -> str:
+        """The server's live metrics as Prometheus text exposition."""
+        return render_prometheus(self.metrics()["metrics"])
 
     def close(self) -> None:
         self.client.close()

@@ -16,6 +16,15 @@ prefix cannot balloon memory.
 Requests are ``{"op": <name>, ...}``; responses are ``{"ok": true, ...}``
 or ``{"ok": false, "error": <message>, "error_type": <exception name>}``.
 The op vocabulary lives in :mod:`repro.serve.server`.
+
+Distributed tracing rides the same frames: a client with an open trace
+attaches ``"trace": {"id": <trace id>, "parent": <client span id>}`` to
+each request, and the server answers successful requests with a
+``"spans"`` list — server-side span dicts (timed on the server's own
+clock, stamped with its pid) parented to the client span, which the
+client folds into its live trace.  Both fields are optional and
+ignored by peers that predate them, so traced and untraced endpoints
+interoperate freely.
 """
 
 from __future__ import annotations

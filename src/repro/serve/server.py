@@ -31,9 +31,11 @@ import asyncio
 import contextlib
 import hashlib
 import pathlib
+import time
 from typing import Any, Awaitable, Callable, Sequence
 
 from repro.errors import PersistError, RemoteStoreError
+from repro.obs import MetricsRegistry, make_span_dict
 from repro.persist import RunManifest, RunStore
 from repro.persist.records import RECORD_KINDS
 
@@ -85,6 +87,23 @@ class StoreServer:
         ]
         self._servers: list[asyncio.base_events.Server] = []
         self._requests_served = 0
+        # always-on server metrics: per-op latency/outcome, in-flight
+        # gauge — exposed live via the `metrics` op and --metrics-file
+        self.registry = MetricsRegistry()
+        self._ops_total = self.registry.counter(
+            "repro_server_ops_total",
+            "requests handled, by op and outcome",
+            ("op", "status"),
+        )
+        self._op_seconds = self.registry.histogram(
+            "repro_server_op_seconds",
+            "request handling latency, by op",
+            ("op",),
+        )
+        self._inflight = self.registry.gauge(
+            "repro_server_inflight_requests",
+            "requests currently being handled",
+        )
 
     # -- request dispatch (blocking; runs in worker threads) -----------------
 
@@ -171,6 +190,51 @@ class StoreServer:
                 totals[field] = totals.get(field, 0) + value
         return {"ok": True, "read_stats": totals}
 
+    def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Live server telemetry: the registry snapshot plus a summary.
+
+        The summary pre-digests what operators ask first — per-op
+        latency quantiles, per-shard record counts, uptime, in-flight —
+        so a client can print it without understanding the full
+        snapshot schema (which ``render_prometheus`` consumes as-is).
+        """
+        snapshot = self.registry.snapshot()
+        per_op: dict[str, dict[str, float]] = {}
+        for metric in snapshot["metrics"]:
+            if metric["name"] != "repro_server_op_seconds":
+                continue
+            for series in metric["series"]:
+                per_op[series["labels"]["op"]] = {
+                    "count": series["count"],
+                    "p50_s": series["p50"],
+                    "p95_s": series["p95"],
+                    "p99_s": series["p99"],
+                }
+        shards = []
+        for index, store in enumerate(self.stores):
+            stats = store.stats()
+            shards.append(
+                {
+                    "shard": index,
+                    "generations": stats.generations,
+                    "scores": stats.scores,
+                    "manifests": stats.manifests,
+                    "segment_bytes": stats.segment_bytes,
+                }
+            )
+        return {
+            "ok": True,
+            "metrics": snapshot,
+            "summary": {
+                "server": SERVER_ID,
+                "uptime_seconds": snapshot["uptime_seconds"],
+                "requests_served": self._requests_served,
+                "in_flight": self._inflight.value(),
+                "ops": per_op,
+                "shards": shards,
+            },
+        }
+
     _OPS: dict[str, Callable[["StoreServer", dict[str, Any]], dict[str, Any]]] = {
         "ping": _op_ping,
         "get_records": _op_get_records,
@@ -181,23 +245,55 @@ class StoreServer:
         "latest_manifest": _op_latest_manifest,
         "stats": _op_stats,
         "read_stats": _op_read_stats,
+        "metrics": _op_metrics,
     }
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Answer one request dict (blocking; also the in-process test hook)."""
+        """Answer one request dict (blocking; also the in-process test hook).
+
+        Every request is metered (op counter, latency histogram,
+        in-flight gauge).  A request carrying a ``trace`` field — the
+        ``{"id", "parent"}`` context a tracing client attaches — is
+        answered with a ``spans`` list: one server-side span, timed on
+        the server's clock and parented to the client span that sent
+        the request, which the client folds into its live trace.
+        """
         op = request.get("op")
         handler = self._OPS.get(op) if isinstance(op, str) else None
+        op_label = op if handler is not None else "unknown"
+        trace_ctx = request.get("trace")
+        self._inflight.inc()
+        start_unix = time.time()
+        t0 = time.perf_counter()
+        ok = True
         try:
             if handler is None:
                 raise RemoteStoreError(f"unknown op {op!r}")
             response = handler(self, request)
         except Exception as exc:  # answered, not fatal: connection stays up
-            return {
+            ok = False
+            response = {
                 "ok": False,
                 "error": str(exc),
                 "error_type": type(exc).__name__,
             }
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._inflight.dec()
+            self._ops_total.inc(op=op_label, status="ok" if ok else "error")
+            self._op_seconds.observe(elapsed, op=op_label)
+        if not ok:
+            return response
         self._requests_served += 1
+        if isinstance(trace_ctx, dict):
+            response["spans"] = [
+                make_span_dict(
+                    f"server:{op_label}",
+                    parent_id=trace_ctx.get("parent"),
+                    start_unix=start_unix,
+                    duration_s=elapsed,
+                )
+            ]
         return response
 
     # -- asyncio plumbing ----------------------------------------------------

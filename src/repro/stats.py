@@ -28,7 +28,11 @@ from __future__ import annotations
 
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/1"
+# /2 added observability fields: run stats may carry a ``trace_id`` and
+# manifests may carry ``trace`` / ``metrics`` payloads.  Consumers stay
+# tolerant of /1 (and pre-schema) payloads — the new keys are optional,
+# never required, so old manifests rehydrate unchanged.
+STATS_SCHEMA = "repro.stats/2"
 
 STATS_KINDS = ("run", "store", "result_cache", "score_cache")
 

@@ -465,7 +465,7 @@ class TestStatsSchema:
             ]
             for cache in backends:
                 stats = cache.stats()
-                assert stats["schema"] == "repro.stats/1"
+                assert stats["schema"] == "repro.stats/2"
                 assert stats["kind"] == "result_cache"
                 assert {"entries", "hits", "misses", "puts"} <= set(stats)
 
@@ -476,7 +476,7 @@ class TestStatsSchema:
         with RunStore(tmp_path / "store") as store:
             store.put_generations([make_generation(0)])
             payload = store.stats().as_dict()
-        assert payload["schema"] == "repro.stats/1"
+        assert payload["schema"] == "repro.stats/2"
         assert payload["kind"] == "store"
         assert StoreStats.from_dict(payload) == store.stats()
 
