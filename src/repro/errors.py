@@ -60,6 +60,30 @@ class RemoteStoreError(StoreError, ModelError):
     """
 
 
+class ServerOverloadedError(RemoteStoreError):
+    """The store server refused a frame: too many in flight, or draining.
+
+    Typed and *retryable*: admission control answers with this instead
+    of dropping the connection, so a well-behaved client backs off and
+    replays the batch (content addressing makes the replay safe) while
+    the server finishes the work it already admitted.
+    """
+
+
+class BreakerOpenError(StoreError, ModelError):
+    """A circuit breaker is open: the call was refused without being tried.
+
+    Raised by :class:`~repro.runtime.health.HealthTracker`-guarded call
+    sites (remote-store clients, model providers) while the target's
+    rolling error rate keeps the breaker open.  Like
+    :class:`RemoteStoreError` it is both a :class:`StoreError` and a
+    retryable :class:`ModelError`: a
+    :class:`~repro.runtime.faults.FaultPolicy`-armed run backs off and
+    retries, by which time the breaker may have half-opened and let a
+    probe through.
+    """
+
+
 class UnknownModelError(ModelError):
     """The requested model name is not registered."""
 

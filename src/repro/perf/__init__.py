@@ -5,10 +5,20 @@ distributed tracing, a metrics registry, and cross-run trend reports.
 Everything importable from here forwards to :mod:`repro.obs` — same
 objects, same process-wide active profiler — so existing code and the
 ``python -m repro.perf report`` CLI keep working unchanged.  New code
-should import :mod:`repro.obs` directly.
+should import :mod:`repro.obs` directly; importing this shim raises a
+:class:`DeprecationWarning` saying so.
 """
 
-from repro.obs import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.perf is deprecated; import repro.obs instead "
+    "(same objects, same active profiler)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.obs import (  # noqa: E402,F401
     PhaseProfile,
     PhaseTotals,
     Profiler,

@@ -1,8 +1,9 @@
 """Store maintenance CLI: ``python -m repro.persist <command> <store>``.
 
 ``<store>`` is a local directory or a ``tcp://`` / ``unix://`` URL of a
-running ``python -m repro.serve`` service (``verify`` and ``gc`` need
-the files and stay local-only).
+running ``python -m repro.serve`` service; ``verify`` and ``gc`` run
+remotely too (the server audits/compacts each shard and ships back one
+aggregated report).
 
 Commands:
 
@@ -28,7 +29,9 @@ from repro.errors import StoreError
 from repro.persist.store import RunStore
 
 #: commands that read shard files directly and so cannot run over a URL
-LOCAL_ONLY = ("verify", "gc")
+#: (none since the server grew remote ``gc``/``verify`` ops; kept as the
+#: gating hook for any future local-only command)
+LOCAL_ONLY: tuple[str, ...] = ()
 
 
 def _open(path: str, command: str):

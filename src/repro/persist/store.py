@@ -257,6 +257,47 @@ class VerifyReport:
     def clean(self) -> bool:
         return not self.problems
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the server's ``verify`` op ships this)."""
+        return {
+            "segments": self.segments,
+            "records": self.records,
+            "generations": self.generations,
+            "scores": self.scores,
+            "stale": self.stale,
+            "manifests": self.manifests,
+            "problems": list(self.problems),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "VerifyReport":
+        try:
+            return cls(
+                segments=int(payload["segments"]),
+                records=int(payload["records"]),
+                generations=int(payload["generations"]),
+                scores=int(payload["scores"]),
+                stale=int(payload["stale"]),
+                manifests=int(payload["manifests"]),
+                problems=tuple(payload["problems"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(
+                f"malformed verify-report payload: {exc}"
+            ) from None
+
+    def merged_with(self, other: "VerifyReport") -> "VerifyReport":
+        """Combine two shard audits into one store-wide report."""
+        return VerifyReport(
+            segments=self.segments + other.segments,
+            records=self.records + other.records,
+            generations=self.generations + other.generations,
+            scores=self.scores + other.scores,
+            stale=self.stale + other.stale,
+            manifests=self.manifests + other.manifests,
+            problems=self.problems + other.problems,
+        )
+
     def describe(self) -> str:
         status = "clean" if self.clean else f"{len(self.problems)} problem(s)"
         lines = [
@@ -280,6 +321,46 @@ class GCStats:
     orphan_scores_dropped: int
     bytes_before: int
     bytes_after: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the server's ``gc`` op ships this)."""
+        return {
+            "records_before": self.records_before,
+            "records_after": self.records_after,
+            "corrupt_dropped": self.corrupt_dropped,
+            "stale_dropped": self.stale_dropped,
+            "orphan_scores_dropped": self.orphan_scores_dropped,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "GCStats":
+        try:
+            return cls(**{
+                field: int(payload[field])
+                for field in (
+                    "records_before", "records_after", "corrupt_dropped",
+                    "stale_dropped", "orphan_scores_dropped",
+                    "bytes_before", "bytes_after",
+                )
+            })
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(f"malformed gc-stats payload: {exc}") from None
+
+    def merged_with(self, other: "GCStats") -> "GCStats":
+        """Combine two shard compactions into one store-wide summary."""
+        return GCStats(
+            records_before=self.records_before + other.records_before,
+            records_after=self.records_after + other.records_after,
+            corrupt_dropped=self.corrupt_dropped + other.corrupt_dropped,
+            stale_dropped=self.stale_dropped + other.stale_dropped,
+            orphan_scores_dropped=(
+                self.orphan_scores_dropped + other.orphan_scores_dropped
+            ),
+            bytes_before=self.bytes_before + other.bytes_before,
+            bytes_after=self.bytes_after + other.bytes_after,
+        )
 
     def describe(self) -> str:
         return (
@@ -718,6 +799,24 @@ class RunStore:
         if kind not in RECORD_KINDS:
             raise PersistError(f"unknown record kind {kind!r}")
         return self._read_many(kind, keys)
+
+    def keys(self, kind: str) -> list[str]:
+        """Every live record key of one kind (sorted).
+
+        The inventory surface replica reconciliation
+        (``python -m repro.serve sync``) diffs: cheap — one index scan,
+        no record reads.
+        """
+        if kind not in RECORD_KINDS:
+            raise PersistError(f"unknown record kind {kind!r}")
+        self.refresh()
+        prefix = f"{kind}:"
+        with self._mu:
+            return sorted(
+                key[len(prefix):]
+                for key in self._index
+                if key.startswith(prefix)
+            )
 
     def put_records(self, payloads: Sequence[dict[str, Any]]) -> int:
         """Append raw record payloads (as produced by the record codecs).

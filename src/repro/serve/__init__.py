@@ -30,9 +30,14 @@ same checksummed records, keyed by the same content addresses.
 
 from repro.serve.client import (
     RemoteResultCache,
+    RemoteRetryBudget,
     RemoteRunStore,
     RemoteScoreCache,
     StoreClient,
+)
+from repro.serve.replicated import (
+    ReplicatedRunStore,
+    ReplicatedStoreClient,
 )
 from repro.serve.protocol import (
     MAX_FRAME,
@@ -52,6 +57,9 @@ __all__ = [
     "RemoteRunStore",
     "RemoteResultCache",
     "RemoteScoreCache",
+    "RemoteRetryBudget",
+    "ReplicatedRunStore",
+    "ReplicatedStoreClient",
     "open_store",
     "parse_store_url",
     "REMOTE_SCHEMES",

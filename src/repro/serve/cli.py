@@ -14,8 +14,17 @@ and tests poll instead of racing the boot).  ``--metrics-file PATH``
 dumps the server's live metrics as Prometheus text every
 ``--metrics-interval`` seconds (atomic replace, so a node-exporter
 textfile collector can scrape it) and once more at shutdown.
-SIGINT/SIGTERM shut down cleanly: listeners close first, then every
-shard store snapshots its index.
+
+SIGINT/SIGTERM **drain**: the server immediately refuses new frames
+(typed, retryable ``ServerOverloadedError`` — clients fail over or
+back off), finishes what is in flight (bounded by ``--drain-grace``
+seconds), then closes listeners and snapshots every shard index.  On
+the way out the unix socket path and the ready file are removed, so a
+restart on the same paths starts clean.  ``--max-inflight N`` arms the
+same admission gate against overload during normal operation.
+
+``python -m repro.serve sync …`` is replica reconciliation — see
+:mod:`repro.serve.sync`.
 """
 
 from __future__ import annotations
@@ -93,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=15.0,
         help="seconds between --metrics-file dumps (default 15)",
     )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: refuse (typed, retryable) beyond N "
+        "concurrently handled requests",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to this long for in-flight "
+        "requests before closing (default 10)",
+    )
     return parser
 
 
@@ -104,7 +129,12 @@ def _parse_tcp(value: str) -> tuple[str, int]:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    server = StoreServer(args.root, shards=args.shards, fsync=args.fsync)
+    server = StoreServer(
+        args.root,
+        shards=args.shards,
+        fsync=args.fsync,
+        max_inflight=args.max_inflight,
+    )
     endpoints: dict[str, Any] = {"shards": server.n_shards}
     if args.tcp:
         host, port = await server.start_tcp(*_parse_tcp(args.tcp))
@@ -139,6 +169,16 @@ async def _serve(args: argparse.Namespace) -> int:
         await asyncio.wait(
             [serve_task, stop_task], return_when=asyncio.FIRST_COMPLETED
         )
+        if stop_task.done() and not serve_task.done():
+            # graceful drain: refuse new frames, finish in-flight ones
+            server.drain()
+            print("draining: refusing new requests", flush=True)
+            if not await server.wait_drained(args.drain_grace):
+                print(
+                    f"drain grace ({args.drain_grace}s) elapsed with "
+                    f"{server.inflight} request(s) still in flight",
+                    flush=True,
+                )
     finally:
         for task in tasks:
             task.cancel()
@@ -147,11 +187,23 @@ async def _serve(args: argparse.Namespace) -> int:
         if metrics_path is not None:
             _dump_metrics(server, metrics_path)  # final totals
         await server.aclose()
+        # leave nothing stale behind: a restart on the same --unix /
+        # --ready-file paths must start clean
+        for stale in (args.unix, args.ready_file):
+            if stale:
+                with contextlib.suppress(OSError):
+                    pathlib.Path(stale).unlink()
         print("store server stopped", flush=True)
     return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sync":
+        from repro.serve.sync import main as sync_main
+
+        return sync_main(argv[1:])
     args = build_parser().parse_args(argv)
     if not args.tcp and not args.unix:
         build_parser().error("give at least one of --tcp / --unix")

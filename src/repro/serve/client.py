@@ -41,7 +41,13 @@ import time
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.scorers import Score
-from repro.errors import PersistError, RemoteStoreError, StoreError
+from repro.errors import (
+    BreakerOpenError,
+    PersistError,
+    RemoteStoreError,
+    ServerOverloadedError,
+    StoreError,
+)
 from repro.obs import (
     fold_remote_spans,
     make_span_dict,
@@ -93,6 +99,7 @@ class StoreClient:
         retry: "RetryPolicy | FaultPolicy | None" = None,
         pool_size: int = 4,
         connect_timeout: float = 10.0,
+        health: Any = None,
     ) -> None:
         family, target = address
         if family not in ("tcp", "unix"):
@@ -101,6 +108,10 @@ class StoreClient:
         self.retry = _as_retry(retry)
         self.pool_size = pool_size
         self.connect_timeout = connect_timeout
+        # optional HealthTracker: while its breaker is open, requests
+        # fail fast with BreakerOpenError instead of burning connect
+        # timeouts; every transport outcome feeds its rolling window
+        self.health = health
         self._mu = threading.Lock()
         self._pool: list[socket.socket] = []
         self._closed = False
@@ -209,9 +220,16 @@ class StoreClient:
         for attempt in range(self.retry.max_attempts):
             if attempt:
                 time.sleep(self.retry.delay(attempt - 1))
+            if self.health is not None and not self.health.allow():
+                raise BreakerOpenError(
+                    f"store at {self.describe_address()} breaker is "
+                    f"{self.health.state}; request refused"
+                )
             try:
                 sock = self._checkout()
             except RemoteStoreError as exc:
+                if self.health is not None:
+                    self.health.record_failure()
                 last = exc
                 continue
             try:
@@ -226,10 +244,35 @@ class StoreClient:
                     responses.append(response)
             except (OSError, RemoteStoreError) as exc:
                 sock.close()  # poisoned: never back into the pool
+                if self.health is not None:
+                    self.health.record_failure()
                 last = exc
                 continue
             self._checkin(sock)
+            # transport worked; an admission-control refusal is a healthy
+            # server saying "not now" — retryable, but never a breaker
+            # failure (the breaker guards reachability, not load)
+            if self.health is not None:
+                self.health.record_success()
+            overload = next(
+                (
+                    response
+                    for response in responses
+                    if not response.get("ok")
+                    and response.get("error_type")
+                    == ServerOverloadedError.__name__
+                ),
+                None,
+            )
+            if overload is not None:
+                last = ServerOverloadedError(
+                    f"store at {self.describe_address()}: "
+                    f"{overload.get('error', 'overloaded')}"
+                )
+                continue
             return [self._checked(response) for response in responses]
+        if isinstance(last, ServerOverloadedError):
+            raise last
         raise RemoteStoreError(
             f"store at {self.describe_address()} unreachable after "
             f"{self.retry.max_attempts} attempts: {last}"
@@ -263,13 +306,24 @@ class RemoteRunStore:
     def __init__(
         self,
         url: str,
-        address: tuple[str, Any],
+        address: tuple[str, Any] | None = None,
         *,
         retry: "RetryPolicy | FaultPolicy | None" = None,
         pool_size: int = 4,
+        health: Any = None,
+        client: Any = None,
     ) -> None:
         self.url = url
-        self.client = StoreClient(address, retry=retry, pool_size=pool_size)
+        if client is not None:
+            # an injected transport (e.g. a ReplicatedStoreClient) —
+            # anything with request / request_many / close
+            self.client = client
+        elif address is not None:
+            self.client = StoreClient(
+                address, retry=retry, pool_size=pool_size, health=health
+            )
+        else:
+            raise StoreError("RemoteRunStore needs an address or a client")
         self._result_cache: RemoteResultCache | None = None
 
     @property
@@ -398,6 +452,46 @@ class RemoteRunStore:
         payload = response["manifest"]
         return RunManifest.from_payload(payload) if payload is not None else None
 
+    # -- maintenance (remote gc / verify / key inventory) --------------------
+
+    def keys(self, kind: str) -> list[str]:
+        """Every live record key of one kind, across all server shards."""
+        return self.client.request({"op": "list_keys", "kind": kind})["keys"]
+
+    def gc(self) -> "GCStats":
+        """Compact every server shard; one aggregated :class:`GCStats`."""
+        from repro.persist.store import GCStats
+
+        payloads = self.client.request({"op": "gc"})["gc"]
+        reports = [GCStats.from_dict(payload) for payload in payloads]
+        merged = reports[0]
+        for report in reports[1:]:
+            merged = merged.merged_with(report)
+        return merged
+
+    def verify(self) -> "VerifyReport":
+        """Audit every server shard; one aggregated :class:`VerifyReport`."""
+        from repro.persist.store import VerifyReport
+
+        payloads = self.client.request({"op": "verify"})["verify"]
+        reports = [VerifyReport.from_dict(payload) for payload in payloads]
+        merged = reports[0]
+        for report in reports[1:]:
+            merged = merged.merged_with(report)
+        return merged
+
+    def counter_add(self, name: str, delta: float = 1) -> float:
+        """Bump a server-held named counter; returns the new value.
+
+        The primitive behind cross-process retry budgets: every worker
+        process bumps the same counter on the same server, so the
+        budget is spent campaign-wide, not per-process.
+        """
+        response = self.client.request(
+            {"op": "counter_add", "name": name, "delta": delta}
+        )
+        return response["value"]
+
     # -- introspection -------------------------------------------------------
 
     def ping(self) -> dict[str, Any]:
@@ -454,6 +548,37 @@ class RemoteRunStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RemoteRunStore({self.url!r})"
+
+
+class RemoteRetryBudget:
+    """A cross-process retry budget backed by a server-held counter.
+
+    Plug into :class:`~repro.runtime.faults.FaultPolicy` as
+    ``shared_budget``: every worker process pointed at the same server
+    and ``name`` draws from one campaign-wide pool of retries, so a
+    provider melt-down degrades into isolation fleet-wide instead of
+    each process burning its own full budget.  ``try_acquire`` raising
+    (server unreachable) makes the policy fall back to its local
+    budget — fail open, never wedge a run on budget accounting.
+    """
+
+    def __init__(self, store: RemoteRunStore, name: str, limit: int) -> None:
+        if limit < 0:
+            raise StoreError(f"budget limit must be >= 0, got {limit}")
+        self._store = store
+        self.name = name
+        self.limit = limit
+
+    def try_acquire(self) -> bool:
+        spent = self._store.counter_add(f"retry-budget:{self.name}", 1)
+        return spent <= self.limit
+
+    def spent(self) -> float:
+        """How many retries the fleet has drawn so far (read-only probe)."""
+        return self._store.counter_add(f"retry-budget:{self.name}", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteRetryBudget({self.name!r}, limit={self.limit})"
 
 
 class RemoteResultCache:

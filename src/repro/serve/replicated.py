@@ -1,0 +1,459 @@
+"""Multi-server store client: replication, failover, hedging, spill.
+
+:class:`ReplicatedStoreClient` presents the same transport surface as
+:class:`~repro.serve.client.StoreClient` (``request`` /
+``request_many`` / ``close`` / ``describe_address``), so
+:class:`~repro.serve.client.RemoteRunStore` — and therefore every
+sweep — runs against a replica *set* unchanged.  The semantics per
+op shape:
+
+* **writes** (``put_records`` / ``put_manifest``) go to every replica
+  whose circuit breaker admits them, concurrently.  One success is
+  success: the store is content-addressed, so a replica that missed a
+  write is simply behind, and ``python -m repro.serve sync`` (or any
+  later replayed write) heals it byte-identically.
+* **reads** (and every other single-target op) try replicas in a
+  stable order — healthy breakers first — and fail over on
+  transport-shaped errors.  With ``hedge_s`` set, a read that the
+  preferred replica has not answered within the hedge delay is
+  *also* sent to the next healthy replica and the first answer wins:
+  one slow replica costs the hedge delay, not its own latency.
+* **degraded mode** — when a whole cycle over the replica set fails
+  (typically: every breaker open), requests spill to a local journal
+  store under ``spill_root``.  The journal is a real one-shard
+  :class:`~repro.serve.server.StoreServer` handled in-process, so
+  gets, puts and manifests behave exactly as over the wire and the
+  sweep completes bit-identical offline.  On recovery,
+  ``python -m repro.serve sync`` pushes the journal to the replicas.
+
+Health comes from one :class:`~repro.runtime.health.HealthTracker` per
+replica (handed to the child :class:`StoreClient`, which fail-fasts
+while open and feeds every transport outcome into the rolling window);
+after a cooldown, half-open probes let a restarted replica rejoin
+automatically.
+
+Every server-reported *deterministic* error (a malformed payload, an
+unknown kind) propagates immediately — it would fail identically on
+every replica, so failover would only mask the bug.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
+from typing import Any, Sequence
+
+from repro.errors import BreakerOpenError, RemoteStoreError, StoreError
+from repro.runtime.faults import FaultPolicy, RetryPolicy
+from repro.runtime.health import BreakerRegistry
+
+from repro.serve.client import RemoteRunStore, StoreClient, _as_retry
+
+#: ops replicated to every admitted replica (content-addressed appends)
+WRITE_OPS = frozenset({"put_records", "put_manifest"})
+
+#: maintenance ops fanned out to every replica, responses concatenated
+FANOUT_OPS = frozenset({"gc", "verify"})
+
+#: ops the local journal can answer while every replica is unreachable
+SPILLABLE_OPS = frozenset(
+    {
+        "get_records",
+        "put_records",
+        "put_manifest",
+        "get_manifest",
+        "manifests",
+        "latest_manifest",
+        "list_keys",
+        "stats",
+        "read_stats",
+    }
+)
+
+#: breaker defaults for replica endpoints: trip fast (two consecutive
+#: transport failures), re-probe after a short cooldown
+REPLICA_BREAKER = dict(
+    window=8, failure_threshold=0.5, min_samples=2, open_for_s=2.0
+)
+
+#: transport-shaped failures that justify trying the next replica
+_FAILOVER_ERRORS = (RemoteStoreError, BreakerOpenError, OSError)
+
+
+def _describe(addresses: Sequence[tuple[str, Any]]) -> list[str]:
+    out = []
+    for family, target in addresses:
+        if family == "unix":
+            out.append(f"unix://{target}")
+        else:
+            host, port = target
+            out.append(f"tcp://{host}:{port}")
+    return out
+
+
+class ReplicatedStoreClient:
+    """One logical transport over N replica servers.
+
+    ``retry`` paces *cycles over the whole replica set* — each child
+    client gets exactly one attempt per cycle, because the next replica
+    (not a blind re-send to the same one) is the retry.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, Any]],
+        *,
+        retry: "RetryPolicy | FaultPolicy | None" = None,
+        pool_size: int = 4,
+        connect_timeout: float = 10.0,
+        hedge_s: float | None = None,
+        spill_root: "str | pathlib.Path | None" = None,
+        breaker: dict[str, Any] | None = None,
+    ) -> None:
+        if not addresses:
+            raise StoreError("ReplicatedStoreClient needs at least one replica")
+        if hedge_s is not None and hedge_s <= 0:
+            raise StoreError(f"hedge_s must be positive, got {hedge_s}")
+        self.retry = _as_retry(retry)
+        self.hedge_s = hedge_s
+        self.spill_root = (
+            pathlib.Path(spill_root) if spill_root is not None else None
+        )
+        self.health = BreakerRegistry(**{**REPLICA_BREAKER, **(breaker or {})})
+        self._urls = _describe(addresses)
+        one_shot = RetryPolicy(
+            max_attempts=1,
+            base_delay=self.retry.base_delay,
+            max_delay=self.retry.max_delay,
+        )
+        self.replicas = [
+            StoreClient(
+                address,
+                retry=one_shot,
+                pool_size=pool_size,
+                connect_timeout=connect_timeout,
+                health=self.health.get(url),
+            )
+            for address, url in zip(addresses, self._urls)
+        ]
+        self._mu = threading.Lock()
+        self._spill_server = None
+        self._hedge_pool: ThreadPoolExecutor | None = None
+        # observability for tests, benches and operators
+        self.failovers = 0
+        self.hedged_reads = 0
+        self.spilled_batches = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def describe_address(self) -> str:
+        return ",".join(self._urls)
+
+    def replica_states(self) -> dict[str, str]:
+        """Breaker state per replica URL (for tests and operators)."""
+        return {url: self.health.get(url).state for url in self._urls}
+
+    @property
+    def degraded(self) -> bool:
+        """True while every replica's breaker is open (journal territory)."""
+        return all(self.health.get(url).is_open for url in self._urls)
+
+    # -- transport surface ---------------------------------------------------
+
+    def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self.request_many([request])[0]
+
+    def request_many(
+        self, requests: Sequence[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        if not requests:
+            return []
+        op = str(requests[0].get("op", ""))
+        if op in WRITE_OPS:
+            return self._replicated_write(requests, op)
+        if op in FANOUT_OPS:
+            return self._fanout(requests, op)
+        return self._read_with_failover(requests, op)
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+        with self._mu:
+            server, self._spill_server = self._spill_server, None
+            pool, self._hedge_pool = self._hedge_pool, None
+        if server is not None:
+            for store in server.stores:
+                store.close()
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ReplicatedStoreClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes: replicate everywhere, one success suffices ------------------
+
+    def _replicated_write(
+        self, requests: Sequence[dict[str, Any]], op: str
+    ) -> list[dict[str, Any]]:
+        last: Exception | None = None
+        responses: list[dict[str, Any]] | None = None
+        if len(self.replicas) == 1:
+            try:
+                return self.replicas[0].request_many(requests)
+            except _FAILOVER_ERRORS as exc:
+                return self._spill(requests, op, exc)
+        futures: dict[Future, int] = {
+            self._pool().submit(replica.request_many, requests): index
+            for index, replica in enumerate(self.replicas)
+        }
+        for future in list(futures):
+            try:
+                result = future.result()
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                continue
+            if responses is None:
+                responses = result
+        if responses is not None:
+            return responses
+        return self._spill(requests, op, last)
+
+    # -- maintenance: fan out, concatenate per-replica payload lists ---------
+
+    def _fanout(
+        self, requests: Sequence[dict[str, Any]], op: str
+    ) -> list[dict[str, Any]]:
+        if len(requests) != 1:
+            raise StoreError(f"{op} does not batch")
+        last: Exception | None = None
+        merged: list[Any] = []
+        reached = 0
+        for replica in self.replicas:
+            try:
+                response = replica.request(requests[0])
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                continue
+            merged.extend(response[op])
+            reached += 1
+        if not reached:
+            raise RemoteStoreError(
+                f"{op}: no replica of {self.describe_address()} reachable"
+            ) from last
+        return [{"ok": True, op: merged, "replicas": reached}]
+
+    # -- reads: ordered failover, optional hedging, spill fallback -----------
+
+    def _read_order(self) -> list[int]:
+        indexes = list(range(len(self.replicas)))
+        # stable: open breakers last, otherwise replica order — every
+        # client prefers the same healthy replica, keeping its LRU warm
+        return sorted(
+            indexes, key=lambda i: self.health.get(self._urls[i]).is_open
+        )
+
+    def _read_with_failover(
+        self, requests: Sequence[dict[str, Any]], op: str
+    ) -> list[dict[str, Any]]:
+        last: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                time.sleep(self.retry.delay(attempt - 1))
+            order = self._read_order()
+            try:
+                responses = self._read_cycle(order, requests)
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+            else:
+                return self._merge_journal(requests, responses, op)
+            # a full cycle failed: the set is unreachable right now —
+            # degrade to the journal rather than stalling the sweep
+            if self._spillable(op):
+                return self._spill(requests, op, last)
+        raise RemoteStoreError(
+            f"no replica of {self.describe_address()} answered "
+            f"{op!r} after {self.retry.max_attempts} cycle(s): {last}"
+        ) from last
+
+    def _read_cycle(
+        self, order: Sequence[int], requests: Sequence[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        last: Exception | None = None
+        remaining = list(order)
+        while remaining:
+            index = remaining.pop(0)
+            hedge_to = remaining[0] if remaining else None
+            try:
+                if self.hedge_s is not None and hedge_to is not None:
+                    return self._hedged(index, hedge_to, requests)
+                return self.replicas[index].request_many(requests)
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+                with self._mu:
+                    self.failovers += 1
+        raise last if last is not None else RemoteStoreError("no replicas")
+
+    def _hedged(
+        self,
+        primary: int,
+        secondary: int,
+        requests: Sequence[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """Primary with a latency hedge: after ``hedge_s`` without an
+        answer, race the next replica and take the first success."""
+        pool = self._pool()
+        first = pool.submit(self.replicas[primary].request_many, requests)
+        try:
+            return first.result(timeout=self.hedge_s)
+        except FutureTimeoutError:
+            pass  # slow replica: hedge
+        except _FAILOVER_ERRORS:
+            # fast failure: let the ordinary failover loop handle it
+            raise
+        with self._mu:
+            self.hedged_reads += 1
+        second = pool.submit(self.replicas[secondary].request_many, requests)
+        pending = {first, second}
+        last: Exception | None = None
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    return future.result()
+                except _FAILOVER_ERRORS as exc:
+                    last = exc
+        raise last if last is not None else RemoteStoreError("hedge failed")
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._mu:
+            if self._hedge_pool is None:
+                self._hedge_pool = ThreadPoolExecutor(
+                    max_workers=max(2, len(self.replicas)),
+                    thread_name_prefix="repro-replica",
+                )
+            return self._hedge_pool
+
+    # -- degraded mode: the local journal ------------------------------------
+
+    def _spillable(self, op: str) -> bool:
+        return self.spill_root is not None and op in SPILLABLE_OPS
+
+    def _journal(self):
+        """The journal store server, created on first use."""
+        from repro.serve.server import StoreServer
+
+        with self._mu:
+            if self._spill_server is None:
+                if self.spill_root is None:
+                    return None
+                self._spill_server = StoreServer(self.spill_root, shards=1)
+            return self._spill_server
+
+    def _journal_has_data(self) -> bool:
+        if self._spill_server is not None:
+            return True
+        return (
+            self.spill_root is not None
+            and (self.spill_root / "shard-00").exists()
+        )
+
+    def _spill(
+        self,
+        requests: Sequence[dict[str, Any]],
+        op: str,
+        cause: Exception | None,
+    ) -> list[dict[str, Any]]:
+        if not self._spillable(op):
+            raise RemoteStoreError(
+                f"no replica of {self.describe_address()} reachable for "
+                f"{op!r} and no spill journal configured: {cause}"
+            ) from cause
+        journal = self._journal()
+        with self._mu:
+            self.spilled_batches += 1
+        return [
+            StoreClient._checked(journal.handle(request))
+            for request in requests
+        ]
+
+    def _merge_journal(
+        self,
+        requests: Sequence[dict[str, Any]],
+        responses: list[dict[str, Any]],
+        op: str,
+    ) -> list[dict[str, Any]]:
+        """Reads that raced a past outage: records written to the journal
+        while the replicas were down are overlaid onto remote misses, so
+        a sweep that spans an outage still sees its own writes."""
+        if op != "get_records" or not self._journal_has_data():
+            return responses
+        journal = self._journal()
+        for request, response in zip(requests, responses):
+            records = response.get("records")
+            if records is None:
+                continue
+            missing = [key for key in request["keys"] if key not in records]
+            if not missing:
+                continue
+            local = journal.handle(
+                {"op": "get_records", "kind": request["kind"], "keys": missing}
+            )
+            if local.get("ok"):
+                records.update(local["records"])
+        return responses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReplicatedStoreClient({self.describe_address()!r})"
+
+
+class ReplicatedRunStore(RemoteRunStore):
+    """A :class:`RemoteRunStore` whose transport is a replica set.
+
+    ``run(plan, config=RunConfig.from_url("tcp://a:9000,tcp://b:9000"))``
+    is the whole integration: every store-shaped call the runtime makes
+    replicates, fails over, hedges and spills per
+    :class:`ReplicatedStoreClient`.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        addresses: Sequence[tuple[str, Any]],
+        *,
+        retry: "RetryPolicy | FaultPolicy | None" = None,
+        pool_size: int = 4,
+        connect_timeout: float = 10.0,
+        hedge_s: float | None = None,
+        spill_root: "str | pathlib.Path | None" = None,
+        breaker: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(
+            url,
+            client=ReplicatedStoreClient(
+                addresses,
+                retry=retry,
+                pool_size=pool_size,
+                connect_timeout=connect_timeout,
+                hedge_s=hedge_s,
+                spill_root=spill_root,
+                breaker=breaker,
+            ),
+        )
+
+    @property
+    def replica_states(self) -> dict[str, str]:
+        return self.client.replica_states()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReplicatedRunStore({self.url!r})"

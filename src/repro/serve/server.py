@@ -31,10 +31,12 @@ import asyncio
 import contextlib
 import hashlib
 import pathlib
+import stat
+import threading
 import time
 from typing import Any, Awaitable, Callable, Sequence
 
-from repro.errors import PersistError, RemoteStoreError
+from repro.errors import PersistError, RemoteStoreError, ServerOverloadedError
 from repro.obs import MetricsRegistry, make_span_dict
 from repro.persist import RunManifest, RunStore
 from repro.persist.records import RECORD_KINDS
@@ -69,7 +71,12 @@ class StoreServer:
         *,
         shards: int = 2,
         fsync: bool = False,
+        max_inflight: int | None = None,
     ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise PersistError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         if shards <= 0:
             raise PersistError(f"shards must be positive, got {shards}")
         self.root = pathlib.Path(root)
@@ -87,6 +94,16 @@ class StoreServer:
         ]
         self._servers: list[asyncio.base_events.Server] = []
         self._requests_served = 0
+        # admission control: a max-in-flight gate plus a drain flag.
+        # Refused requests get a typed retryable answer instead of a
+        # dropped connection, so clients back off and replay.
+        self.max_inflight = max_inflight
+        self._admit_mu = threading.Lock()
+        self._inflight_n = 0
+        self._draining = False
+        # server-held named counters (cross-process retry budgets):
+        # in-memory only — a budget is per-campaign state, not data
+        self._counters: dict[str, float] = {}
         # always-on server metrics: per-op latency/outcome, in-flight
         # gauge — exposed live via the `metrics` op and --metrics-file
         self.registry = MetricsRegistry()
@@ -190,6 +207,42 @@ class StoreServer:
                 totals[field] = totals.get(field, 0) + value
         return {"ok": True, "read_stats": totals}
 
+    def _op_list_keys(self, request: dict[str, Any]) -> dict[str, Any]:
+        kind = request["kind"]
+        if kind not in RECORD_KINDS:
+            raise PersistError(f"unknown record kind {kind!r}")
+        keys: list[str] = []
+        for store in self.stores:
+            keys.extend(store.keys(kind))
+        return {"ok": True, "keys": sorted(keys)}
+
+    def _op_gc(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "gc": [store.gc().as_dict() for store in self.stores]}
+
+    def _op_verify(self, request: dict[str, Any]) -> dict[str, Any]:
+        reports = []
+        for index, store in enumerate(self.stores):
+            report = store.verify().as_dict()
+            # shard-qualify problems so the aggregated report names the
+            # directory an operator must look at
+            report["problems"] = [
+                f"shard-{index:02d}: {problem}" for problem in report["problems"]
+            ]
+            reports.append(report)
+        return {"ok": True, "verify": reports}
+
+    def _op_counter_add(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = request["name"]
+        delta = request.get("delta", 1)
+        if not isinstance(name, str) or not name:
+            raise PersistError(f"counter name must be a string, got {name!r}")
+        if not isinstance(delta, (int, float)):
+            raise PersistError(f"counter delta must be a number, got {delta!r}")
+        with self._admit_mu:
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+        return {"ok": True, "name": name, "value": value}
+
     def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
         """Live server telemetry: the registry snapshot plus a summary.
 
@@ -246,7 +299,52 @@ class StoreServer:
         "stats": _op_stats,
         "read_stats": _op_read_stats,
         "metrics": _op_metrics,
+        "list_keys": _op_list_keys,
+        "gc": _op_gc,
+        "verify": _op_verify,
+        "counter_add": _op_counter_add,
     }
+
+    def _admit(self) -> str | None:
+        """Admission control: None to admit, else the refusal message."""
+        with self._admit_mu:
+            if self._draining:
+                return "server is draining; retry against another replica"
+            if (
+                self.max_inflight is not None
+                and self._inflight_n >= self.max_inflight
+            ):
+                return (
+                    f"server over capacity "
+                    f"({self.max_inflight} request(s) in flight)"
+                )
+            self._inflight_n += 1
+            return None
+
+    def drain(self) -> None:
+        """Refuse every request from now on; in-flight work completes."""
+        with self._admit_mu:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._admit_mu:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being handled (admission-gate view)."""
+        with self._admit_mu:
+            return self._inflight_n
+
+    async def wait_drained(self, timeout_s: float = 10.0) -> bool:
+        """After :meth:`drain`: await in-flight zero; False on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while self.inflight > 0:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Answer one request dict (blocking; also the in-process test hook).
@@ -262,6 +360,17 @@ class StoreServer:
         handler = self._OPS.get(op) if isinstance(op, str) else None
         op_label = op if handler is not None else "unknown"
         trace_ctx = request.get("trace")
+        refusal = self._admit()
+        if refusal is not None:
+            # refused, not failed: typed + retryable, and deliberately
+            # outside the latency histogram (refusals are O(ns) and
+            # would drown the real per-op quantiles)
+            self._ops_total.inc(op=op_label, status="refused")
+            return {
+                "ok": False,
+                "error": refusal,
+                "error_type": ServerOverloadedError.__name__,
+            }
         self._inflight.inc()
         start_unix = time.time()
         t0 = time.perf_counter()
@@ -280,6 +389,8 @@ class StoreServer:
         finally:
             elapsed = time.perf_counter() - t0
             self._inflight.dec()
+            with self._admit_mu:
+                self._inflight_n -= 1
             self._ops_total.inc(op=op_label, status="ok" if ok else "error")
             self._op_seconds.observe(elapsed, op=op_label)
         if not ok:
@@ -327,10 +438,24 @@ class StoreServer:
         return bound[0], bound[1]
 
     async def start_unix(self, path: str | pathlib.Path) -> str:
-        """Listen on a unix socket; a stale socket file is replaced."""
+        """Listen on a unix socket; a stale *socket* file is replaced.
+
+        Only something that actually is a socket is unlinked — binding
+        over a regular file that happens to sit at the path would
+        silently destroy data, so that is refused instead.
+        """
         path = pathlib.Path(path)
-        with contextlib.suppress(OSError):
-            path.unlink()
+        try:
+            mode = path.lstat().st_mode
+        except OSError:
+            pass  # nothing there: clean bind
+        else:
+            if not stat.S_ISSOCK(mode):
+                raise PersistError(
+                    f"refusing to replace non-socket file at {path}"
+                )
+            with contextlib.suppress(OSError):
+                path.unlink()
         server = await asyncio.start_unix_server(self._client_connected, str(path))
         self._servers.append(server)
         return str(path)

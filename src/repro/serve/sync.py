@@ -1,0 +1,197 @@
+"""``python -m repro.serve sync`` — reconcile replicas and spill journals.
+
+After an outage, the replica set is inconsistent in two ways:
+
+* a replica that was down missed the writes its peers took (the
+  :class:`~repro.serve.replicated.ReplicatedStoreClient` accepts a
+  write once *any* replica has it);
+* a 100%-unreachable period spilled writes into a client's local
+  journal directory, which no replica has seen at all.
+
+Both heal the same way, because every record is content-addressed:
+compute the union of live record keys across the journal and every
+replica, then push each replica the records it is missing (and every
+manifest it has not seen, keyed by run id).  Re-pushing something a
+replica already has would merely append identical bytes for gc to
+drop, but the key inventory (the servers' ``list_keys`` op) makes the
+push exact instead.
+
+Usage::
+
+    python -m repro.serve sync tcp://a:9045 tcp://b:9045
+    python -m repro.serve sync --journal runs/spill --prune \\
+        tcp://a:9045 tcp://b:9045
+
+``--journal`` names the spill directory a degraded client wrote
+(``spill_root``); ``--prune`` deletes it after every replica has
+everything it held.  With no journal, ``sync`` is replica-to-replica
+anti-entropy on its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import sys
+from typing import Any, Sequence
+
+from repro.errors import ReproError, StoreError
+from repro.persist import RunStore
+from repro.persist.records import RECORD_KINDS
+
+from repro.serve.client import CHUNK, RemoteRunStore
+from repro.serve.url import parse_store_url
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve sync",
+        description="push missing records/manifests to every replica "
+        "(journal -> replicas, replicas <-> replicas)",
+    )
+    parser.add_argument(
+        "urls", nargs="+", metavar="URL",
+        help="replica store URLs (tcp:// or unix://)",
+    )
+    parser.add_argument(
+        "--journal", metavar="DIR",
+        help="spill journal directory written by a degraded client",
+    )
+    parser.add_argument(
+        "--prune", action="store_true",
+        help="delete the journal once every replica holds its contents",
+    )
+    return parser
+
+
+def _open_journal(path: pathlib.Path) -> list[RunStore]:
+    if not path.exists():
+        raise StoreError(f"journal directory {path} does not exist")
+    shard_dirs = sorted(path.glob("shard-*"))
+    if not shard_dirs:
+        raise StoreError(f"{path} holds no shard stores; not a journal")
+    return [RunStore(shard) for shard in shard_dirs]
+
+
+def _journal_records(
+    stores: Sequence[RunStore], kind: str
+) -> dict[str, dict[str, Any]]:
+    records: dict[str, dict[str, Any]] = {}
+    for store in stores:
+        keys = store.keys(kind)
+        if keys:
+            records.update(store.get_records(kind, keys))
+    return records
+
+
+def _fetch(
+    replica: RemoteRunStore, kind: str, keys: Sequence[str]
+) -> dict[str, dict[str, Any]]:
+    return replica.get_records(kind, list(keys)) if keys else {}
+
+
+def sync(
+    urls: Sequence[str],
+    journal: "pathlib.Path | None" = None,
+    prune: bool = False,
+) -> dict[str, Any]:
+    """Reconcile; returns a summary dict (the CLI prints it)."""
+    for url in urls:
+        family, _ = parse_store_url(url)
+        if family in ("local", "multi"):
+            raise StoreError(
+                f"sync expects individual replica URLs, got {url!r}"
+            )
+    journal_stores = _open_journal(journal) if journal is not None else []
+    replicas = [
+        RemoteRunStore(url, parse_store_url(url)) for url in urls
+    ]
+    summary: dict[str, Any] = {
+        "replicas": {url: {"records": 0, "manifests": 0} for url in urls},
+        "journal_records": 0,
+        "journal_manifests": 0,
+    }
+    try:
+        for kind in RECORD_KINDS:
+            journal_records = _journal_records(journal_stores, kind)
+            summary["journal_records"] += len(journal_records)
+            inventories = [set(replica.keys(kind)) for replica in replicas]
+            union = set(journal_records)
+            for inventory in inventories:
+                union |= inventory
+            # fetch each remote-only record once, from the first holder
+            fetched: dict[str, dict[str, Any]] = {}
+            for index, inventory in enumerate(inventories):
+                wanted = [
+                    key for key in sorted(inventory)
+                    if key not in journal_records and key not in fetched
+                    and any(key not in other for other in inventories)
+                ]
+                fetched.update(_fetch(replicas[index], kind, wanted))
+            for index, (url, replica) in enumerate(zip(urls, replicas)):
+                missing = sorted(union - inventories[index])
+                payloads = [
+                    journal_records.get(key) or fetched.get(key)
+                    for key in missing
+                ]
+                payloads = [p for p in payloads if p is not None]
+                for start in range(0, len(payloads), CHUNK):
+                    replica.put_records(payloads[start:start + CHUNK])
+                summary["replicas"][url]["records"] += len(payloads)
+
+        # manifests: union by run id, journal first
+        journal_manifests = {
+            manifest.run_id: manifest
+            for store in journal_stores
+            for manifest in store.manifests()
+        }
+        summary["journal_manifests"] = len(journal_manifests)
+        replica_manifests = [
+            {m.run_id: m for m in replica.manifests()} for replica in replicas
+        ]
+        all_manifests = dict(journal_manifests)
+        for held in replica_manifests:
+            for run_id, manifest in held.items():
+                all_manifests.setdefault(run_id, manifest)
+        for index, (url, replica) in enumerate(zip(urls, replicas)):
+            for run_id, manifest in sorted(all_manifests.items()):
+                if run_id not in replica_manifests[index]:
+                    replica.put_manifest(manifest)
+                    summary["replicas"][url]["manifests"] += 1
+    finally:
+        for replica in replicas:
+            replica.close()
+        for store in journal_stores:
+            store.close()
+
+    if prune and journal is not None:
+        shutil.rmtree(journal)
+        summary["pruned"] = str(journal)
+    return summary
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    journal = pathlib.Path(args.journal) if args.journal else None
+    if args.prune and journal is None:
+        build_parser().error("--prune needs --journal")
+    try:
+        summary = sync(args.urls, journal=journal, prune=args.prune)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if journal is not None:
+        print(
+            f"journal: {summary['journal_records']} record(s), "
+            f"{summary['journal_manifests']} manifest(s)"
+        )
+    for url, pushed in summary["replicas"].items():
+        print(
+            f"{url}: pushed {pushed['records']} record(s), "
+            f"{pushed['manifests']} manifest(s)"
+        )
+    if summary.get("pruned"):
+        print(f"pruned journal {summary['pruned']}")
+    print("replicas converged")
+    return 0

@@ -9,7 +9,12 @@ Everywhere the harness accepts a store — ``RunConfig.from_url``, the
 * ``tcp://host:port`` (or ``repro+tcp://``) connects a
   :class:`~repro.serve.client.RemoteRunStore` to a TCP server;
 * ``unix:///path/to.sock`` (or ``repro+unix://``) connects over a unix
-  socket on the same machine — same protocol, no TCP stack.
+  socket on the same machine — same protocol, no TCP stack;
+* a comma-separated list of remote URLs
+  (``tcp://a:9000,tcp://b:9000``) opens a
+  :class:`~repro.serve.replicated.ReplicatedRunStore` that replicates
+  writes across every server and fails reads over between them — one
+  replica dying mid-sweep costs a breaker trip, not the run.
 
 The ``repro+`` prefix exists for contexts that key behaviour off the
 scheme and want it unambiguous; the short forms are canonical.
@@ -28,7 +33,26 @@ REMOTE_SCHEMES = ("tcp", "repro+tcp", "unix", "repro+unix")
 
 
 def parse_store_url(url: str) -> tuple[str, Any]:
-    """``("local", path)``, ``("tcp", (host, port))`` or ``("unix", path)``."""
+    """``("local", path)``, ``("tcp", (host, port))``, ``("unix", path)``
+    or — for a comma-separated list of remote URLs —
+    ``("multi", [(family, target), ...])``."""
+    if "," in url and "://" in url:
+        parts = [part.strip() for part in url.split(",") if part.strip()]
+        addresses = []
+        for part in parts:
+            family, target = parse_store_url(part)
+            if family in ("local", "multi"):
+                raise StoreError(
+                    f"malformed store URL {url!r}: every replica in a "
+                    f"comma-separated list must be a remote URL"
+                )
+            addresses.append((family, target))
+        if len(addresses) < 2:
+            raise StoreError(
+                f"malformed store URL {url!r}: a replica list needs at "
+                f"least two remote URLs"
+            )
+        return ("multi", addresses)
     scheme, sep, rest = url.partition("://")
     if not sep:
         return ("local", url)
@@ -69,4 +93,8 @@ def open_store(url: str, **client_options: Any):
         from repro.persist import RunStore
 
         return RunStore(target)
+    if family == "multi":
+        from repro.serve.replicated import ReplicatedRunStore
+
+        return ReplicatedRunStore(url, target, **client_options)
     return RemoteRunStore(url, (family, target), **client_options)

@@ -1,8 +1,10 @@
 """Chaos-engineering harness: deterministic fault injection for tests.
 
 Everything here exists to *prove* the fault-tolerance layer
-(:mod:`repro.runtime.faults`) — inject provider faults, store I/O
-faults and scoring-worker deaths on a fixed seed, then assert the
+(:mod:`repro.runtime.faults`) and the resilience layer
+(:mod:`repro.serve.replicated`) — inject provider faults, store I/O
+faults, scoring-worker deaths and *server-side* faults (kill/restart,
+slow replicas, overload refusals) on a fixed seed, then assert the
 harness heals around them with bit-identical results.
 """
 
@@ -13,6 +15,11 @@ from repro.testing.faults import (
     faulty_models,
     kill_pool_workers,
 )
+from repro.testing.servers import (
+    ChaosStoreServer,
+    InProcessServer,
+    ServerProcess,
+)
 
 __all__ = [
     "FaultPlan",
@@ -20,4 +27,7 @@ __all__ = [
     "FaultyStore",
     "faulty_models",
     "kill_pool_workers",
+    "ChaosStoreServer",
+    "InProcessServer",
+    "ServerProcess",
 ]

@@ -1,0 +1,479 @@
+"""Circuit breakers: state machine, registry, policy and scheduler hooks.
+
+Every timing-sensitive test drives a fake clock, so the full
+closed → open → half-open → closed cycle runs without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import run_configuration
+from repro.errors import (
+    BreakerOpenError,
+    HarnessError,
+    ModelError,
+    RemoteStoreError,
+    UnknownModelError,
+)
+from repro.llm.types import ChatMessage, GenerateConfig, ModelOutput, ModelUsage
+from repro.obs import metering
+from repro.runtime import (
+    AdaptiveScheduler,
+    BreakerRegistry,
+    ExpectedCostModel,
+    FaultPolicy,
+    HealthTracker,
+    HealthTrackedProvider,
+    Plan,
+    RetryPolicy,
+    SerialExecutor,
+    run,
+)
+from repro.runtime.faults import FaultState
+from repro.runtime.health import _counts_against_breaker
+from repro.testing import FaultPlan, faulty_models
+
+MODELS = ["o3", "llama-3.3-70b"]
+SIM_MODELS = [f"sim/{m}" for m in MODELS]
+SYSTEMS = ["adios2", "wilkins"]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(clock: FakeClock, **overrides) -> HealthTracker:
+    options = dict(
+        window=8,
+        failure_threshold=0.5,
+        min_samples=3,
+        open_for_s=5.0,
+        half_open_probes=1,
+        clock=clock,
+    )
+    options.update(overrides)
+    return HealthTracker("target-a", **options)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        tracker = make_tracker(FakeClock())
+        assert tracker.state == "closed"
+        assert not tracker.is_open
+        assert tracker.allow()
+        tracker.check()  # no raise
+
+    def test_trips_open_at_threshold_with_min_samples(self):
+        tracker = make_tracker(FakeClock())
+        tracker.record_failure()
+        tracker.record_failure()
+        # two failures but min_samples=3: still closed
+        assert tracker.state == "closed"
+        tracker.record_failure()
+        assert tracker.state == "open"
+        assert tracker.is_open
+        assert tracker.opened_total == 1
+        assert not tracker.allow()
+        with pytest.raises(BreakerOpenError, match="target-a"):
+            tracker.check()
+
+    def test_successes_keep_error_rate_under_threshold(self):
+        tracker = make_tracker(FakeClock())
+        for _ in range(5):
+            tracker.record_success()
+        tracker.record_failure()
+        tracker.record_failure()
+        # 2/7 < 0.5: closed
+        assert tracker.state == "closed"
+        assert tracker.error_rate() == pytest.approx(2 / 7)
+
+    def test_rolling_window_forgets_old_outcomes(self):
+        tracker = make_tracker(FakeClock(), window=4)
+        tracker.record_failure()
+        tracker.record_failure()
+        # four successes push both failures out of the window
+        for _ in range(4):
+            tracker.record_success()
+        assert tracker.error_rate() == 0.0
+        assert tracker.state == "closed"
+
+    def test_cooldown_moves_open_to_half_open(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, open_for_s=5.0)
+        tracker.force_open()
+        clock.advance(4.99)
+        assert tracker.state == "open"
+        clock.advance(0.02)
+        assert tracker.state == "half-open"
+        assert not tracker.is_open  # probes may flow
+
+    def test_half_open_grants_exactly_the_probe_budget(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock, half_open_probes=2)
+        tracker.force_open()
+        clock.advance(5.0)
+        assert tracker.allow()
+        assert tracker.allow()
+        assert not tracker.allow()  # probes spent, outcome still pending
+
+    def test_probe_success_closes_and_counts_rejoin(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        for _ in range(3):
+            tracker.record_failure()
+        clock.advance(5.0)
+        assert tracker.allow()
+        tracker.record_success()
+        assert tracker.state == "closed"
+        assert tracker.rejoined_total == 1
+        # the bad history is forgotten: one new failure must not re-trip
+        tracker.record_failure()
+        assert tracker.state == "closed"
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.force_open()
+        clock.advance(5.0)
+        assert tracker.allow()
+        tracker.record_failure()
+        assert tracker.state == "open"
+        assert tracker.opened_total == 2
+        clock.advance(5.0)
+        assert tracker.state == "half-open"
+
+    def test_reset_restores_pristine_closed(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock)
+        tracker.force_open()
+        tracker.reset()
+        assert tracker.state == "closed"
+        assert tracker.error_rate() == 0.0
+        assert tracker.allow()
+
+    def test_describe_reports_the_window(self):
+        tracker = make_tracker(FakeClock())
+        tracker.record_success()
+        tracker.record_failure()
+        desc = tracker.describe()
+        assert desc["target"] == "target-a"
+        assert desc["state"] == "closed"
+        assert desc["window"] == 2
+        assert desc["error_rate"] == pytest.approx(0.5)
+
+    def test_invalid_knobs_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(HarnessError, match="window"):
+            make_tracker(clock, window=0)
+        with pytest.raises(HarnessError, match="failure_threshold"):
+            make_tracker(clock, failure_threshold=0.0)
+        with pytest.raises(HarnessError, match="min_samples"):
+            make_tracker(clock, min_samples=0)
+        with pytest.raises(HarnessError, match="open_for_s"):
+            make_tracker(clock, open_for_s=-1)
+        with pytest.raises(HarnessError, match="half_open_probes"):
+            make_tracker(clock, half_open_probes=0)
+
+
+class TestMetricsEmission:
+    def test_transitions_mirror_into_the_ambient_registry(self):
+        clock = FakeClock()
+        with metering() as registry:
+            tracker = make_tracker(clock)
+            for _ in range(3):
+                tracker.record_failure()
+            clock.advance(5.0)
+            assert tracker.state == "half-open"
+            tracker.record_success()
+            gauge = registry.gauge(
+                "repro_breaker_state",
+                "circuit-breaker state per target (0=closed 1=open 2=half-open)",
+                ("target",),
+            )
+            transitions = registry.counter(
+                "repro_breaker_transitions_total",
+                "circuit-breaker transitions per target and destination state",
+                ("target", "state"),
+            )
+            assert gauge.value(target="target-a") == 0  # closed again
+            assert transitions.value(target="target-a", state="open") == 1
+            assert transitions.value(target="target-a", state="half-open") == 1
+            assert transitions.value(target="target-a", state="closed") == 1
+
+    def test_no_registry_no_crash(self):
+        tracker = make_tracker(FakeClock())
+        for _ in range(3):
+            tracker.record_failure()  # transitions with no ambient registry
+        assert tracker.state == "open"
+
+
+class TestBreakerRegistry:
+    def test_get_creates_lazily_and_returns_the_same_tracker(self):
+        registry = BreakerRegistry(window=4, min_samples=2)
+        assert len(registry) == 0
+        a = registry.get("a")
+        assert registry.get("a") is a
+        assert a.window == 4 and a.min_samples == 2
+        assert len(registry) == 1
+
+    def test_peek_never_creates(self):
+        registry = BreakerRegistry()
+        assert registry.peek("ghost") is None
+        assert len(registry) == 0
+        registry.get("real")
+        assert registry.peek("real") is not None
+
+    def test_states_and_snapshot(self):
+        registry = BreakerRegistry(min_samples=1, failure_threshold=0.5)
+        registry.get("up").record_success()
+        registry.get("down").record_failure()
+        assert registry.states() == {"up": "closed", "down": "open"}
+        snapshot = registry.snapshot()
+        assert [entry["target"] for entry in snapshot] == ["down", "up"]
+
+
+class TestFailureClassification:
+    def test_transient_model_errors_count(self):
+        assert _counts_against_breaker(ModelError("rate limited"))
+        assert _counts_against_breaker(RemoteStoreError("link down"))
+        assert _counts_against_breaker(OSError("connection reset"))
+
+    def test_deterministic_and_refusal_errors_do_not(self):
+        assert not _counts_against_breaker(UnknownModelError("typo/model"))
+        assert not _counts_against_breaker(BreakerOpenError("refused"))
+        assert not _counts_against_breaker(TypeError("bug"))
+
+
+def _echo_provider():
+    class Echo:
+        name = "health/echo"
+        custom_marker = "passthrough"
+
+        def generate(self, messages, config):
+            return ModelOutput(
+                model=self.name,
+                completion=messages[-1].content,
+                usage=ModelUsage(input_tokens=1, output_tokens=1),
+                stop_reason="stop",
+            )
+
+    return Echo()
+
+
+class _FailingProvider:
+    name = "health/failing"
+
+    def __init__(self, exc: Exception) -> None:
+        self.exc = exc
+        self.calls = 0
+
+    def generate(self, messages, config):
+        self.calls += 1
+        raise self.exc
+
+
+class TestHealthTrackedProvider:
+    def test_success_feeds_the_window_and_passes_through(self):
+        tracker = make_tracker(FakeClock())
+        wrapped = HealthTrackedProvider(_echo_provider(), tracker)
+        out = wrapped.generate([ChatMessage.user("hi")], GenerateConfig(seed=0))
+        assert out.completion == "hi"
+        assert wrapped.name == "health/echo"
+        assert wrapped.custom_marker == "passthrough"  # __getattr__ passthrough
+        assert tracker.error_rate() == 0.0
+
+    def test_transient_failures_trip_and_open_refuses_without_calling(self):
+        tracker = make_tracker(FakeClock(), min_samples=2)
+        provider = _FailingProvider(ModelError("rate limited"))
+        wrapped = HealthTrackedProvider(provider, tracker)
+        msgs = [ChatMessage.user("hi")]
+        cfg = GenerateConfig(seed=0)
+        for _ in range(2):
+            with pytest.raises(ModelError, match="rate limited"):
+                wrapped.generate(msgs, cfg)
+        assert tracker.state == "open"
+        with pytest.raises(BreakerOpenError):
+            wrapped.generate(msgs, cfg)
+        assert provider.calls == 2  # the refused call never reached it
+
+    def test_deterministic_failures_never_trip(self):
+        tracker = make_tracker(FakeClock(), min_samples=1)
+        wrapped = HealthTrackedProvider(
+            _FailingProvider(UnknownModelError("typo")), tracker
+        )
+        for _ in range(5):
+            with pytest.raises(UnknownModelError):
+                wrapped.generate([ChatMessage.user("x")], GenerateConfig(seed=0))
+        assert tracker.state == "closed"
+
+
+class TestFaultPolicyIntegration:
+    def test_policy_validates_health_and_shared_budget_shapes(self):
+        with pytest.raises(HarnessError, match="BreakerRegistry"):
+            FaultPolicy(health=object())
+        with pytest.raises(HarnessError, match="try_acquire"):
+            FaultPolicy(shared_budget=object())
+        FaultPolicy(health=BreakerRegistry())  # the real thing passes
+
+    def test_attempt_outcomes_feed_the_models_breaker(self):
+        # isolated transients (one strike per key, then a clean retry) sit
+        # far below a 90% windowed error rate: breakers observe, never trip
+        registry = BreakerRegistry(min_samples=4, failure_threshold=0.9)
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            health=registry,
+        )
+        fault_plan = FaultPlan(seed=4, transient_rate=0.2, transient_times=1)
+        baseline = run_configuration(
+            models=MODELS, systems=SYSTEMS, epochs=2,
+            executor=SerialExecutor(),
+        )
+        with faulty_models(SIM_MODELS, fault_plan) as wrapped:
+            grid = run_configuration(
+                models=MODELS, systems=SYSTEMS, epochs=2,
+                executor=SerialExecutor(), faults=policy,
+            )
+            assert sum(p.injected_total for p in wrapped.values()) > 0
+        # breakers observed real traffic for every model and stayed closed
+        # (isolated transients never cross the 50% windowed threshold)
+        assert set(registry.states()) == set(SIM_MODELS)
+        assert all(s == "closed" for s in registry.states().values())
+        assert grid.cells == baseline.cells
+
+    def test_open_breaker_refuses_attempts_with_retryable_error(self):
+        registry = BreakerRegistry()
+        registry.get("sim/o3").force_open()
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            health=registry,
+        )
+        plan = Plan("breaker-open")
+        from repro.core.experiments.configuration import configuration_task
+
+        plan.add_eval(configuration_task("adios2"), "sim/o3", epochs=1)
+        with pytest.raises(BreakerOpenError, match="sim/o3"):
+            run(plan, faults=policy)
+        # BreakerOpenError is retryable, so isolating policies quarantine
+        assert RetryPolicy().is_retryable(BreakerOpenError("x"))
+
+    def test_open_breaker_with_isolate_quarantines_instead(self):
+        registry = BreakerRegistry()
+        registry.get("sim/o3").force_open()
+        policy = FaultPolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            health=registry,
+            on_failure="isolate",
+        )
+        plan = Plan("breaker-isolate")
+        from repro.core.experiments.configuration import configuration_task
+
+        plan.add_eval(configuration_task("adios2"), "sim/o3", epochs=2)
+        plan.add_eval(configuration_task("adios2"), "sim/llama-3.3-70b", epochs=2)
+        outcome = run(plan, faults=policy)
+        assert outcome.stats.units_failed == 2  # the open model's epochs
+        assert outcome.stats.generated == 2  # the healthy model's epochs
+        failed_models = {f.model for f in outcome.failures.values()}
+        assert failed_models == {"sim/o3"}
+
+
+class _Budget:
+    """A scriptable shared budget."""
+
+    def __init__(self, verdicts) -> None:
+        self.verdicts = list(verdicts)
+        self.calls = 0
+
+    def try_acquire(self) -> bool:
+        self.calls += 1
+        verdict = self.verdicts.pop(0)
+        if isinstance(verdict, Exception):
+            raise verdict
+        return verdict
+
+
+class TestSharedBudget:
+    def _unit(self):
+        plan = Plan("budget")
+        from repro.core.experiments.configuration import configuration_task
+
+        plan.add_eval(configuration_task("adios2"), "sim/o3", epochs=1)
+        return plan.units[0]
+
+    def test_denied_shared_budget_exhausts(self):
+        budget = _Budget([False])
+        state = FaultState(FaultPolicy(retry_budget=99, shared_budget=budget))
+        assert not state._acquire_retry(self._unit().uid, 0.0)
+        assert state.budget_exhausted
+        assert budget.calls == 1
+
+    def test_granted_shared_budget_overrides_local(self):
+        budget = _Budget([True, True, True])
+        # local budget of zero would deny; the shared verdict governs
+        state = FaultState(FaultPolicy(retry_budget=0, shared_budget=budget))
+        for _ in range(3):
+            assert state._acquire_retry(self._unit().uid, 0.0)
+        assert state.retries == 3
+
+    def test_erroring_shared_budget_fails_open_to_local(self):
+        budget = _Budget([ConnectionError("counter server down")] * 2)
+        state = FaultState(FaultPolicy(retry_budget=1, shared_budget=budget))
+        assert state._acquire_retry(self._unit().uid, 0.0)  # local token 1
+        assert not state._acquire_retry(self._unit().uid, 0.0)  # local spent
+        assert state.budget_exhausted
+
+
+class TestFaultAwareScheduling:
+    def _units(self):
+        plan = Plan("sched")
+        from repro.core.experiments.configuration import configuration_task
+
+        task = configuration_task("adios2")
+        for model in ("sim/o3", "sim/llama-3.3-70b"):
+            plan.add_eval(task, model, epochs=2)
+        return plan.units
+
+    def test_open_breaker_sorts_behind_healthy_units(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(clock=clock)
+        registry.get("sim/o3").force_open()
+        scheduler = AdaptiveScheduler(health=registry)
+        ordered = scheduler.order(self._units())
+        assert [u.model for u in ordered] == (
+            ["sim/llama-3.3-70b"] * 2 + ["sim/o3"] * 2
+        )
+
+    def test_probe_ready_breaker_is_not_deprioritized(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(clock=clock, open_for_s=5.0)
+        registry.get("sim/o3").force_open()
+        clock.advance(5.0)  # cooldown elapsed: these units are the probes
+        scheduler = AdaptiveScheduler(health=registry)
+        units = self._units()
+        assert scheduler.order(units) == list(units)
+
+    def test_unknown_models_and_no_registry_keep_plan_order(self):
+        units = self._units()
+        assert AdaptiveScheduler(health=BreakerRegistry()).order(units) == list(
+            units
+        )
+        assert AdaptiveScheduler().order(units) == list(units)
+
+    def test_cost_model_still_orders_within_health_classes(self):
+        cost = ExpectedCostModel()
+        cost.observe("sim/o3", 5.0)
+        cost.observe("sim/llama-3.3-70b", 0.1)
+        registry = BreakerRegistry()
+        registry.get("sim/o3").force_open()
+        ordered = AdaptiveScheduler(cost, health=registry).order(self._units())
+        # expensive-but-open sorts behind cheap-and-healthy
+        assert [u.model for u in ordered] == (
+            ["sim/llama-3.3-70b"] * 2 + ["sim/o3"] * 2
+        )

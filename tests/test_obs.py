@@ -247,11 +247,24 @@ class TestSpanDispatch:
         assert "both" in {s.name for s in trace.spans}
 
     def test_perf_shim_is_the_same_object(self):
-        from repro import perf
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro import perf
 
         assert perf.span is obs.span
         assert perf.profiling is obs.profiling
         assert perf.render_profile is obs.render_profile
+
+    def test_perf_shim_warns_deprecation_on_import(self):
+        import importlib
+        import sys
+
+        # a fresh import, so the module-level warning actually fires
+        sys.modules.pop("repro.perf", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs instead"):
+            importlib.import_module("repro.perf")
 
 
 class TestRunnerIntegration:

@@ -8,13 +8,19 @@ import subprocess
 import sys
 import threading
 import time
+import warnings
 from pathlib import Path
 
 import pytest
 
-from repro import perf
 from repro.errors import HarnessError
-from repro.perf import PhaseProfile, PhaseTotals, Profiler
+
+with warnings.catch_warnings():
+    # this suite exercises the deprecated shim on purpose; the warning
+    # itself is pinned in tests/test_obs.py
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro import perf
+    from repro.perf import PhaseProfile, PhaseTotals, Profiler
 
 
 class TestSpans:
